@@ -1,0 +1,188 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gammadb::bench {
+
+namespace wis = gammadb::wisconsin;
+
+gamma::GammaConfig PaperGammaConfig() {
+  gamma::GammaConfig config;
+  config.num_disk_nodes = 8;
+  config.num_diskless_nodes = 8;
+  config.page_size = 4096;
+  config.join_memory_total = 24ull << 20;  // ample: no overflow by default
+  return config;
+}
+
+teradata::TeradataConfig PaperTeradataConfig() {
+  return teradata::TeradataConfig{};
+}
+
+std::string HeapName(uint32_t n) { return "Aheap" + std::to_string(n); }
+std::string IndexedName(uint32_t n) { return "A" + std::to_string(n); }
+std::string CopyName(uint32_t n) { return "B" + std::to_string(n); }
+std::string BprimeName(uint32_t n) {
+  return "Bprime" + std::to_string(n / 10);
+}
+std::string CName(uint32_t n) { return "C" + std::to_string(n / 10); }
+
+void LoadGammaDatabase(gamma::GammaMachine& machine, uint32_t n,
+                       bool with_indices, bool with_join_relations) {
+  const auto& schema = wis::WisconsinSchema();
+  const auto spec = catalog::PartitionSpec::Hashed(wis::kUnique1);
+  const auto a = wis::GenerateWisconsin(n, kASeed);
+
+  GAMMA_CHECK(machine.CreateRelation(HeapName(n), schema, spec).ok());
+  GAMMA_CHECK(machine.LoadTuples(HeapName(n), a).ok());
+
+  if (with_indices) {
+    GAMMA_CHECK(machine.CreateRelation(IndexedName(n), schema, spec).ok());
+    GAMMA_CHECK(machine.LoadTuples(IndexedName(n), a).ok());
+    GAMMA_CHECK(
+        machine.BuildIndex(IndexedName(n), wis::kUnique1, true).ok());
+    GAMMA_CHECK(
+        machine.BuildIndex(IndexedName(n), wis::kUnique2, false).ok());
+  }
+  if (with_join_relations) {
+    GAMMA_CHECK(machine.CreateRelation(CopyName(n), schema, spec).ok());
+    GAMMA_CHECK(machine.LoadTuples(CopyName(n), a).ok());
+    const auto bprime = wis::GenerateWisconsin(n / 10, kBprimeSeed);
+    GAMMA_CHECK(machine.CreateRelation(BprimeName(n), schema, spec).ok());
+    GAMMA_CHECK(machine.LoadTuples(BprimeName(n), bprime).ok());
+    const auto c = wis::GenerateWisconsin(n / 10, kCSeed);
+    GAMMA_CHECK(machine.CreateRelation(CName(n), schema, spec).ok());
+    GAMMA_CHECK(machine.LoadTuples(CName(n), c).ok());
+  }
+}
+
+void LoadTeradataDatabase(teradata::TeradataMachine& machine, uint32_t n,
+                          bool with_index, bool with_join_relations) {
+  const auto& schema = wis::WisconsinSchema();
+  const auto a = wis::GenerateWisconsin(n, kASeed);
+  GAMMA_CHECK(
+      machine.CreateRelation(IndexedName(n), schema, wis::kUnique1).ok());
+  GAMMA_CHECK(machine.LoadTuples(IndexedName(n), a).ok());
+  if (with_index) {
+    GAMMA_CHECK(
+        machine.BuildSecondaryIndex(IndexedName(n), wis::kUnique2).ok());
+  }
+  if (with_join_relations) {
+    GAMMA_CHECK(
+        machine.CreateRelation(CopyName(n), schema, wis::kUnique1).ok());
+    GAMMA_CHECK(machine.LoadTuples(CopyName(n), a).ok());
+    const auto bprime = wis::GenerateWisconsin(n / 10, kBprimeSeed);
+    GAMMA_CHECK(
+        machine.CreateRelation(BprimeName(n), schema, wis::kUnique1).ok());
+    GAMMA_CHECK(machine.LoadTuples(BprimeName(n), bprime).ok());
+    const auto c = wis::GenerateWisconsin(n / 10, kCSeed);
+    GAMMA_CHECK(
+        machine.CreateRelation(CName(n), schema, wis::kUnique1).ok());
+    GAMMA_CHECK(machine.LoadTuples(CName(n), c).ok());
+  }
+}
+
+PaperTable::PaperTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void PaperTable::AddRow(const std::string& label,
+                        const std::vector<double>& values) {
+  GAMMA_CHECK(values.size() == columns_.size() * 2);
+  rows_.emplace_back(label, values);
+}
+
+namespace {
+
+void PrintValue(double value) {
+  if (value < 0) {
+    std::printf("%10s", "-");
+  } else if (value < 10) {
+    std::printf("%10.2f", value);
+  } else {
+    std::printf("%10.1f", value);
+  }
+}
+
+}  // namespace
+
+void PaperTable::Print() const {
+  std::printf("\n%s\n", title_.c_str());
+  const size_t width = 44 + columns_.size() * 22;
+  for (size_t i = 0; i < width; ++i) std::printf("=");
+  std::printf("\n%-44s", "");
+  for (const std::string& column : columns_) {
+    std::printf("%21s ", column.c_str());
+  }
+  std::printf("\n%-44s", "query");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%10s%11s ", "paper", "model");
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < width; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& [label, values] : rows_) {
+    std::printf("%-44s", label.c_str());
+    for (size_t i = 0; i < values.size(); i += 2) {
+      PrintValue(values[i]);
+      std::printf(" ");
+      PrintValue(values[i + 1]);
+      std::printf(" ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+FigureSeries::FigureSeries(std::string title, std::string x_label,
+                           std::vector<std::string> series_names)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_names_(std::move(series_names)) {}
+
+void FigureSeries::AddPoint(double x, const std::vector<double>& ys) {
+  GAMMA_CHECK(ys.size() == series_names_.size());
+  points_.emplace_back(x, ys);
+}
+
+void FigureSeries::Print() const {
+  std::printf("\n%s\n", title_.c_str());
+  const size_t width = 12 + series_names_.size() * 14;
+  for (size_t i = 0; i < width; ++i) std::printf("=");
+  std::printf("\n%-12s", x_label_.c_str());
+  for (const std::string& name : series_names_) {
+    std::printf("%13s ", name.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < width; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& [x, ys] : points_) {
+    std::printf("%-12g", x);
+    for (const double y : ys) std::printf("%13.3f ", y);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+std::vector<uint32_t> BenchSizes() {
+  const char* env = std::getenv("GAMMA_BENCH_SIZES");
+  if (env == nullptr || *env == '\0') {
+    return {10000, 100000, 1000000};
+  }
+  std::vector<uint32_t> sizes;
+  const char* cursor = env;
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(cursor, &end, 10);
+    if (end == cursor) break;
+    sizes.push_back(static_cast<uint32_t>(value));
+    cursor = (*end == ',') ? end + 1 : end;
+  }
+  GAMMA_CHECK_MSG(!sizes.empty(), "bad GAMMA_BENCH_SIZES");
+  return sizes;
+}
+
+}  // namespace gammadb::bench

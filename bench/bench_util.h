@@ -1,0 +1,91 @@
+#ifndef GAMMA_BENCH_BENCH_UTIL_H_
+#define GAMMA_BENCH_BENCH_UTIL_H_
+
+// Shared harness for the paper-reproduction benches: standard machine
+// configurations, Wisconsin relation setup, and table/figure printers that
+// show the paper's published number next to the model's number.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gamma/machine.h"
+#include "teradata/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::bench {
+
+/// The paper's Gamma configuration: 8 disk + 8 diskless processors, 4 KB
+/// pages. `join_memory_total` defaults high enough that the 10k/100k joins
+/// never overflow (Table 2 note); pass 4.8 MB to reproduce the 1M overflow.
+gamma::GammaConfig PaperGammaConfig();
+
+/// The paper's Teradata configuration: 20 AMPs.
+teradata::TeradataConfig PaperTeradataConfig();
+
+/// Names used by the standard benchmark database.
+std::string HeapName(uint32_t n);      // no indices ("Aheap<n>")
+std::string IndexedName(uint32_t n);   // clustered u1 + non-clustered u2
+std::string CopyName(uint32_t n);      // "B<n>", identical content to A
+std::string BprimeName(uint32_t n);    // n/10 tuples
+std::string CName(uint32_t n);         // n/10 tuples
+
+/// Loads the §4 benchmark database into a Gamma machine for one relation
+/// size: a heap copy, an indexed copy (when `with_indices`), and the join
+/// partners B / Bprime / C (when `with_join_relations`).
+void LoadGammaDatabase(gamma::GammaMachine& machine, uint32_t n,
+                       bool with_indices, bool with_join_relations);
+
+/// Same database on the Teradata machine (hash on unique1; optional dense
+/// secondary index on unique2).
+void LoadTeradataDatabase(teradata::TeradataMachine& machine, uint32_t n,
+                          bool with_index, bool with_join_relations);
+
+/// Fixed-width printer for paper-vs-model tables.
+class PaperTable {
+ public:
+  /// `columns` are value-column headings, printed in pairs
+  /// ("<col> paper", "<col> model").
+  PaperTable(std::string title, std::vector<std::string> columns);
+
+  /// Adds one row; `values` alternate paper, model per column pair. Use a
+  /// negative paper value for "not reported" (prints as "-").
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+/// Simple aligned series printer for figure reproductions:
+/// one x column plus one column per named series.
+class FigureSeries {
+ public:
+  FigureSeries(std::string title, std::string x_label,
+               std::vector<std::string> series_names);
+  void AddPoint(double x, const std::vector<double>& ys);
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+/// Relation sizes to run, from the GAMMA_BENCH_SIZES environment variable
+/// (comma-separated), defaulting to {10000, 100000, 1000000}. Benches honour
+/// this so CI can run quickly while the full reproduction uses all sizes.
+std::vector<uint32_t> BenchSizes();
+
+/// Seed for relation generation (A and B are copies: same seed).
+inline constexpr uint64_t kASeed = 0xA11CE;
+inline constexpr uint64_t kBprimeSeed = 0xB123;
+inline constexpr uint64_t kCSeed = 0xC123;
+
+}  // namespace gammadb::bench
+
+#endif  // GAMMA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// Extension F: the multiuser expectation of §6.2.1 — "offloading the join
+// operators to remote processors will allow the processors with disks to
+// effectively support more concurrent selection and store operators. The
+// validity of this expectation will be determined in future multiuser
+// benchmarks." This bench runs that future benchmark on the reproduced
+// machine using an operational-analysis throughput bound.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "exec/predicate.h"
+#include "sim/multiuser.h"
+
+namespace gammadb::bench {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+constexpr uint32_t kN = 100000;
+
+const char* ResourceName(sim::Resource resource) {
+  switch (resource) {
+    case sim::Resource::kDisk:
+      return "disk";
+    case sim::Resource::kCpu:
+      return "cpu";
+    case sim::Resource::kNet:
+      return "net";
+    case sim::Resource::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+}  // namespace
+}  // namespace gammadb::bench
+
+int main() {
+  using namespace gammadb::bench;
+  std::printf(
+      "Extension F: multiuser throughput bound for a mix of selections "
+      "plus one join, by join placement (100k tuples)\n\n");
+
+  gammadb::gamma::GammaMachine machine(PaperGammaConfig());
+  LoadGammaDatabase(machine, kN, /*with_indices=*/false,
+                    /*with_join_relations=*/true);
+
+  // The mix: four 1% selections (stored) per joinABprime.
+  gammadb::gamma::SelectQuery select;
+  select.relation = HeapName(kN);
+  select.predicate = Predicate::Range(wis::kUnique1, 0, kN / 100 - 1);
+  select.access = gammadb::gamma::AccessPath::kFileScan;
+  const auto select_metrics = machine.RunSelect(select);
+  GAMMA_CHECK(select_metrics.ok());
+
+  for (const auto& [attr_label, attr] :
+       {std::pair{"non-partitioning attribute (unique2)", wis::kUnique2},
+        std::pair{"partitioning attribute (unique1)", wis::kUnique1}}) {
+    std::printf("join on %s:\n", attr_label);
+    std::printf("%-10s %16s %18s %14s\n", "placement", "join resp (s)",
+                "mix throughput/hr", "bottleneck");
+    for (const auto& [name, mode] :
+         {std::pair{"Local", gammadb::gamma::JoinMode::kLocal},
+          std::pair{"Remote", gammadb::gamma::JoinMode::kRemote},
+          std::pair{"Allnodes", gammadb::gamma::JoinMode::kAllnodes}}) {
+      gammadb::gamma::JoinQuery join;
+      join.outer = HeapName(kN);
+      join.inner = BprimeName(kN);
+      join.outer_attr = attr;
+      join.inner_attr = attr;
+      join.mode = mode;
+      const auto join_metrics = machine.RunJoin(join);
+      GAMMA_CHECK(join_metrics.ok());
+
+      std::vector<gammadb::sim::MixItem> mix;
+      mix.push_back({select_metrics->metrics, 4.0});
+      mix.push_back({join_metrics->metrics, 1.0});
+      const auto report = gammadb::sim::AnalyzeMix(
+          mix, machine.config().tracker_nodes(),
+          machine.config().scheduler_node(), machine.config().hw);
+
+      char bottleneck[64];
+      if (report.ring_limited) {
+        std::snprintf(bottleneck, sizeof(bottleneck), "ring");
+      } else {
+        std::snprintf(bottleneck, sizeof(bottleneck), "%s@node%d",
+                      ResourceName(report.bottleneck_resource),
+                      report.bottleneck_node);
+      }
+      std::printf("%-10s %16.2f %18.1f %14s\n", name,
+                  join_metrics->seconds(),
+                  3600.0 * report.max_mixes_per_sec, bottleneck);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Finding: the §6.2.1 expectation holds for joins that must "
+      "redistribute\n(non-partitioning attribute) — Remote placement lifts "
+      "mix throughput by\nmoving join CPU off the saturated disk nodes. For "
+      "partitioning-attribute\njoins it does NOT hold in this model: Local "
+      "short-circuits the entire input\nstream, so shipping it to remote "
+      "processors costs the disk nodes *more* CPU\n(packet protocol) than "
+      "the join itself would.\n");
+  return 0;
+}

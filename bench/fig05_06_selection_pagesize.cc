@@ -1,0 +1,74 @@
+// Reproduces Figures 5 and 6: non-indexed selections (0/1/10/100%
+// selectivity) on the 100,000-tuple relation with 8 disk processors as the
+// disk page size is varied from 2 KB to 32 KB.
+//
+// Expected shapes (§5.2.2): at 2 KB the system is disk bound; by 16 KB it is
+// CPU bound and larger pages stop helping (the paper's argument for raising
+// the default from 4 KB to 8 KB). Higher selectivity widens the gap to the
+// 0% curve as the page size grows, because the network interface saturates
+// (19% slower at 2 KB -> 50% slower at 32 KB for the 10% query).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "exec/predicate.h"
+
+namespace gammadb::bench {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+
+constexpr uint32_t kN = 100000;
+constexpr uint32_t kPageSizes[] = {2048, 4096, 8192, 16384, 32768};
+constexpr double kSelectivities[] = {0.0, 0.01, 0.10, 1.0};
+
+}  // namespace
+}  // namespace gammadb::bench
+
+int main() {
+  using namespace gammadb::bench;
+  using namespace gammadb::wisconsin;
+  std::printf(
+      "Reproduction of Figures 5 & 6: non-indexed selections on 100k "
+      "tuples (8 processors) vs. disk page size\n");
+
+  FigureSeries fig5("Figure 5: response time (seconds)", "page KB",
+                    {"0% sel", "1% sel", "10% sel", "100% sel"});
+  FigureSeries fig6("Figure 6: speedup vs. 2KB pages", "page KB",
+                    {"0% sel", "1% sel", "10% sel", "100% sel"});
+  double base[4] = {0, 0, 0, 0};
+  for (const uint32_t page_size : kPageSizes) {
+    gammadb::gamma::GammaConfig config = PaperGammaConfig();
+    config.page_size = page_size;
+    gammadb::gamma::GammaMachine machine(config);
+    LoadGammaDatabase(machine, kN, /*with_indices=*/false,
+                      /*with_join_relations=*/false);
+    double response[4];
+    for (int i = 0; i < 4; ++i) {
+      gammadb::gamma::SelectQuery query;
+      query.relation = HeapName(kN);
+      query.access = gammadb::gamma::AccessPath::kFileScan;
+      const auto count = static_cast<int32_t>(kSelectivities[i] * kN);
+      query.predicate = count == 0
+                            ? Predicate::Range(kUnique1, kN + 1, kN + 2)
+                            : Predicate::Range(kUnique1, 0, count - 1);
+      const auto result = machine.RunSelect(query);
+      GAMMA_CHECK(result.ok());
+      response[i] = result->seconds();
+      if (page_size == kPageSizes[0]) base[i] = response[i];
+    }
+    fig5.AddPoint(page_size / 1024.0,
+                  {response[0], response[1], response[2], response[3]});
+    fig6.AddPoint(page_size / 1024.0,
+                  {base[0] / response[0], base[1] / response[1],
+                   base[2] / response[2], base[3] / response[3]});
+  }
+  fig5.Print();
+  fig6.Print();
+  std::printf(
+      "Paper shapes: steep improvement 2KB->8KB, flat beyond (CPU bound); "
+      "gap between 10%% and 0%% curves widens with page size (network "
+      "interface bottleneck).\n");
+  return 0;
+}

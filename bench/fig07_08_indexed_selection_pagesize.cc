@@ -1,0 +1,81 @@
+// Reproduces Figures 7 and 8: indexed selections on the 100,000-tuple
+// relation (8 processors) as the disk page size varies from 2 KB to 32 KB.
+//
+// Expected shapes (§5.2.2): the 1% non-clustered-index selection *degrades*
+// monotonically with page size — every retrieved tuple drags in whole pages
+// whose transfer time grows while only one tuple is useful. The clustered
+// 10% selection keeps improving; the clustered 1% improves then turns
+// slightly up at 32 KB (page transfer dominates the tiny matching range).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "exec/predicate.h"
+
+namespace gammadb::bench {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+using gamma::AccessPath;
+
+constexpr uint32_t kN = 100000;
+constexpr uint32_t kPageSizes[] = {2048, 4096, 8192, 16384, 32768};
+
+struct Curve {
+  const char* name;
+  AccessPath access;
+  int attr;
+  double selectivity;
+};
+constexpr Curve kCurves[] = {
+    {"1% clustered", AccessPath::kClusteredIndex, wis::kUnique1, 0.01},
+    {"10% clustered", AccessPath::kClusteredIndex, wis::kUnique1, 0.10},
+    {"1% nonclust", AccessPath::kNonClusteredIndex, wis::kUnique2, 0.01},
+};
+
+}  // namespace
+}  // namespace gammadb::bench
+
+int main() {
+  using namespace gammadb::bench;
+  std::printf(
+      "Reproduction of Figures 7 & 8: indexed selections on 100k tuples "
+      "(8 processors) vs. disk page size\n");
+
+  FigureSeries fig7("Figure 7: response time (seconds)", "page KB",
+                    {"1% clust", "10% clust", "1% nonclust"});
+  FigureSeries fig8("Figure 8: speedup vs. 2KB pages", "page KB",
+                    {"1% clust", "10% clust", "1% nonclust"});
+  double base[3] = {0, 0, 0};
+  for (const uint32_t page_size : kPageSizes) {
+    gammadb::gamma::GammaConfig config = PaperGammaConfig();
+    config.page_size = page_size;
+    gammadb::gamma::GammaMachine machine(config);
+    LoadGammaDatabase(machine, kN, /*with_indices=*/true,
+                      /*with_join_relations=*/false);
+    double response[3];
+    for (int i = 0; i < 3; ++i) {
+      gammadb::gamma::SelectQuery query;
+      query.relation = IndexedName(kN);
+      query.access = kCurves[i].access;
+      const auto count = static_cast<int32_t>(kCurves[i].selectivity * kN);
+      query.predicate = Predicate::Range(kCurves[i].attr, 0, count - 1);
+      const auto result = machine.RunSelect(query);
+      GAMMA_CHECK(result.ok());
+      response[i] = result->seconds();
+      if (page_size == kPageSizes[0]) base[i] = response[i];
+    }
+    fig7.AddPoint(page_size / 1024.0, {response[0], response[1], response[2]});
+    fig8.AddPoint(page_size / 1024.0,
+                  {base[0] / response[0], base[1] / response[1],
+                   base[2] / response[2]});
+  }
+  fig7.Print();
+  fig8.Print();
+  std::printf(
+      "Paper shapes: 1%% non-clustered degrades as pages grow (transfer time "
+      "per random fetch); clustered 10%% improves; clustered 1%% improves "
+      "then flattens/turns up at 32KB.\n");
+  return 0;
+}

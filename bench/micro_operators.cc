@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark): host-time throughput of the real
+// data-path primitives underlying the simulation — slotted pages, B-tree,
+// join hash table, split routing, predicate evaluation. These measure the
+// reproduction's own code (wall-clock), not the simulated 1988 hardware.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+#include "exec/hash_table.h"
+#include "exec/predicate.h"
+#include "exec/split_table.h"
+#include "storage/btree.h"
+#include "storage/page.h"
+#include "storage/storage_manager.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+
+void BM_SlottedPageInsert(benchmark::State& state) {
+  const size_t record_size = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> buffer(4096);
+  std::vector<uint8_t> record(record_size, 0xAB);
+  for (auto _ : state) {
+    storage::SlottedPage::Initialize(buffer.data(), 4096);
+    storage::SlottedPage page(buffer.data(), 4096);
+    while (page.Insert(record).has_value()) {
+    }
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(4000 / (record_size + 4)));
+}
+BENCHMARK(BM_SlottedPageInsert)->Arg(32)->Arg(208);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::StorageManager sm(4096, 1 << 20);
+    storage::BTree& tree = sm.index(sm.CreateIndex());
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(static_cast<int32_t>(rng.Uniform(1u << 20)),
+                  storage::Rid{static_cast<uint32_t>(i), 0});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000);
+
+void BM_BTreeRangeLookup(benchmark::State& state) {
+  storage::StorageManager sm(4096, 4 << 20);
+  storage::BTree& tree = sm.index(sm.CreateIndex());
+  std::vector<storage::BTree::Entry> entries;
+  for (int32_t key = 0; key < 100000; ++key) {
+    entries.push_back({key, storage::Rid{static_cast<uint32_t>(key / 17),
+                                         static_cast<uint16_t>(key % 17)}});
+  }
+  tree.BulkLoad(entries);
+  Rng rng(2);
+  for (auto _ : state) {
+    const int32_t lo = static_cast<int32_t>(rng.Uniform(99000));
+    benchmark::DoNotOptimize(tree.RangeLookup(lo, lo + 999));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_BTreeRangeLookup);
+
+void BM_JoinHashTableBuildProbe(benchmark::State& state) {
+  const auto tuples = wis::GenerateWisconsin(10000, 3);
+  const auto& schema = wis::WisconsinSchema();
+  for (auto _ : state) {
+    exec::JoinHashTable table(1ull << 30);
+    for (const auto& tuple : tuples) {
+      const catalog::TupleView view(&schema, tuple);
+      table.Insert(view.GetInt(wis::kUnique2), tuple);
+    }
+    uint64_t matches = 0;
+    for (const auto& tuple : tuples) {
+      const catalog::TupleView view(&schema, tuple);
+      table.Probe(view.GetInt(wis::kUnique2),
+                  [&](std::span<const uint8_t>) { ++matches; });
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_JoinHashTableBuildProbe);
+
+void BM_SplitTableRouting(benchmark::State& state) {
+  const auto tuples = wis::GenerateWisconsin(10000, 4);
+  const auto& schema = wis::WisconsinSchema();
+  uint64_t delivered = 0;
+  std::vector<exec::SplitTable::Destination> dests;
+  for (int i = 0; i < 8; ++i) {
+    dests.push_back(exec::SplitTable::Destination{
+        i, [&delivered](std::span<const uint8_t>) { ++delivered; }});
+  }
+  exec::SplitTable split(0, &schema,
+                         exec::RouteSpec::HashAttr(wis::kUnique2, 42),
+                         std::move(dests), nullptr);
+  for (auto _ : state) {
+    for (const auto& tuple : tuples) split.Send(tuple);
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SplitTableRouting);
+
+void BM_PredicateEval(benchmark::State& state) {
+  const auto tuples = wis::GenerateWisconsin(10000, 5);
+  const auto& schema = wis::WisconsinSchema();
+  const exec::Predicate pred = exec::Predicate::Range(wis::kUnique1, 0, 999);
+  for (auto _ : state) {
+    int matches = 0;
+    for (const auto& tuple : tuples) {
+      matches += pred.Eval(tuple, schema) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PredicateEval);
+
+void BM_WisconsinGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wis::GenerateWisconsin(static_cast<uint32_t>(state.range(0)), 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WisconsinGenerate)->Arg(10000);
+
+}  // namespace
+}  // namespace gammadb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// Reproduces Table 1 of the paper: selection queries on both machines at
+// 10k / 100k / 1M tuples, across storage organizations.
+//
+// Paper values are printed beside the model's values. The model is expected
+// to match the *shape* (orderings, scaling, index effects), with absolute
+// values in the same band.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "exec/predicate.h"
+
+namespace gammadb::bench {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+
+// Paper Table 1 (seconds): {query row, size} -> {Teradata, Gamma}; -1 means
+// not reported (Teradata has no clustered indices).
+struct PaperCell {
+  double teradata;
+  double gamma;
+};
+const std::map<std::pair<int, uint32_t>, PaperCell> kPaper = {
+    {{0, 10000}, {6.86, 1.63}},    {{0, 100000}, {28.22, 13.83}},
+    {{0, 1000000}, {213.13, 134.86}},
+    {{1, 10000}, {15.97, 2.11}},   {{1, 100000}, {110.96, 17.44}},
+    {{1, 1000000}, {1106.86, 181.72}},
+    {{2, 10000}, {7.81, 1.03}},    {{2, 100000}, {29.94, 5.32}},
+    {{2, 1000000}, {222.65, 53.86}},
+    {{3, 10000}, {16.82, 2.16}},   {{3, 100000}, {111.40, 17.65}},
+    {{3, 1000000}, {1107.59, 182.00}},
+    {{4, 10000}, {-1, 0.59}},      {{4, 100000}, {-1, 1.25}},
+    {{4, 1000000}, {-1, 7.50}},
+    {{5, 10000}, {-1, 1.26}},      {{5, 100000}, {-1, 7.27}},
+    {{5, 1000000}, {-1, 69.60}},
+    {{6, 10000}, {1.08, 0.15}},    {{6, 100000}, {1.08, 0.15}},
+    {{6, 1000000}, {1.08, 0.20}},
+};
+
+const char* kRowNames[] = {
+    "1% nonindexed selection",
+    "10% nonindexed selection",
+    "1% selection via non-clustered index",
+    "10% selection via non-clustered index",
+    "1% selection via clustered index",
+    "10% selection via clustered index",
+    "single tuple select",
+};
+
+double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n) {
+  using gamma::AccessPath;
+  gamma::SelectQuery query;
+  const int32_t pct1 = static_cast<int32_t>(n / 100) - 1;
+  const int32_t pct10 = static_cast<int32_t>(n / 10) - 1;
+  switch (row) {
+    case 0:
+      query.relation = HeapName(n);
+      query.predicate = Predicate::Range(wis::kUnique1, 0, pct1);
+      query.access = AccessPath::kFileScan;
+      break;
+    case 1:
+      query.relation = HeapName(n);
+      query.predicate = Predicate::Range(wis::kUnique1, 0, pct10);
+      query.access = AccessPath::kFileScan;
+      break;
+    case 2:
+      query.relation = IndexedName(n);
+      query.predicate = Predicate::Range(wis::kUnique2, 0, pct1);
+      query.access = AccessPath::kNonClusteredIndex;
+      break;
+    case 3:  // the optimizer correctly picks a segment scan at 10% (§5.1)
+      query.relation = IndexedName(n);
+      query.predicate = Predicate::Range(wis::kUnique2, 0, pct10);
+      query.access = AccessPath::kAuto;
+      break;
+    case 4:
+      query.relation = IndexedName(n);
+      query.predicate = Predicate::Range(wis::kUnique1, 0, pct1);
+      query.access = AccessPath::kClusteredIndex;
+      break;
+    case 5:
+      query.relation = IndexedName(n);
+      query.predicate = Predicate::Range(wis::kUnique1, 0, pct10);
+      query.access = AccessPath::kClusteredIndex;
+      break;
+    case 6:
+      query.relation = IndexedName(n);
+      query.predicate = Predicate::Eq(wis::kUnique1,
+                                      static_cast<int32_t>(n / 2));
+      break;
+    default:
+      return -1;
+  }
+  const auto result = machine.RunSelect(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "gamma row %d failed: %s\n", row,
+                 result.status().ToString().c_str());
+    return -1;
+  }
+  return result->seconds();
+}
+
+double RunTeradataRow(teradata::TeradataMachine& machine, int row,
+                      uint32_t n) {
+  teradata::TdSelectQuery query;
+  query.relation = IndexedName(n);
+  const int32_t pct1 = static_cast<int32_t>(n / 100) - 1;
+  const int32_t pct10 = static_cast<int32_t>(n / 10) - 1;
+  switch (row) {
+    case 0:  // range on the (hashed) key attribute: must scan
+      query.predicate = Predicate::Range(wis::kUnique1, 0, pct1);
+      break;
+    case 1:
+      query.predicate = Predicate::Range(wis::kUnique1, 0, pct10);
+      break;
+    case 2:  // dense index on unique2: whole index scanned
+      query.predicate = Predicate::Range(wis::kUnique2, 0, pct1);
+      break;
+    case 3:  // optimizer declines the index at 10%
+      query.predicate = Predicate::Range(wis::kUnique2, 0, pct10);
+      break;
+    case 6:
+      query.predicate = Predicate::Eq(wis::kUnique1,
+                                      static_cast<int32_t>(n / 2));
+      break;
+    default:
+      return -1;  // no clustered organization (§3)
+  }
+  const auto result = machine.RunSelect(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "teradata row %d failed: %s\n", row,
+                 result.status().ToString().c_str());
+    return -1;
+  }
+  return result->seconds();
+}
+
+}  // namespace
+}  // namespace gammadb::bench
+
+int main() {
+  using namespace gammadb::bench;
+  std::printf("Reproduction of Table 1: Selection Queries\n");
+  for (const uint32_t n : BenchSizes()) {
+    gammadb::gamma::GammaMachine gamma_machine(PaperGammaConfig());
+    LoadGammaDatabase(gamma_machine, n, /*with_indices=*/true,
+                      /*with_join_relations=*/false);
+    gammadb::teradata::TeradataMachine td_machine(PaperTeradataConfig());
+    LoadTeradataDatabase(td_machine, n, /*with_index=*/true,
+                         /*with_join_relations=*/false);
+
+    PaperTable table(
+        "Table 1 (n = " + std::to_string(n) + " tuples), seconds",
+        {"Teradata", "Gamma"});
+    for (int row = 0; row < 7; ++row) {
+      const auto paper_it = kPaper.find({row, n});
+      const PaperCell paper =
+          paper_it != kPaper.end() ? paper_it->second : PaperCell{-1, -1};
+      const double td = RunTeradataRow(td_machine, row, n);
+      const double gm = RunGammaRow(gamma_machine, row, n);
+      table.AddRow(kRowNames[row], {paper.teradata, td, paper.gamma, gm});
+    }
+    table.Print();
+  }
+  return 0;
+}

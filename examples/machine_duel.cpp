@@ -1,0 +1,114 @@
+// Machine duel: the same Wisconsin workload on the Gamma machine and on the
+// Teradata DBC/1012 baseline, side by side — a miniature of the paper's
+// Tables 1 and 2 at the 10,000-tuple scale.
+//
+//   ./build/examples/machine_duel
+
+#include <cstdio>
+
+#include "exec/predicate.h"
+#include "gamma/machine.h"
+#include "teradata/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace wis = gammadb::wisconsin;
+using gammadb::exec::Predicate;
+
+int main() {
+  constexpr uint32_t kN = 10000;
+  const auto a = wis::GenerateWisconsin(kN, 1);
+  const auto bprime = wis::GenerateWisconsin(kN / 10, 2);
+
+  gammadb::gamma::GammaMachine gamma((gammadb::gamma::GammaConfig()));
+  GAMMA_CHECK(gamma
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  gammadb::catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(gamma.LoadTuples("A", a).ok());
+  GAMMA_CHECK(gamma.BuildIndex("A", wis::kUnique1, /*clustered=*/true).ok());
+  GAMMA_CHECK(gamma
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  gammadb::catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(gamma.LoadTuples("Bprime", bprime).ok());
+
+  gammadb::teradata::TeradataMachine teradata(
+      (gammadb::teradata::TeradataConfig()));
+  GAMMA_CHECK(
+      teradata.CreateRelation("A", wis::WisconsinSchema(), wis::kUnique1)
+          .ok());
+  GAMMA_CHECK(teradata.LoadTuples("A", a).ok());
+  GAMMA_CHECK(teradata
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  wis::kUnique1)
+                  .ok());
+  GAMMA_CHECK(teradata.LoadTuples("Bprime", bprime).ok());
+
+  std::printf("Machine duel on %u tuples (simulated seconds)\n\n", kN);
+  std::printf("%-32s %10s %10s\n", "query", "Teradata", "Gamma");
+
+  // 10% selection, results stored.
+  {
+    gammadb::gamma::SelectQuery gq;
+    gq.relation = "A";
+    gq.predicate = Predicate::Range(wis::kUnique1, 0, kN / 10 - 1);
+    gammadb::teradata::TdSelectQuery tq;
+    tq.relation = "A";
+    tq.predicate = gq.predicate;
+    std::printf("%-32s %10.2f %10.2f\n", "10% selection (stored)",
+                teradata.RunSelect(tq)->seconds(),
+                gamma.RunSelect(gq)->seconds());
+  }
+  // Exact-match on the key.
+  {
+    gammadb::gamma::SelectQuery gq;
+    gq.relation = "A";
+    gq.predicate = Predicate::Eq(wis::kUnique1, 42);
+    gammadb::teradata::TdSelectQuery tq;
+    tq.relation = "A";
+    tq.predicate = gq.predicate;
+    std::printf("%-32s %10.2f %10.2f\n", "single tuple select",
+                teradata.RunSelect(tq)->seconds(),
+                gamma.RunSelect(gq)->seconds());
+  }
+  // joinABprime on a non-key attribute.
+  {
+    gammadb::gamma::JoinQuery gq;
+    gq.outer = "A";
+    gq.inner = "Bprime";
+    gq.outer_attr = wis::kUnique2;
+    gq.inner_attr = wis::kUnique2;
+    gammadb::teradata::TdJoinQuery tq;
+    tq.outer = "A";
+    tq.inner = "Bprime";
+    tq.outer_attr = wis::kUnique2;
+    tq.inner_attr = wis::kUnique2;
+    std::printf("%-32s %10.2f %10.2f\n", "joinABprime (non-key attr)",
+                teradata.RunJoin(tq)->seconds(),
+                gamma.RunJoin(gq)->seconds());
+  }
+  // joinABprime on the key attribute: Teradata skips redistribution.
+  {
+    gammadb::gamma::JoinQuery gq;
+    gq.outer = "A";
+    gq.inner = "Bprime";
+    gq.outer_attr = wis::kUnique1;
+    gq.inner_attr = wis::kUnique1;
+    gammadb::teradata::TdJoinQuery tq;
+    tq.outer = "A";
+    tq.inner = "Bprime";
+    tq.outer_attr = wis::kUnique1;
+    tq.inner_attr = wis::kUnique1;
+    std::printf("%-32s %10.2f %10.2f\n", "joinABprime (key attr)",
+                teradata.RunJoin(tq)->seconds(),
+                gamma.RunJoin(gq)->seconds());
+  }
+  std::printf(
+      "\nThe shapes to notice: Gamma wins every row (compiled predicates, "
+      "hash joins,\ncheap result storage); Teradata's key-attribute join "
+      "closes much of its join gap\nby skipping redistribution and "
+      "sorting.\n");
+  return 0;
+}

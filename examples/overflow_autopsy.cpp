@@ -1,0 +1,93 @@
+// Overflow autopsy: watch Gamma's Simple hash-partitioned join run out of
+// memory, round by round, and compare against the Hybrid hash join on the
+// same inputs — the mechanism behind Figure 13 and the paper's §8
+// conclusion, made visible.
+//
+//   ./build/examples/overflow_autopsy
+
+#include <cstdio>
+
+#include "exec/hash_table.h"
+#include "gamma/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace wis = gammadb::wisconsin;
+
+namespace {
+
+gammadb::gamma::QueryResult RunWithMemory(double memory_ratio, bool hybrid) {
+  constexpr uint32_t kN = 50000;
+  gammadb::gamma::GammaConfig config;
+  config.num_disk_nodes = 4;
+  config.num_diskless_nodes = 4;
+  const uint64_t build_bytes =
+      (kN / 10) * (wis::WisconsinSchema().tuple_size() +
+                   gammadb::exec::JoinHashTable::kPerEntryOverhead);
+  config.join_memory_total = static_cast<uint64_t>(
+      memory_ratio * static_cast<double>(build_bytes));
+
+  gammadb::gamma::GammaMachine machine(config);
+  GAMMA_CHECK(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  gammadb::catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("A", wis::GenerateWisconsin(kN, 1)).ok());
+  GAMMA_CHECK(machine
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  gammadb::catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(
+      machine.LoadTuples("Bprime", wis::GenerateWisconsin(kN / 10, 2)).ok());
+
+  gammadb::gamma::JoinQuery query;
+  query.outer = "A";
+  query.inner = "Bprime";
+  query.outer_attr = wis::kUnique2;
+  query.inner_attr = wis::kUnique2;
+  query.mode = gammadb::gamma::JoinMode::kRemote;
+  query.use_hybrid = hybrid;
+  query.expected_build_tuples = kN / 10;
+  auto result = machine.RunJoin(query);
+  GAMMA_CHECK(result.ok());
+  GAMMA_CHECK(result->result_tuples == kN / 10);
+  return std::move(*result);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Overflow autopsy: joinABprime (50k tuples, 4+4 processors), hash "
+      "memory at 0.3x the building relation\n\n");
+
+  const auto simple = RunWithMemory(0.3, /*hybrid=*/false);
+  std::printf("Simple hash join: %.2f s, %u overflow rounds\n",
+              simple.seconds(), simple.metrics.overflow_rounds);
+  for (const auto& phase : simple.metrics.phases) {
+    const auto totals = phase.Totals();
+    std::printf(
+        "  %-20s %7.3f s   disk %6.2f  cpu %6.2f  net %6.2f  (pages %llu)\n",
+        phase.name.c_str(), phase.elapsed_sec, totals.disk_sec,
+        totals.cpu_sec, totals.net_sec,
+        static_cast<unsigned long long>(totals.pages_read +
+                                        totals.pages_written));
+  }
+
+  const auto hybrid = RunWithMemory(0.3, /*hybrid=*/true);
+  std::printf("\nHybrid hash join:  %.2f s (same answer, %llu tuples)\n",
+              hybrid.seconds(),
+              static_cast<unsigned long long>(hybrid.result_tuples));
+  for (const auto& phase : hybrid.metrics.phases) {
+    std::printf("  %-20s %7.3f s\n", phase.name.c_str(), phase.elapsed_sec);
+  }
+
+  std::printf(
+      "\nWhat to notice: every Simple overflow round re-reads and "
+      "redistributes its\nspools (the overflow_build_N / overflow_probe_N "
+      "phases), while Hybrid wrote\neach spooled bucket once and joins it "
+      "locally in a single extra phase —\nthe paper's §8 conclusion in "
+      "miniature.\n");
+  return 0;
+}

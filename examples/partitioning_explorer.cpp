@@ -1,0 +1,87 @@
+// Partitioning explorer: how the four §2 declustering strategies place data
+// and route queries. Prints the per-site tuple counts after loading, then
+// shows which sites participate in exact-match and range selections and
+// what that does to response time.
+//
+//   ./build/examples/partitioning_explorer
+
+#include <cstdio>
+#include <string>
+
+#include "exec/predicate.h"
+#include "gamma/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace wis = gammadb::wisconsin;
+using gammadb::catalog::PartitionSpec;
+using gammadb::exec::Predicate;
+
+namespace {
+
+void Explore(const char* name, PartitionSpec spec) {
+  constexpr uint32_t kN = 20000;
+  gammadb::gamma::GammaConfig config;
+  config.num_disk_nodes = 4;
+  config.num_diskless_nodes = 0;
+  gammadb::gamma::GammaMachine machine(config);
+  GAMMA_CHECK(
+      machine.CreateRelation("R", wis::WisconsinSchema(), spec).ok());
+  GAMMA_CHECK(
+      machine.LoadTuples("R", wis::GenerateWisconsin(kN, 7)).ok());
+  GAMMA_CHECK(machine.BuildIndex("R", wis::kUnique1, true).ok());
+
+  std::printf("%s\n", name);
+  std::printf("  fragment sizes: ");
+  const auto& meta = **machine.catalog().Get("R");
+  for (int node = 0; node < 4; ++node) {
+    std::printf("%llu ",
+                static_cast<unsigned long long>(
+                    machine.node(node)
+                        .file(meta.per_node_file[static_cast<size_t>(node)])
+                        .num_tuples()));
+  }
+  std::printf("\n");
+
+  // Exact-match on the partitioning attribute.
+  gammadb::gamma::SelectQuery exact;
+  exact.relation = "R";
+  exact.predicate = Predicate::Eq(wis::kUnique1, kN / 2);
+  exact.store_result = false;
+  const auto exact_result = machine.RunSelect(exact);
+  GAMMA_CHECK(exact_result.ok());
+  // Scheduling messages reveal how many sites were initiated (4 per
+  // operator per site).
+  std::printf(
+      "  exact-match select: %.3f s, %u scheduling msgs (%u site[s])\n",
+      exact_result->seconds(), exact_result->metrics.scheduling_msgs,
+      exact_result->metrics.scheduling_msgs / 4);
+
+  // A small range on the partitioning attribute.
+  gammadb::gamma::SelectQuery range;
+  range.relation = "R";
+  range.predicate = Predicate::Range(wis::kUnique1, 0, kN / 100 - 1);
+  range.store_result = false;
+  const auto range_result = machine.RunSelect(range);
+  GAMMA_CHECK(range_result.ok());
+  std::printf(
+      "  1%% range select:    %.3f s, %u scheduling msgs (%u site[s])\n\n",
+      range_result->seconds(), range_result->metrics.scheduling_msgs,
+      range_result->metrics.scheduling_msgs / 4);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Partitioning explorer: 20k tuples over 4 disk sites\n"
+      "(round-robin balances blindly; hashing localizes exact matches; "
+      "range\ndeclustering localizes ranges too — at the price of "
+      "execution skew)\n\n");
+  Explore("round-robin", PartitionSpec::RoundRobin());
+  Explore("hashed on unique1", PartitionSpec::Hashed(wis::kUnique1));
+  Explore("user ranges on unique1",
+          PartitionSpec::RangeUser(wis::kUnique1, {5000, 10000, 15000}));
+  Explore("uniform ranges on unique1",
+          PartitionSpec::RangeUniform(wis::kUnique1, 0, 19999, 4));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a small Gamma machine, load a relation, and run a
+// selection and a join, printing the simulated 1988 response times and the
+// per-phase resource breakdown.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "gamma/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace wis = gammadb::wisconsin;
+using gammadb::catalog::PartitionSpec;
+using gammadb::exec::Predicate;
+using gammadb::gamma::GammaConfig;
+using gammadb::gamma::GammaMachine;
+
+namespace {
+
+void PrintMetrics(const char* label, const gammadb::gamma::QueryResult& r) {
+  std::printf("%-28s %8.3f s   [%s]\n", label, r.seconds(),
+              r.metrics.Summary().c_str());
+  for (const auto& phase : r.metrics.phases) {
+    const auto totals = phase.Totals();
+    std::printf("    phase %-18s %8.3f s  (pages %llu, packets %llu)\n",
+                phase.name.c_str(), phase.elapsed_sec,
+                static_cast<unsigned long long>(totals.pages_read +
+                                                totals.pages_written),
+                static_cast<unsigned long long>(
+                    totals.packets_sent + totals.packets_short_circuited));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A machine like the paper's: 8 processors with disks, 8 without,
+  // 4 KB disk pages. Everything is configurable.
+  GammaConfig config;
+  GammaMachine machine(config);
+
+  // Load a 10,000-tuple Wisconsin relation, hash-declustered on unique1,
+  // with a clustered index on unique1 and a non-clustered one on unique2.
+  const auto tuples = wis::GenerateWisconsin(10000, /*seed=*/1);
+  GAMMA_CHECK(machine
+                  .CreateRelation("tenk", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("tenk", tuples).ok());
+  GAMMA_CHECK(machine.BuildIndex("tenk", wis::kUnique1, true).ok());
+  GAMMA_CHECK(machine.BuildIndex("tenk", wis::kUnique2, false).ok());
+
+  // A second, smaller relation to join with.
+  GAMMA_CHECK(machine
+                  .CreateRelation("onek", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(
+      machine.LoadTuples("onek", wis::GenerateWisconsin(1000, 2)).ok());
+
+  std::printf("Gamma quickstart: 8+8 processors, 4 KB pages\n\n");
+
+  // 1% selection through the clustered index, result stored round-robin.
+  gammadb::gamma::SelectQuery select;
+  select.relation = "tenk";
+  select.predicate = Predicate::Range(wis::kUnique1, 0, 99);
+  auto selected = machine.RunSelect(select);
+  GAMMA_CHECK(selected.ok());
+  PrintMetrics("1% clustered selection", *selected);
+  std::printf("    -> %llu tuples stored in %s\n\n",
+              static_cast<unsigned long long>(selected->result_tuples),
+              selected->result_relation.c_str());
+
+  // Hash join on a non-partitioning attribute, on the diskless processors.
+  gammadb::gamma::JoinQuery join;
+  join.outer = "tenk";
+  join.inner = "onek";
+  join.outer_attr = wis::kUnique2;
+  join.inner_attr = wis::kUnique2;
+  join.mode = gammadb::gamma::JoinMode::kRemote;
+  auto joined = machine.RunJoin(join);
+  GAMMA_CHECK(joined.ok());
+  PrintMetrics("joinABprime (Remote)", *joined);
+  std::printf("    -> %llu result tuples, %.0f%% of packets short-circuited\n",
+              static_cast<unsigned long long>(joined->result_tuples),
+              100.0 * joined->metrics.ShortCircuitFraction());
+  return 0;
+}

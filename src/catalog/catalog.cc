@@ -1,0 +1,60 @@
+#include "catalog/catalog.h"
+
+namespace gammadb::catalog {
+
+const IndexMeta* RelationMeta::FindIndex(int attr) const {
+  const IndexMeta* found = nullptr;
+  for (const IndexMeta& index : indices) {
+    if (index.attr != attr) continue;
+    if (index.clustered) return &index;
+    found = &index;
+  }
+  return found;
+}
+
+const IndexMeta* RelationMeta::FindClusteredIndex() const {
+  for (const IndexMeta& index : indices) {
+    if (index.clustered) return &index;
+  }
+  return nullptr;
+}
+
+Status Catalog::Register(RelationMeta meta) {
+  if (relations_.contains(meta.name)) {
+    return Status::AlreadyExists("relation " + meta.name);
+  }
+  relations_.emplace(meta.name, std::move(meta));
+  return Status::OK();
+}
+
+Result<RelationMeta*> Catalog::Get(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + name);
+  }
+  return &it->second;
+}
+
+Result<const RelationMeta*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + name);
+  }
+  return &it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, meta] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gammadb::catalog

@@ -1,0 +1,66 @@
+#ifndef GAMMA_CATALOG_CATALOG_H_
+#define GAMMA_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/partition.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace gammadb::catalog {
+
+/// Metadata for one index of a relation, with the per-site physical index
+/// ids (every site indexes its own fragment).
+struct IndexMeta {
+  /// Indexed attribute.
+  int attr = -1;
+  /// Clustered: the fragment files are sorted on `attr` and range scans
+  /// touch only matching data pages. Non-clustered: data order is unrelated.
+  bool clustered = false;
+  /// Physical index id at each site (parallel to the relation's fragments).
+  std::vector<uint32_t> per_node_index;
+};
+
+/// \brief Metadata for one horizontally partitioned relation.
+struct RelationMeta {
+  std::string name;
+  Schema schema;
+  PartitionSpec partitioning;
+  /// Physical heap-file id at each site with disks.
+  std::vector<uint32_t> per_node_file;
+  std::vector<IndexMeta> indices;
+  uint64_t num_tuples = 0;
+
+  /// The clustered index on `attr` if one exists, else the non-clustered
+  /// one, else nullptr.
+  const IndexMeta* FindIndex(int attr) const;
+  const IndexMeta* FindClusteredIndex() const;
+};
+
+/// \brief Name -> relation metadata map for one machine.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status Register(RelationMeta meta);
+  Result<RelationMeta*> Get(const std::string& name);
+  Result<const RelationMeta*> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return relations_.contains(name);
+  }
+  Status Drop(const std::string& name);
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, RelationMeta> relations_;
+};
+
+}  // namespace gammadb::catalog
+
+#endif  // GAMMA_CATALOG_CATALOG_H_

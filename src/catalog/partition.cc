@@ -1,0 +1,80 @@
+#include "catalog/partition.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace gammadb::catalog {
+
+PartitionSpec PartitionSpec::Hashed(int key_attr) {
+  PartitionSpec spec;
+  spec.strategy = PartitionStrategy::kHashed;
+  spec.key_attr = key_attr;
+  return spec;
+}
+
+PartitionSpec PartitionSpec::RangeUser(int key_attr,
+                                       std::vector<int32_t> boundaries) {
+  GAMMA_CHECK(std::is_sorted(boundaries.begin(), boundaries.end()));
+  PartitionSpec spec;
+  spec.strategy = PartitionStrategy::kRangeUser;
+  spec.key_attr = key_attr;
+  spec.range_boundaries = std::move(boundaries);
+  return spec;
+}
+
+PartitionSpec PartitionSpec::RangeUniform(int key_attr, int32_t lo,
+                                          int32_t hi, int nodes) {
+  GAMMA_CHECK(lo <= hi && nodes > 0);
+  PartitionSpec spec;
+  spec.strategy = PartitionStrategy::kRangeUniform;
+  spec.key_attr = key_attr;
+  const int64_t span = static_cast<int64_t>(hi) - lo + 1;
+  for (int i = 1; i < nodes; ++i) {
+    spec.range_boundaries.push_back(
+        static_cast<int32_t>(lo + span * i / nodes));
+  }
+  return spec;
+}
+
+Partitioner::Partitioner(const PartitionSpec* spec, const Schema* schema,
+                         int num_nodes)
+    : spec_(spec), schema_(schema), num_nodes_(num_nodes) {
+  GAMMA_CHECK(spec != nullptr && schema != nullptr && num_nodes > 0);
+  if (spec->strategy != PartitionStrategy::kRoundRobin) {
+    GAMMA_CHECK_MSG(spec->key_attr >= 0 &&
+                        static_cast<size_t>(spec->key_attr) <
+                            schema->num_attrs(),
+                    "partitioning attribute out of range");
+  }
+}
+
+int Partitioner::NodeFor(std::span<const uint8_t> tuple) {
+  if (spec_->strategy == PartitionStrategy::kRoundRobin) {
+    return static_cast<int>(round_robin_next_++ %
+                            static_cast<uint64_t>(num_nodes_));
+  }
+  const TupleView view(schema_, tuple);
+  return NodeForKey(view.GetInt(static_cast<size_t>(spec_->key_attr)));
+}
+
+int Partitioner::NodeForKey(int32_t key) const {
+  switch (spec_->strategy) {
+    case PartitionStrategy::kRoundRobin:
+      return -1;
+    case PartitionStrategy::kHashed:
+      return static_cast<int>(HashInt32(key, spec_->hash_salt) %
+                              static_cast<uint64_t>(num_nodes_));
+    case PartitionStrategy::kRangeUser:
+    case PartitionStrategy::kRangeUniform: {
+      const auto& bounds = spec_->range_boundaries;
+      const auto it = std::upper_bound(bounds.begin(), bounds.end(), key);
+      const int site = static_cast<int>(it - bounds.begin());
+      return std::min(site, num_nodes_ - 1);
+    }
+  }
+  return -1;
+}
+
+}  // namespace gammadb::catalog

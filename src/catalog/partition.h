@@ -1,0 +1,68 @@
+#ifndef GAMMA_CATALOG_PARTITION_H_
+#define GAMMA_CATALOG_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace gammadb::catalog {
+
+/// Gamma's four declustering strategies (§2).
+enum class PartitionStrategy {
+  /// Tuples dealt to disks in turn; the default for query results.
+  kRoundRobin,
+  /// A randomizing function applied to the key attribute selects the disk.
+  kHashed,
+  /// User-specified key ranges per site.
+  kRangeUser,
+  /// System computes ranges that spread the key domain uniformly.
+  kRangeUniform,
+};
+
+/// \brief How a relation is declustered across the processors with disks.
+struct PartitionSpec {
+  PartitionStrategy strategy = PartitionStrategy::kRoundRobin;
+  /// Partitioning attribute (hashed / range strategies).
+  int key_attr = -1;
+  /// Ascending boundaries b_0 < b_1 < ... (size = nodes - 1); key < b_i goes
+  /// to the first site i whose boundary exceeds it. Filled by the user
+  /// (kRangeUser) or computed from the key domain (kRangeUniform).
+  std::vector<int32_t> range_boundaries;
+  /// Salt for the declustering hash; split tables use different salts so
+  /// load-time and join-time hashes stay independent.
+  uint64_t hash_salt = 0x6A17;
+
+  static PartitionSpec RoundRobin() { return {}; }
+  static PartitionSpec Hashed(int key_attr);
+  static PartitionSpec RangeUser(int key_attr,
+                                 std::vector<int32_t> boundaries);
+  /// Uniform ranges over the closed key domain [lo, hi] for `nodes` sites.
+  static PartitionSpec RangeUniform(int key_attr, int32_t lo, int32_t hi,
+                                    int nodes);
+};
+
+/// \brief Routes tuples to home sites under a PartitionSpec.
+class Partitioner {
+ public:
+  Partitioner(const PartitionSpec* spec, const Schema* schema, int num_nodes);
+
+  /// Home site for this tuple. Round-robin advances an internal counter.
+  int NodeFor(std::span<const uint8_t> tuple);
+
+  /// Home site by key value (exact-match queries on hashed/range relations
+  /// can go straight to one site). Returns -1 when the strategy cannot
+  /// localize a key (round-robin).
+  int NodeForKey(int32_t key) const;
+
+ private:
+  const PartitionSpec* spec_;
+  const Schema* schema_;
+  int num_nodes_;
+  uint64_t round_robin_next_ = 0;
+};
+
+}  // namespace gammadb::catalog
+
+#endif  // GAMMA_CATALOG_PARTITION_H_

@@ -1,0 +1,23 @@
+#include "common/hash.h"
+
+namespace gammadb {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t salt) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = 14695981039346656037ULL ^ (salt * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche so that low bits are usable for bucket selection.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashInt32(int32_t value, uint64_t salt) {
+  return HashBytes(&value, sizeof(value), salt);
+}
+
+}  // namespace gammadb

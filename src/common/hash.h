@@ -1,0 +1,22 @@
+#ifndef GAMMA_COMMON_HASH_H_
+#define GAMMA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gammadb {
+
+/// \brief Salted 64-bit mix hash over a byte string (FNV-1a + final mix).
+///
+/// The salt selects among the independent hash functions Gamma needs: one
+/// for declustering at load time, one per split table, and a fresh one per
+/// hash-table-overflow round (the paper's "Gamma switches hash functions"
+/// behaviour in Section 6.2.2 depends on these being independent).
+uint64_t HashBytes(const void* data, size_t len, uint64_t salt);
+
+/// Convenience overload for a 4-byte integer key.
+uint64_t HashInt32(int32_t value, uint64_t salt);
+
+}  // namespace gammadb
+
+#endif  // GAMMA_COMMON_HASH_H_

@@ -1,0 +1,77 @@
+#ifndef GAMMA_COMMON_RESULT_H_
+#define GAMMA_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace gammadb {
+
+/// \brief A value-or-Status, in the Arrow Result<T> style.
+///
+/// Either holds a T (status is OK) or a non-OK Status. Accessing the value of
+/// an errored Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites readable (`return tuple;` / `return Status::NotFound(...)`), the
+  /// same convenience trade-off Arrow makes.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    GAMMA_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                    "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    GAMMA_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    GAMMA_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    GAMMA_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Assigns the value of a Result-returning expression to `lhs`, propagating
+// any error to the caller.
+#define GAMMA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define GAMMA_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define GAMMA_ASSIGN_OR_RETURN_NAME(a, b) GAMMA_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define GAMMA_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  GAMMA_ASSIGN_OR_RETURN_IMPL(                                             \
+      GAMMA_ASSIGN_OR_RETURN_NAME(_gamma_result_, __LINE__), lhs, expr)
+
+}  // namespace gammadb
+
+#endif  // GAMMA_COMMON_RESULT_H_

@@ -1,0 +1,19 @@
+#ifndef GAMMA_COMMON_UNITS_H_
+#define GAMMA_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace gammadb {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+
+/// Megabits per second expressed as bytes per second (network bandwidths in
+/// the paper are quoted in megabits).
+constexpr double MbitPerSecToBytesPerSec(double mbit) {
+  return mbit * 1e6 / 8.0;
+}
+
+}  // namespace gammadb
+
+#endif  // GAMMA_COMMON_UNITS_H_

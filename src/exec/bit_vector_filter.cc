@@ -1,0 +1,33 @@
+#include "exec/bit_vector_filter.h"
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace gammadb::exec {
+
+BitVectorFilter::BitVectorFilter(uint32_t bits, uint64_t salt)
+    : bits_((bits + 63) / 64 * 64), salt_(salt), words_(bits_ / 64, 0) {
+  GAMMA_CHECK(bits > 0);
+}
+
+uint32_t BitVectorFilter::BitFor(int32_t key) const {
+  return static_cast<uint32_t>(HashInt32(key, salt_) % bits_);
+}
+
+void BitVectorFilter::Insert(int32_t key) {
+  const uint32_t bit = BitFor(key);
+  words_[bit / 64] |= (uint64_t{1} << (bit % 64));
+}
+
+bool BitVectorFilter::MayContain(int32_t key) const {
+  const uint32_t bit = BitFor(key);
+  return (words_[bit / 64] >> (bit % 64)) & 1;
+}
+
+double BitVectorFilter::FillFactor() const {
+  uint64_t set = 0;
+  for (uint64_t word : words_) set += static_cast<uint64_t>(__builtin_popcountll(word));
+  return static_cast<double>(set) / bits_;
+}
+
+}  // namespace gammadb::exec

@@ -1,0 +1,41 @@
+#ifndef GAMMA_EXEC_BIT_VECTOR_FILTER_H_
+#define GAMMA_EXEC_BIT_VECTOR_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gammadb::exec {
+
+/// \brief Babb-style bit-vector filter [BABB79].
+///
+/// Built over the join attribute of the building relation and inserted into
+/// the probing side's split table by the optimizer (§2): probe tuples whose
+/// join key cannot match any build tuple are dropped at the producing site,
+/// before they consume network bandwidth.
+class BitVectorFilter {
+ public:
+  /// `bits` is rounded up to a multiple of 64; `salt` must differ from the
+  /// split-table routing salt so filter and routing stay independent.
+  BitVectorFilter(uint32_t bits, uint64_t salt);
+
+  void Insert(int32_t key);
+
+  /// True when the key *may* be present (false positives possible, false
+  /// negatives never).
+  bool MayContain(int32_t key) const;
+
+  uint32_t bits() const { return bits_; }
+  /// Fraction of bits set (test/diagnostic hook).
+  double FillFactor() const;
+
+ private:
+  uint32_t BitFor(int32_t key) const;
+
+  uint32_t bits_;
+  uint64_t salt_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gammadb::exec
+
+#endif  // GAMMA_EXEC_BIT_VECTOR_FILTER_H_

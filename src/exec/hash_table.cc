@@ -1,0 +1,57 @@
+#include "exec/hash_table.h"
+
+namespace gammadb::exec {
+
+JoinHashTable::JoinHashTable(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+bool JoinHashTable::Insert(int32_t key, std::span<const uint8_t> tuple) {
+  const uint64_t need = tuple.size() + kPerEntryOverhead;
+  if (bytes_used_ + need > capacity_bytes_) return false;
+  map_.emplace(key, std::vector<uint8_t>(tuple.begin(), tuple.end()));
+  bytes_used_ += need;
+  num_tuples_ += 1;
+  return true;
+}
+
+void JoinHashTable::InsertUnchecked(int32_t key,
+                                    std::span<const uint8_t> tuple) {
+  map_.emplace(key, std::vector<uint8_t>(tuple.begin(), tuple.end()));
+  bytes_used_ += tuple.size() + kPerEntryOverhead;
+  num_tuples_ += 1;
+}
+
+void JoinHashTable::Probe(
+    int32_t key,
+    const std::function<void(std::span<const uint8_t>)>& match) const {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    match(it->second);
+  }
+}
+
+uint64_t JoinHashTable::ExtractIf(
+    const std::function<bool(int32_t)>& should_extract,
+    const std::function<void(int32_t, std::span<const uint8_t>)>& sink) {
+  uint64_t removed = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (should_extract(it->first)) {
+      sink(it->first, it->second);
+      bytes_used_ -= it->second.size() + kPerEntryOverhead;
+      num_tuples_ -= 1;
+      it = map_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void JoinHashTable::Clear() {
+  map_.clear();
+  bytes_used_ = 0;
+  num_tuples_ = 0;
+}
+
+}  // namespace gammadb::exec

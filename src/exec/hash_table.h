@@ -1,0 +1,65 @@
+#ifndef GAMMA_EXEC_HASH_TABLE_H_
+#define GAMMA_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace gammadb::exec {
+
+/// \brief Memory-capped main-memory join hash table (one join site's table).
+///
+/// Insert returns false — hash-table overflow — once adding the tuple would
+/// exceed the capacity. The overflow machinery around it (Simple or Hybrid
+/// hash join) decides what happens to rejected tuples; the table itself
+/// never spills.
+class JoinHashTable {
+ public:
+  /// Accounting overhead per stored tuple (bucket pointer + length), on top
+  /// of the tuple bytes, matching the paper's "memory available for hash
+  /// tables" arithmetic closely enough to place overflow where it placed it.
+  static constexpr uint64_t kPerEntryOverhead = 16;
+
+  explicit JoinHashTable(uint64_t capacity_bytes);
+
+  JoinHashTable(const JoinHashTable&) = delete;
+  JoinHashTable& operator=(const JoinHashTable&) = delete;
+
+  /// Stores (key, tuple). Returns false if it would exceed capacity.
+  bool Insert(int32_t key, std::span<const uint8_t> tuple);
+
+  /// Stores (key, tuple) even past capacity. Last-resort safety valve for
+  /// pathological key skew where no residency split can shrink the table;
+  /// callers count uses (it represents real memory over-commitment).
+  void InsertUnchecked(int32_t key, std::span<const uint8_t> tuple);
+
+  /// Invokes `match` for every stored tuple with this key.
+  void Probe(int32_t key,
+             const std::function<void(std::span<const uint8_t>)>& match) const;
+
+  uint64_t size() const { return num_tuples_; }
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Empties the table, keeping the capacity (next overflow round).
+  void Clear();
+
+  /// Removes every entry whose key satisfies `should_extract`, handing each
+  /// removed (key, tuple) to `sink`. Returns the number removed. Used by the
+  /// Simple hash join's overflow purge.
+  uint64_t ExtractIf(
+      const std::function<bool(int32_t)>& should_extract,
+      const std::function<void(int32_t, std::span<const uint8_t>)>& sink);
+
+ private:
+  uint64_t capacity_bytes_;
+  uint64_t bytes_used_ = 0;
+  uint64_t num_tuples_ = 0;
+  std::unordered_multimap<int32_t, std::vector<uint8_t>> map_;
+};
+
+}  // namespace gammadb::exec
+
+#endif  // GAMMA_EXEC_HASH_TABLE_H_

@@ -1,0 +1,92 @@
+#include "exec/merge_join.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gammadb::exec {
+
+namespace {
+
+struct KeyedTuple {
+  int32_t key;
+  std::vector<uint8_t> bytes;
+};
+
+std::vector<KeyedTuple> Materialize(const storage::HeapFile& file,
+                                    const catalog::Schema& schema, int attr,
+                                    const storage::ChargeContext& charge) {
+  std::vector<KeyedTuple> tuples;
+  tuples.reserve(file.num_tuples());
+  file.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
+    const catalog::TupleView view(&schema, tuple);
+    tuples.push_back(KeyedTuple{view.GetInt(static_cast<size_t>(attr)),
+                                {tuple.begin(), tuple.end()}});
+    if (charge.tracker != nullptr) {
+      charge.Cpu(charge.tracker->hw().cost.instr_per_tuple_scan);
+    }
+    return true;
+  });
+#ifndef NDEBUG
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    GAMMA_DCHECK(tuples[i - 1].key <= tuples[i].key);
+  }
+#endif
+  return tuples;
+}
+
+}  // namespace
+
+MergeJoinStats SortMergeJoin(const storage::HeapFile& left,
+                             const catalog::Schema& left_schema,
+                             int left_attr,
+                             const storage::HeapFile& right,
+                             const catalog::Schema& right_schema,
+                             int right_attr,
+                             const storage::ChargeContext& charge,
+                             const TupleSink& emit) {
+  MergeJoinStats stats;
+  const std::vector<KeyedTuple> lhs =
+      Materialize(left, left_schema, left_attr, charge);
+  const std::vector<KeyedTuple> rhs =
+      Materialize(right, right_schema, right_attr, charge);
+  stats.left_read = lhs.size();
+  stats.right_read = rhs.size();
+
+  auto charge_compare = [&] {
+    if (charge.tracker != nullptr) {
+      charge.Cpu(charge.tracker->hw().cost.instr_per_sort_compare);
+    }
+  };
+
+  size_t i = 0, j = 0;
+  while (i < lhs.size() && j < rhs.size()) {
+    charge_compare();
+    if (lhs[i].key < rhs[j].key) {
+      ++i;
+    } else if (lhs[i].key > rhs[j].key) {
+      ++j;
+    } else {
+      // Key group: cross product of equal keys on both sides.
+      const int32_t key = lhs[i].key;
+      size_t j_end = j;
+      while (j_end < rhs.size() && rhs[j_end].key == key) ++j_end;
+      while (i < lhs.size() && lhs[i].key == key) {
+        for (size_t k = j; k < j_end; ++k) {
+          const std::vector<uint8_t> joined =
+              catalog::ConcatTuples(lhs[i].bytes, rhs[k].bytes);
+          if (charge.tracker != nullptr) {
+            charge.Cpu(charge.tracker->hw().cost.instr_per_tuple_copy);
+          }
+          emit(joined);
+          ++stats.output;
+        }
+        ++i;
+      }
+      j = j_end;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gammadb::exec

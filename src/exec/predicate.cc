@@ -1,0 +1,42 @@
+#include "exec/predicate.h"
+
+#include "common/macros.h"
+
+namespace gammadb::exec {
+
+Predicate Predicate::True() {
+  return Predicate(Kind::kTrue, -1, 0, 0);
+}
+
+Predicate Predicate::Eq(int attr, int32_t value) {
+  GAMMA_CHECK(attr >= 0);
+  return Predicate(Kind::kEq, attr, value, value);
+}
+
+Predicate Predicate::Range(int attr, int32_t lo, int32_t hi) {
+  GAMMA_CHECK(attr >= 0 && lo <= hi);
+  return Predicate(Kind::kRange, attr, lo, hi);
+}
+
+bool Predicate::Eval(std::span<const uint8_t> tuple,
+                     const catalog::Schema& schema) const {
+  if (kind_ == Kind::kTrue) return true;
+  const catalog::TupleView view(&schema, tuple);
+  const int32_t value = view.GetInt(static_cast<size_t>(attr_));
+  if (kind_ == Kind::kEq) return value == lo_;
+  return value >= lo_ && value <= hi_;
+}
+
+double Predicate::compare_count() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return 0;
+    case Kind::kEq:
+      return 1;
+    case Kind::kRange:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace gammadb::exec

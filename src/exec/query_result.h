@@ -1,0 +1,27 @@
+#ifndef GAMMA_EXEC_QUERY_RESULT_H_
+#define GAMMA_EXEC_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cost_tracker.h"
+
+namespace gammadb::exec {
+
+/// \brief Outcome of one query on either machine: the simulated-time
+/// accounting plus enough result data to verify correctness.
+struct QueryResult {
+  sim::QueryMetrics metrics;
+  uint64_t result_tuples = 0;
+  /// Name of the stored result relation (empty if returned to host).
+  std::string result_relation;
+  /// Tuples returned to the host (host-bound queries only).
+  std::vector<std::vector<uint8_t>> returned;
+
+  double seconds() const { return metrics.TotalSec(); }
+};
+
+}  // namespace gammadb::exec
+
+#endif  // GAMMA_EXEC_QUERY_RESULT_H_

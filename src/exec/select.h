@@ -1,0 +1,53 @@
+#ifndef GAMMA_EXEC_SELECT_H_
+#define GAMMA_EXEC_SELECT_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "catalog/schema.h"
+#include "exec/predicate.h"
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+
+namespace gammadb::exec {
+
+/// Where a selection operator pushes its qualifying tuples (usually a
+/// SplitTable::Send).
+using TupleSink = std::function<void(std::span<const uint8_t>)>;
+
+struct ScanStats {
+  uint64_t examined = 0;
+  uint64_t emitted = 0;
+};
+
+/// Sequential (segment) scan: every page of the fragment is read and every
+/// tuple tested.
+ScanStats SelectScan(const storage::HeapFile& file,
+                     const catalog::Schema& schema, const Predicate& pred,
+                     const storage::ChargeContext& charge,
+                     const TupleSink& emit);
+
+/// Selection through a clustered index: the file is sorted on the predicate
+/// attribute, so after the B-tree descent only the page range holding the
+/// matching key range is scanned (sequentially).
+ScanStats ClusteredIndexSelect(const storage::HeapFile& file,
+                               const storage::BTree& index,
+                               const catalog::Schema& schema,
+                               const Predicate& pred,
+                               const storage::ChargeContext& charge,
+                               const TupleSink& emit);
+
+/// Selection through a non-clustered index: the leaf entries give the
+/// qualifying rids in key order, but each fetch is a random data-page access
+/// (in the worst case one page fault per tuple — paper §5.1).
+ScanStats NonClusteredIndexSelect(const storage::HeapFile& file,
+                                  const storage::BTree& index,
+                                  const catalog::Schema& schema,
+                                  const Predicate& pred,
+                                  const storage::ChargeContext& charge,
+                                  const TupleSink& emit);
+
+}  // namespace gammadb::exec
+
+#endif  // GAMMA_EXEC_SELECT_H_

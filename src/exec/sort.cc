@@ -1,0 +1,141 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gammadb::exec {
+
+namespace {
+
+/// Charges n*log2(n) comparisons for an in-memory sort of n tuples.
+void ChargeSortCpu(const storage::ChargeContext& charge, uint64_t n) {
+  if (charge.tracker == nullptr || n < 2) return;
+  const double compares = static_cast<double>(n) * std::log2(static_cast<double>(n));
+  charge.Cpu(compares * charge.tracker->hw().cost.instr_per_sort_compare);
+}
+
+struct SortTuple {
+  int32_t key;
+  std::vector<uint8_t> bytes;
+};
+
+}  // namespace
+
+uint64_t PredictRunCount(uint64_t num_tuples, uint32_t tuple_size,
+                         uint64_t memory_bytes) {
+  if (num_tuples == 0) return 0;
+  const uint64_t per_run = std::max<uint64_t>(memory_bytes / tuple_size, 1);
+  return (num_tuples + per_run - 1) / per_run;
+}
+
+storage::FileId ExternalSort(storage::StorageManager& sm,
+                             storage::FileId input,
+                             const catalog::Schema& schema, int attr,
+                             uint64_t memory_bytes) {
+  GAMMA_CHECK(attr >= 0 &&
+              static_cast<size_t>(attr) < schema.num_attrs());
+  const storage::ChargeContext& charge = sm.charge();
+  const storage::HeapFile& in = sm.file(input);
+  const uint64_t tuples_per_run =
+      std::max<uint64_t>(memory_bytes / schema.tuple_size(), 1);
+
+  // Pass 0: run formation. Each run is read into memory (charged by the
+  // scan), sorted, and written to its own temporary file (charged by the
+  // appends as pages fill).
+  std::vector<storage::FileId> runs;
+  std::vector<SortTuple> buffer;
+  buffer.reserve(std::min<uint64_t>(tuples_per_run, in.num_tuples()));
+
+  auto flush_run = [&]() {
+    if (buffer.empty()) return;
+    ChargeSortCpu(charge, buffer.size());
+    std::sort(buffer.begin(), buffer.end(),
+              [](const SortTuple& a, const SortTuple& b) {
+                return a.key < b.key;
+              });
+    const storage::FileId run_id = sm.CreateFile();
+    storage::HeapFile& run = sm.file(run_id);
+    for (const SortTuple& tuple : buffer) run.Append(tuple.bytes);
+    runs.push_back(run_id);
+    buffer.clear();
+  };
+
+  in.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
+    const catalog::TupleView view(&schema, tuple);
+    buffer.push_back(SortTuple{view.GetInt(static_cast<size_t>(attr)),
+                               {tuple.begin(), tuple.end()}});
+    if (charge.tracker != nullptr) {
+      charge.Cpu(charge.tracker->hw().cost.instr_per_tuple_scan);
+    }
+    if (buffer.size() >= tuples_per_run) flush_run();
+    return true;
+  });
+  flush_run();
+
+  if (runs.empty()) {
+    return sm.CreateFile();  // empty input -> empty sorted file
+  }
+  if (runs.size() == 1) {
+    return runs.front();
+  }
+
+  // Merge pass: k-way merge of all runs into the output file. Reading every
+  // run sequentially and appending the output charges the second pass of
+  // I/O; the heap costs log2(k) comparisons per tuple.
+  struct Cursor {
+    std::vector<SortTuple> tuples;  // materialized run (I/O already charged)
+    size_t next = 0;
+  };
+  std::vector<Cursor> cursors(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const storage::HeapFile& run = sm.file(runs[i]);
+    cursors[i].tuples.reserve(run.num_tuples());
+    run.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
+      const catalog::TupleView view(&schema, tuple);
+      cursors[i].tuples.push_back(
+          SortTuple{view.GetInt(static_cast<size_t>(attr)),
+                    {tuple.begin(), tuple.end()}});
+      return true;
+    });
+  }
+
+  using HeapItem = std::pair<int32_t, size_t>;  // (key, cursor index)
+  auto greater = [](const HeapItem& a, const HeapItem& b) {
+    return a.first > b.first;
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(greater)>
+      heap(greater);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i].tuples.empty()) {
+      heap.emplace(cursors[i].tuples[0].key, i);
+    }
+  }
+
+  const storage::FileId out_id = sm.CreateFile();
+  storage::HeapFile& out = sm.file(out_id);
+  const double merge_compares_per_tuple =
+      std::log2(static_cast<double>(runs.size()) + 1);
+  while (!heap.empty()) {
+    const auto [key, idx] = heap.top();
+    heap.pop();
+    Cursor& cursor = cursors[idx];
+    out.Append(cursor.tuples[cursor.next].bytes);
+    if (charge.tracker != nullptr) {
+      charge.Cpu(merge_compares_per_tuple *
+                 charge.tracker->hw().cost.instr_per_sort_compare);
+    }
+    cursor.next += 1;
+    if (cursor.next < cursor.tuples.size()) {
+      heap.emplace(cursor.tuples[cursor.next].key, idx);
+    }
+  }
+
+  for (storage::FileId run_id : runs) sm.DropFile(run_id);
+  return out_id;
+}
+
+}  // namespace gammadb::exec

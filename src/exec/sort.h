@@ -1,0 +1,32 @@
+#ifndef GAMMA_EXEC_SORT_H_
+#define GAMMA_EXEC_SORT_H_
+
+#include <cstdint>
+
+#include "catalog/schema.h"
+#include "storage/storage_manager.h"
+
+namespace gammadb::exec {
+
+/// \brief External merge sort of one fragment file by an integer attribute.
+///
+/// The Teradata join path: redistributed tuples are spooled, sorted into
+/// runs bounded by the AMP's memory, and merged. Run generation reads the
+/// input once and writes every run; each merge pass reads and writes the
+/// data once more. Comparison CPU is charged per the cost model.
+///
+/// Returns the id of a new file in `sm` holding the tuples in ascending
+/// order of `attr`. The input file is left untouched.
+storage::FileId ExternalSort(storage::StorageManager& sm,
+                             storage::FileId input,
+                             const catalog::Schema& schema, int attr,
+                             uint64_t memory_bytes);
+
+/// Number of sorted runs ExternalSort will form for `num_tuples` tuples of
+/// `tuple_size` bytes under `memory_bytes` of sort memory (test hook).
+uint64_t PredictRunCount(uint64_t num_tuples, uint32_t tuple_size,
+                         uint64_t memory_bytes);
+
+}  // namespace gammadb::exec
+
+#endif  // GAMMA_EXEC_SORT_H_

@@ -1,0 +1,144 @@
+#include "exec/split_table.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace gammadb::exec {
+
+RouteSpec RouteSpec::HashAttr(int attr, uint64_t salt) {
+  GAMMA_CHECK(attr >= 0);
+  RouteSpec spec;
+  spec.kind = Kind::kHashAttr;
+  spec.attr = attr;
+  spec.salt = salt;
+  return spec;
+}
+
+RouteSpec RouteSpec::RoundRobin() {
+  return RouteSpec{};
+}
+
+RouteSpec RouteSpec::RangeAttr(int attr, std::vector<int32_t> boundaries) {
+  GAMMA_CHECK(attr >= 0);
+  GAMMA_CHECK(std::is_sorted(boundaries.begin(), boundaries.end()));
+  RouteSpec spec;
+  spec.kind = Kind::kRangeAttr;
+  spec.attr = attr;
+  spec.boundaries = std::move(boundaries);
+  return spec;
+}
+
+RouteSpec RouteSpec::Single(int index) {
+  RouteSpec spec;
+  spec.kind = Kind::kSingle;
+  spec.single_index = index;
+  return spec;
+}
+
+SplitTable::SplitTable(int src_node, const catalog::Schema* schema,
+                       RouteSpec route, std::vector<Destination> destinations,
+                       sim::CostTracker* tracker,
+                       const BitVectorFilter* filter, int filter_attr)
+    : src_node_(src_node),
+      schema_(schema),
+      route_(std::move(route)),
+      destinations_(std::move(destinations)),
+      tracker_(tracker),
+      filter_(filter),
+      filter_attr_(filter_attr),
+      pending_bytes_(destinations_.size(), 0) {
+  GAMMA_CHECK(!destinations_.empty());
+  GAMMA_CHECK(schema != nullptr);
+  if (filter_ != nullptr) GAMMA_CHECK(filter_attr_ >= 0);
+}
+
+int SplitTable::RouteTuple(std::span<const uint8_t> tuple) {
+  const int n = static_cast<int>(destinations_.size());
+  switch (route_.kind) {
+    case RouteSpec::Kind::kHashAttr: {
+      const catalog::TupleView view(schema_, tuple);
+      const int32_t key = view.GetInt(static_cast<size_t>(route_.attr));
+      return static_cast<int>(HashInt32(key, route_.salt) %
+                              static_cast<uint64_t>(n));
+    }
+    case RouteSpec::Kind::kRoundRobin:
+      return static_cast<int>(round_robin_next_++ %
+                              static_cast<uint64_t>(n));
+    case RouteSpec::Kind::kRangeAttr: {
+      const catalog::TupleView view(schema_, tuple);
+      const int32_t key = view.GetInt(static_cast<size_t>(route_.attr));
+      const auto it = std::upper_bound(route_.boundaries.begin(),
+                                       route_.boundaries.end(), key);
+      return std::min(static_cast<int>(it - route_.boundaries.begin()),
+                      n - 1);
+    }
+    case RouteSpec::Kind::kSingle:
+      return route_.single_index;
+  }
+  return 0;
+}
+
+void SplitTable::ChargeTupleBytes(int dest_index, size_t bytes) {
+  if (tracker_ == nullptr) return;
+  const auto& cost = tracker_->hw().cost;
+  const bool local =
+      destinations_[static_cast<size_t>(dest_index)].node == src_node_ &&
+      !force_network_;
+  // A tuple bound for the same processor is handed over in shared memory;
+  // only remote-bound tuples pay the copy-into-packet path.
+  tracker_->ChargeCpu(src_node_, local ? cost.instr_per_tuple_local_handoff
+                                       : cost.instr_per_tuple_copy);
+  uint64_t& pending = pending_bytes_[static_cast<size_t>(dest_index)];
+  pending += bytes;
+  const uint64_t payload = tracker_->hw().net.packet_payload_bytes;
+  while (pending >= payload) {
+    tracker_->ChargeDataPacket(src_node_,
+                               destinations_[static_cast<size_t>(dest_index)].node,
+                               payload, force_network_);
+    pending -= payload;
+  }
+}
+
+void SplitTable::Send(std::span<const uint8_t> tuple) {
+  GAMMA_CHECK_MSG(!closed_, "Send after Close");
+  if (tracker_ != nullptr &&
+      (route_.kind == RouteSpec::Kind::kHashAttr ||
+       route_.kind == RouteSpec::Kind::kRangeAttr)) {
+    tracker_->ChargeCpu(src_node_, tracker_->hw().cost.instr_per_tuple_hash);
+  }
+  if (filter_ != nullptr) {
+    if (tracker_ != nullptr) {
+      tracker_->ChargeCpu(src_node_,
+                          tracker_->hw().cost.instr_per_tuple_hash);
+    }
+    const catalog::TupleView view(schema_, tuple);
+    if (!filter_->MayContain(view.GetInt(static_cast<size_t>(filter_attr_)))) {
+      ++filtered_;
+      return;
+    }
+  }
+  const int dest = RouteTuple(tuple);
+  ChargeTupleBytes(dest, tuple.size());
+  destinations_[static_cast<size_t>(dest)].deliver(tuple);
+  ++sent_;
+}
+
+void SplitTable::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (tracker_ == nullptr) return;
+  for (size_t i = 0; i < destinations_.size(); ++i) {
+    if (pending_bytes_[i] > 0) {
+      tracker_->ChargeDataPacket(src_node_, destinations_[i].node,
+                                 pending_bytes_[i], force_network_);
+      pending_bytes_[i] = 0;
+    }
+    // end-of-stream message to every consumer (§2).
+    tracker_->ChargeControlMessage(src_node_, destinations_[i].node,
+                                   /*blocking=*/false);
+  }
+}
+
+}  // namespace gammadb::exec

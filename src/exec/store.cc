@@ -1,0 +1,21 @@
+#include "exec/store.h"
+
+#include "common/macros.h"
+
+namespace gammadb::exec {
+
+StoreConsumer::StoreConsumer(storage::HeapFile* file,
+                             const storage::ChargeContext* charge)
+    : file_(file), charge_(charge) {
+  GAMMA_CHECK(file != nullptr && charge != nullptr);
+}
+
+void StoreConsumer::Consume(std::span<const uint8_t> tuple) {
+  if (charge_->tracker != nullptr) {
+    charge_->Cpu(charge_->tracker->hw().cost.instr_per_tuple_store);
+  }
+  file_->Append(tuple);
+  ++stored_;
+}
+
+}  // namespace gammadb::exec

@@ -1,0 +1,36 @@
+#ifndef GAMMA_EXEC_STORE_H_
+#define GAMMA_EXEC_STORE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "storage/heap_file.h"
+
+namespace gammadb::exec {
+
+/// \brief Store operator: one instance per disk site of a result relation.
+///
+/// Receives tuples from the producing operators' split tables (Gamma
+/// redistributes result relations round-robin, §2) and appends them to the
+/// site's fragment file, charging the insertion CPU path; the page writes
+/// are charged through the buffer pool as pages fill and flush.
+class StoreConsumer {
+ public:
+  StoreConsumer(storage::HeapFile* file, const storage::ChargeContext* charge);
+
+  StoreConsumer(const StoreConsumer&) = delete;
+  StoreConsumer& operator=(const StoreConsumer&) = delete;
+
+  void Consume(std::span<const uint8_t> tuple);
+
+  uint64_t stored() const { return stored_; }
+
+ private:
+  storage::HeapFile* file_;
+  const storage::ChargeContext* charge_;
+  uint64_t stored_ = 0;
+};
+
+}  // namespace gammadb::exec
+
+#endif  // GAMMA_EXEC_STORE_H_

@@ -1,0 +1,751 @@
+#include "gamma/machine.h"
+
+#include "gamma/recovery_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "exec/hash_join.h"
+#include "exec/hybrid_join.h"
+#include "exec/select.h"
+#include "exec/split_table.h"
+#include "exec/store.h"
+#include "storage/deferred_update.h"
+
+namespace gammadb::gamma {
+
+using catalog::IndexMeta;
+using catalog::PartitionStrategy;
+using catalog::RelationMeta;
+using catalog::Schema;
+using catalog::TupleView;
+using exec::Predicate;
+using exec::SplitTable;
+using storage::AccessIntent;
+using storage::LockMode;
+using storage::LockName;
+using storage::Rid;
+
+namespace {
+
+/// Non-clustered index selections beat a file scan only below this
+/// selectivity (the §5.1 optimizer chooses the scan for the 10% queries and
+/// the index for the 1% queries).
+constexpr double kNonClusteredIndexThreshold = 0.05;
+
+/// Ceiling on overflow rounds; reaching it means the residency escalation
+/// could not shrink the build input (impossible without extreme skew).
+constexpr int kMaxOverflowRounds = 64;
+
+}  // namespace
+
+GammaMachine::GammaMachine(GammaConfig config) : config_(config) {
+  GAMMA_CHECK(config_.num_disk_nodes > 0);
+  GAMMA_CHECK(config_.num_diskless_nodes >= 0);
+  for (int i = 0; i < config_.total_query_nodes(); ++i) {
+    nodes_.push_back(std::make_unique<storage::StorageManager>(
+        config_.page_size, config_.buffer_pool_bytes));
+  }
+}
+
+void GammaMachine::BindAll(sim::CostTracker* tracker) {
+  for (int i = 0; i < config_.total_query_nodes(); ++i) {
+    nodes_[static_cast<size_t>(i)]->BindTracker(tracker, i);
+  }
+}
+
+void GammaMachine::FlushAllPools() {
+  for (auto& node : nodes_) node->pool().FlushAll();
+}
+
+std::string GammaMachine::FreshResultName() {
+  return "result_" + std::to_string(next_result_id_++);
+}
+
+Status GammaMachine::CreateRelation(const std::string& name,
+                                    catalog::Schema schema,
+                                    catalog::PartitionSpec spec) {
+  if (catalog_.Contains(name)) {
+    return Status::AlreadyExists("relation " + name);
+  }
+  RelationMeta meta;
+  meta.name = name;
+  meta.schema = std::move(schema);
+  meta.partitioning = std::move(spec);
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    meta.per_node_file.push_back(nodes_[static_cast<size_t>(i)]->CreateFile());
+  }
+  return catalog_.Register(std::move(meta));
+}
+
+Status GammaMachine::LoadTuples(
+    const std::string& name, const std::vector<std::vector<uint8_t>>& tuples) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(name));
+  catalog::Partitioner partitioner(&meta->partitioning, &meta->schema,
+                                   config_.num_disk_nodes);
+  for (const std::vector<uint8_t>& tuple : tuples) {
+    if (tuple.size() != meta->schema.tuple_size()) {
+      return Status::InvalidArgument("tuple size does not match schema");
+    }
+    const int target = partitioner.NodeFor(tuple);
+    nodes_[static_cast<size_t>(target)]
+        ->file(meta->per_node_file[static_cast<size_t>(target)])
+        .Append(tuple);
+  }
+  meta->num_tuples += tuples.size();
+  // Loading is not a measured query: settle the pools now (uncharged) so no
+  // load-time dirty page is written back on a later query's budget, and so
+  // measured queries start cold.
+  for (auto& node : nodes_) node->pool().Invalidate();
+  return Status::OK();
+}
+
+Status GammaMachine::BuildIndex(const std::string& name, int attr,
+                                bool clustered) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(name));
+  if (attr < 0 || static_cast<size_t>(attr) >= meta->schema.num_attrs()) {
+    return Status::InvalidArgument("index attribute out of range");
+  }
+  if (clustered && !meta->indices.empty()) {
+    return Status::FailedPrecondition(
+        "build the clustered index before any non-clustered index: "
+        "clustering rewrites every fragment and would invalidate rids");
+  }
+  if (clustered && meta->FindClusteredIndex() != nullptr) {
+    return Status::AlreadyExists("clustered index already exists");
+  }
+
+  IndexMeta index;
+  index.attr = attr;
+  index.clustered = clustered;
+
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(i)];
+    storage::HeapFile& fragment =
+        sm.file(meta->per_node_file[static_cast<size_t>(i)]);
+
+    std::vector<std::pair<int32_t, Rid>> entries;
+    entries.reserve(fragment.num_tuples());
+
+    if (clustered) {
+      // Physically reorder the fragment into key order, then index it.
+      std::vector<std::vector<uint8_t>> tuples;
+      tuples.reserve(fragment.num_tuples());
+      fragment.Scan([&](Rid, std::span<const uint8_t> tuple) {
+        tuples.emplace_back(tuple.begin(), tuple.end());
+        return true;
+      });
+      std::stable_sort(tuples.begin(), tuples.end(),
+                       [&](const std::vector<uint8_t>& a,
+                           const std::vector<uint8_t>& b) {
+                         return TupleView(&meta->schema, a)
+                                    .GetInt(static_cast<size_t>(attr)) <
+                                TupleView(&meta->schema, b)
+                                    .GetInt(static_cast<size_t>(attr));
+                       });
+      const storage::FileId sorted_id = sm.CreateFile();
+      storage::HeapFile& sorted = sm.file(sorted_id);
+      for (const std::vector<uint8_t>& tuple : tuples) {
+        const Rid rid = sorted.Append(tuple);
+        entries.emplace_back(
+            TupleView(&meta->schema, tuple).GetInt(static_cast<size_t>(attr)),
+            rid);
+      }
+      sm.DropFile(meta->per_node_file[static_cast<size_t>(i)]);
+      meta->per_node_file[static_cast<size_t>(i)] = sorted_id;
+    } else {
+      fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
+        entries.emplace_back(TupleView(&meta->schema, tuple)
+                                 .GetInt(static_cast<size_t>(attr)),
+                             rid);
+        return true;
+      });
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+    }
+
+    std::vector<storage::BTree::Entry> btree_entries;
+    btree_entries.reserve(entries.size());
+    for (const auto& [key, rid] : entries) {
+      btree_entries.push_back(storage::BTree::Entry{key, rid});
+    }
+    const storage::IndexId index_id = sm.CreateIndex();
+    sm.index(index_id).BulkLoad(btree_entries);
+    index.per_node_index.push_back(index_id);
+  }
+
+  meta->indices.push_back(std::move(index));
+  for (auto& node : nodes_) node->pool().Invalidate();
+  return Status::OK();
+}
+
+GammaMachine::AccessDecision GammaMachine::ChooseAccessPath(
+    const RelationMeta& meta, const SelectQuery& query) const {
+  const Predicate& pred = query.predicate;
+  const IndexMeta* index =
+      pred.is_true() ? nullptr : meta.FindIndex(pred.attr());
+
+  switch (query.access) {
+    case AccessPath::kFileScan:
+      return {AccessPath::kFileScan, nullptr};
+    case AccessPath::kClusteredIndex:
+      GAMMA_CHECK_MSG(index != nullptr && index->clustered,
+                      "no clustered index on the predicate attribute");
+      return {AccessPath::kClusteredIndex, index};
+    case AccessPath::kNonClusteredIndex:
+      GAMMA_CHECK_MSG(index != nullptr && !index->clustered,
+                      "no non-clustered index on the predicate attribute");
+      return {AccessPath::kNonClusteredIndex, index};
+    case AccessPath::kAuto:
+      break;
+  }
+  if (index == nullptr) return {AccessPath::kFileScan, nullptr};
+  if (index->clustered) return {AccessPath::kClusteredIndex, index};
+  // Non-clustered: worthwhile only for low selectivity (§5.1).
+  const double span = static_cast<double>(pred.hi()) - pred.lo() + 1;
+  const double selectivity =
+      span / std::max<double>(1.0, static_cast<double>(meta.num_tuples));
+  if (selectivity <= kNonClusteredIndexThreshold) {
+    return {AccessPath::kNonClusteredIndex, index};
+  }
+  return {AccessPath::kFileScan, nullptr};
+}
+
+RelationMeta* GammaMachine::MakeResultRelation(
+    const std::string& requested_name, catalog::Schema schema) {
+  std::string name =
+      requested_name.empty() ? FreshResultName() : requested_name;
+  RelationMeta meta;
+  meta.name = name;
+  meta.schema = std::move(schema);
+  meta.partitioning = catalog::PartitionSpec::RoundRobin();
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    meta.per_node_file.push_back(nodes_[static_cast<size_t>(i)]->CreateFile());
+  }
+  GAMMA_CHECK(catalog_.Register(std::move(meta)).ok());
+  return *catalog_.Get(name);
+}
+
+std::vector<int> GammaMachine::ParticipatingNodes(
+    const RelationMeta& meta, const Predicate& pred) const {
+  const bool keyed =
+      !pred.is_true() &&
+      meta.partitioning.strategy != PartitionStrategy::kRoundRobin &&
+      meta.partitioning.key_attr == pred.attr();
+  if (keyed) {
+    const catalog::Partitioner partitioner(&meta.partitioning, &meta.schema,
+                                           config_.num_disk_nodes);
+    if (pred.is_eq()) {
+      const int home = partitioner.NodeForKey(pred.lo());
+      if (home >= 0) return {home};
+    } else if (meta.partitioning.strategy == PartitionStrategy::kRangeUser ||
+               meta.partitioning.strategy ==
+                   PartitionStrategy::kRangeUniform) {
+      // Range declustering localizes range predicates: only the sites whose
+      // key ranges intersect [lo, hi] get a select operator (§2: "the
+      // optimizer is able to determine the best way of assigning these
+      // operators to processors").
+      const int first = partitioner.NodeForKey(pred.lo());
+      const int last = partitioner.NodeForKey(pred.hi());
+      if (first >= 0 && last >= first) {
+        std::vector<int> sites;
+        for (int i = first; i <= last; ++i) sites.push_back(i);
+        return sites;
+      }
+    }
+  }
+  std::vector<int> all(static_cast<size_t>(config_.num_disk_nodes));
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    all[static_cast<size_t>(i)] = i;
+  }
+  return all;
+}
+
+Result<QueryResult> GammaMachine::RunSelect(const SelectQuery& query) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
+                  config_.recovery_node(), config_.page_size);
+  const uint64_t txn = next_txn_id_++;
+
+  const AccessDecision decision = ChooseAccessPath(*meta, query);
+  const std::vector<int> sources =
+      ParticipatingNodes(*meta, query.predicate);
+  // A single-site selection stores its (single-tuple) result at one site;
+  // otherwise results are declustered round-robin over every disk node (§4).
+  const bool single_site = sources.size() == 1;
+
+  QueryResult result;
+  RelationMeta* result_meta = nullptr;
+  std::vector<std::unique_ptr<exec::StoreConsumer>> stores;
+  std::vector<int> store_nodes;
+  if (query.store_result) {
+    result_meta = MakeResultRelation(query.result_name, meta->schema);
+    result.result_relation = result_meta->name;
+    store_nodes = single_site ? sources : ParticipatingNodes(*meta, Predicate::True());
+    for (int node : store_nodes) {
+      stores.push_back(std::make_unique<exec::StoreConsumer>(
+          &nodes_[static_cast<size_t>(node)]->file(
+              result_meta->per_node_file[static_cast<size_t>(node)]),
+          &nodes_[static_cast<size_t>(node)]->charge()));
+    }
+  }
+
+  // Host submits the compiled query to the scheduler; completion flows back.
+  tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
+                               /*blocking=*/true);
+  tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
+                               /*blocking=*/true);
+  // Scheduling: one select operator per source site, plus one store operator
+  // per store site when the result is kept in the database.
+  tracker.ChargeScheduling(1, static_cast<uint32_t>(sources.size()));
+  if (query.store_result) {
+    tracker.ChargeScheduling(1, static_cast<uint32_t>(store_nodes.size()));
+  }
+
+  tracker.BeginPhase("select", sim::PhaseKind::kPipelined);
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const int src = sources[s];
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
+    GAMMA_CHECK(sm.locks()
+                    .Acquire(txn,
+                             LockName::File(meta->per_node_file
+                                                [static_cast<size_t>(src)]),
+                             LockMode::kShared)
+                    .ok());
+
+    // Build this source's split table: store destinations rotated by the
+    // source index so concurrent round-robin streams interleave evenly, or
+    // a single host destination for host-bound results.
+    std::vector<SplitTable::Destination> dests;
+    if (query.store_result) {
+      for (size_t d = 0; d < stores.size(); ++d) {
+        const size_t rotated = (d + s) % stores.size();
+        const int store_node = store_nodes[rotated];
+        dests.push_back(SplitTable::Destination{
+            store_node, [consumer = stores[rotated].get(), &log,
+                         store_node](std::span<const uint8_t> t) {
+              consumer->Consume(t);
+              log.Append(store_node, static_cast<uint32_t>(t.size()));
+            }});
+      }
+    } else {
+      dests.push_back(SplitTable::Destination{
+          config_.host_node(), [&result](std::span<const uint8_t> t) {
+            result.returned.emplace_back(t.begin(), t.end());
+          }});
+    }
+    SplitTable split(src, &meta->schema, exec::RouteSpec::RoundRobin(),
+                     std::move(dests), &tracker);
+    const exec::TupleSink emit = [&split](std::span<const uint8_t> t) {
+      split.Send(t);
+    };
+
+    const storage::HeapFile& fragment =
+        sm.file(meta->per_node_file[static_cast<size_t>(src)]);
+    switch (decision.path) {
+      case AccessPath::kFileScan:
+        exec::SelectScan(fragment, meta->schema, query.predicate,
+                         sm.charge(), emit);
+        break;
+      case AccessPath::kClusteredIndex:
+        exec::ClusteredIndexSelect(
+            fragment,
+            sm.index(decision.index->per_node_index[static_cast<size_t>(src)]),
+            meta->schema, query.predicate, sm.charge(), emit);
+        break;
+      case AccessPath::kNonClusteredIndex:
+        exec::NonClusteredIndexSelect(
+            fragment,
+            sm.index(decision.index->per_node_index[static_cast<size_t>(src)]),
+            meta->schema, query.predicate, sm.charge(), emit);
+        break;
+      case AccessPath::kAuto:
+        GAMMA_CHECK_MSG(false, "unresolved access path");
+    }
+    split.Close();
+    tracker.ChargeControlMessage(src, config_.scheduler_node(),
+                                 /*blocking=*/false);
+  }
+  if (query.store_result && config_.enable_logging) {
+    for (int node : store_nodes) log.Commit(node);
+  }
+  FlushAllPools();
+  tracker.EndPhase();
+
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+
+  if (query.store_result) {
+    uint64_t stored = 0;
+    for (const auto& store : stores) stored += store->stored();
+    result.result_tuples = stored;
+    result_meta->num_tuples = stored;
+  } else {
+    result.result_tuples = result.returned.size();
+  }
+  BindAll(nullptr);
+  result.metrics = tracker.Finish();
+  return result;
+}
+
+Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * outer, catalog_.Get(query.outer));
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * inner, catalog_.Get(query.inner));
+  if (query.outer_attr < 0 ||
+      static_cast<size_t>(query.outer_attr) >= outer->schema.num_attrs() ||
+      query.inner_attr < 0 ||
+      static_cast<size_t>(query.inner_attr) >= inner->schema.num_attrs()) {
+    return Status::InvalidArgument("join attribute out of range");
+  }
+
+  // Join sites per execution mode (§6).
+  std::vector<int> join_nodes;
+  switch (query.mode) {
+    case JoinMode::kLocal:
+      for (int i = 0; i < config_.num_disk_nodes; ++i) join_nodes.push_back(i);
+      break;
+    case JoinMode::kRemote:
+      if (config_.num_diskless_nodes == 0) {
+        return Status::InvalidArgument("Remote join with no diskless nodes");
+      }
+      for (int i = 0; i < config_.num_diskless_nodes; ++i) {
+        join_nodes.push_back(config_.num_disk_nodes + i);
+      }
+      break;
+    case JoinMode::kAllnodes:
+      for (int i = 0; i < config_.total_query_nodes(); ++i) {
+        join_nodes.push_back(i);
+      }
+      break;
+  }
+  const size_t nsites = join_nodes.size();
+  const uint64_t site_capacity = config_.join_memory_total / nsites;
+
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
+                  config_.recovery_node(), config_.page_size);
+  const uint64_t txn = next_txn_id_++;
+
+  const Schema result_schema =
+      Schema::Concat(inner->schema, outer->schema);
+  QueryResult result;
+  RelationMeta* result_meta = nullptr;
+  std::vector<std::unique_ptr<exec::StoreConsumer>> stores;
+  if (query.store_result) {
+    result_meta = MakeResultRelation(query.result_name, result_schema);
+    result.result_relation = result_meta->name;
+    for (int node = 0; node < config_.num_disk_nodes; ++node) {
+      stores.push_back(std::make_unique<exec::StoreConsumer>(
+          &nodes_[static_cast<size_t>(node)]->file(
+              result_meta->per_node_file[static_cast<size_t>(node)]),
+          &nodes_[static_cast<size_t>(node)]->charge()));
+    }
+  }
+
+  tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
+                               /*blocking=*/true);
+  tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
+                               /*blocking=*/true);
+  // Scheduling: two selects on the disk nodes, build + join on the join
+  // sites ("a join is logically composed of two operators", §6.2.3), one
+  // store on the disk nodes.
+  tracker.ChargeScheduling(2, static_cast<uint32_t>(config_.num_disk_nodes));
+  tracker.ChargeScheduling(2, static_cast<uint32_t>(nsites));
+  if (query.store_result) {
+    tracker.ChargeScheduling(1,
+                             static_cast<uint32_t>(config_.num_disk_nodes));
+  }
+
+  // Per-site result split tables (join output is declustered round-robin to
+  // the store operators; stays open across overflow rounds).
+  std::vector<std::unique_ptr<SplitTable>> result_splits;
+  std::vector<exec::TupleSink> result_sinks;
+  for (size_t j = 0; j < nsites; ++j) {
+    std::vector<SplitTable::Destination> dests;
+    if (query.store_result) {
+      for (size_t d = 0; d < stores.size(); ++d) {
+        const size_t rotated = (d + j) % stores.size();
+        dests.push_back(SplitTable::Destination{
+            static_cast<int>(rotated),
+            [consumer = stores[rotated].get(), &log,
+             rotated](std::span<const uint8_t> t) {
+              consumer->Consume(t);
+              log.Append(static_cast<int>(rotated),
+                         static_cast<uint32_t>(t.size()));
+            }});
+      }
+    } else {
+      dests.push_back(SplitTable::Destination{
+          config_.host_node(), [&result](std::span<const uint8_t> t) {
+            result.returned.emplace_back(t.begin(), t.end());
+          }});
+    }
+    result_splits.push_back(std::make_unique<SplitTable>(
+        join_nodes[j], &result_schema, exec::RouteSpec::RoundRobin(),
+        std::move(dests), &tracker));
+    result_sinks.push_back(
+        [split = result_splits.back().get()](std::span<const uint8_t> t) {
+          split->Send(t);
+        });
+  }
+
+  // Join sites: Simple (Gamma's algorithm) or Hybrid (the §8 replacement).
+  const uint64_t expected_build =
+      query.expected_build_tuples != 0 ? query.expected_build_tuples
+                                       : inner->num_tuples;
+  std::vector<std::unique_ptr<exec::HashJoinSite>> simple_sites;
+  std::vector<std::unique_ptr<exec::HybridHashJoinSite>> hybrid_sites;
+  const uint64_t seed0 = next_salt_++;
+  for (size_t j = 0; j < nsites; ++j) {
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(join_nodes[j])];
+    if (query.use_hybrid) {
+      const uint64_t expected_bytes =
+          (expected_build * (inner->schema.tuple_size() +
+                             exec::JoinHashTable::kPerEntryOverhead)) /
+          nsites;
+      hybrid_sites.push_back(std::make_unique<exec::HybridHashJoinSite>(
+          join_nodes[j], &sm, &inner->schema, &outer->schema,
+          query.inner_attr, query.outer_attr, site_capacity, expected_bytes,
+          seed0 ^ 0xA5A5));
+    } else {
+      simple_sites.push_back(std::make_unique<exec::HashJoinSite>(
+          join_nodes[j], &sm, &inner->schema, &outer->schema,
+          query.inner_attr, query.outer_attr, site_capacity));
+      simple_sites.back()->BeginRound(seed0);
+    }
+  }
+
+  // Optional bit-vector filter over the building relation's join keys,
+  // consulted by the probing side's split tables (§2).
+  std::unique_ptr<exec::BitVectorFilter> filter;
+  if (query.use_bit_filter) {
+    filter = std::make_unique<exec::BitVectorFilter>(
+        static_cast<uint32_t>(std::max<uint64_t>(expected_build * 8, 1024)),
+        seed0 ^ 0xF117E4);
+  }
+
+  // Gamma uses the same hash function to decluster relations at load time
+  // and to split them for joins (§6.2.1) — when the join attribute is the
+  // partitioning attribute, every input tuple of a Local join therefore
+  // short-circuits, and roughly half do under Allnodes.
+  uint64_t routing_salt = HashBytes(&seed0, sizeof(seed0), 0x407E);
+  if (inner->partitioning.strategy == PartitionStrategy::kHashed &&
+      inner->partitioning.key_attr == query.inner_attr) {
+    routing_salt = inner->partitioning.hash_salt;
+  } else if (outer->partitioning.strategy == PartitionStrategy::kHashed &&
+             outer->partitioning.key_attr == query.outer_attr) {
+    routing_salt = outer->partitioning.hash_salt;
+  }
+
+  auto build_deliver = [&](size_t j) {
+    return [&, j](std::span<const uint8_t> t) {
+      if (query.use_hybrid) {
+        hybrid_sites[j]->AddBuildTuple(t);
+      } else {
+        simple_sites[j]->AddBuildTuple(t);
+      }
+    };
+  };
+  auto probe_deliver = [&](size_t j) {
+    return [&, j](std::span<const uint8_t> t) {
+      if (query.use_hybrid) {
+        hybrid_sites[j]->AddProbeTuple(t, result_sinks[j]);
+      } else {
+        simple_sites[j]->AddProbeTuple(t, result_sinks[j]);
+      }
+    };
+  };
+
+  // --- Build phase: select inner on every disk node, split on the join
+  // attribute to the join sites. ---
+  tracker.BeginPhase("build", sim::PhaseKind::kPipelined);
+  for (int src = 0; src < config_.num_disk_nodes; ++src) {
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
+    GAMMA_CHECK(
+        sm.locks()
+            .Acquire(txn,
+                     LockName::File(
+                         inner->per_node_file[static_cast<size_t>(src)]),
+                     LockMode::kShared)
+            .ok());
+    std::vector<SplitTable::Destination> dests;
+    for (size_t j = 0; j < nsites; ++j) {
+      dests.push_back(SplitTable::Destination{join_nodes[j], build_deliver(j)});
+    }
+    SplitTable split(src, &inner->schema,
+                     exec::RouteSpec::HashAttr(query.inner_attr, routing_salt),
+                     std::move(dests), &tracker);
+    exec::SelectScan(
+        sm.file(inner->per_node_file[static_cast<size_t>(src)]),
+        inner->schema, query.inner_pred, sm.charge(),
+        [&](std::span<const uint8_t> t) {
+          if (filter != nullptr) {
+            filter->Insert(TupleView(&inner->schema, t)
+                               .GetInt(static_cast<size_t>(query.inner_attr)));
+          }
+          split.Send(t);
+        });
+    split.Close();
+    tracker.ChargeControlMessage(src, config_.scheduler_node(), false);
+  }
+  FlushAllPools();
+  tracker.EndPhase();
+
+  // --- Probe phase: select outer, split with the same hash, probe. ---
+  tracker.BeginPhase("probe", sim::PhaseKind::kPipelined);
+  for (int src = 0; src < config_.num_disk_nodes; ++src) {
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
+    GAMMA_CHECK(
+        sm.locks()
+            .Acquire(txn,
+                     LockName::File(
+                         outer->per_node_file[static_cast<size_t>(src)]),
+                     LockMode::kShared)
+            .ok());
+    std::vector<SplitTable::Destination> dests;
+    for (size_t j = 0; j < nsites; ++j) {
+      dests.push_back(SplitTable::Destination{join_nodes[j], probe_deliver(j)});
+    }
+    SplitTable split(src, &outer->schema,
+                     exec::RouteSpec::HashAttr(query.outer_attr, routing_salt),
+                     std::move(dests), &tracker, filter.get(),
+                     query.outer_attr);
+    exec::SelectScan(sm.file(outer->per_node_file[static_cast<size_t>(src)]),
+                     outer->schema, query.outer_pred, sm.charge(),
+                     [&split](std::span<const uint8_t> t) { split.Send(t); });
+    split.Close();
+    tracker.ChargeControlMessage(src, config_.scheduler_node(), false);
+  }
+  FlushAllPools();
+  tracker.EndPhase();
+
+  if (query.use_hybrid) {
+    // Hybrid: spooled buckets are joined locally, one extra read each.
+    tracker.BeginPhase("hybrid_buckets", sim::PhaseKind::kPipelined);
+    for (size_t j = 0; j < nsites; ++j) {
+      hybrid_sites[j]->FinishSpooledBuckets(result_sinks[j]);
+    }
+    FlushAllPools();
+    tracker.EndPhase();
+  } else {
+    // Simple hash join: recursively redistribute and re-join the overflow
+    // partitions. Each round uses a fresh split-table hash, so overflow
+    // tuples no longer align with the storage partitioning (§6.2.2). If a
+    // round makes no progress — a single key's duplicates exceed the table,
+    // which no residency split can fix — the next round is forced: it
+    // over-commits memory instead of spooling, guaranteeing termination.
+    int round = 0;
+    uint64_t prev_spooled = UINT64_MAX;
+    for (;;) {
+      bool any_overflow = false;
+      uint64_t spooled = 0;
+      for (const auto& site : simple_sites) {
+        any_overflow = any_overflow || site->HasOverflow();
+        spooled += site->build_spool().num_tuples() +
+                   site->probe_spool().num_tuples();
+      }
+      if (!any_overflow) break;
+      const bool forced = spooled >= prev_spooled;
+      prev_spooled = spooled;
+      GAMMA_CHECK_MSG(++round < kMaxOverflowRounds,
+                      "join overflow failed to converge");
+      tracker.AddOverflowRound();
+      const uint64_t round_seed = next_salt_++;
+      const uint64_t round_salt =
+          HashBytes(&round_seed, sizeof(round_seed), 0x0F107);
+      for (const auto& site : simple_sites) {
+        site->BeginRound(round_seed, forced);
+      }
+
+      tracker.BeginPhase("overflow_build_" + std::to_string(round),
+                         sim::PhaseKind::kPipelined);
+      for (size_t j = 0; j < nsites; ++j) {
+        storage::StorageManager& sm =
+            *nodes_[static_cast<size_t>(join_nodes[j])];
+        std::vector<SplitTable::Destination> dests;
+        for (size_t k = 0; k < nsites; ++k) {
+          dests.push_back(
+              SplitTable::Destination{join_nodes[k], build_deliver(k)});
+        }
+        SplitTable split(
+            join_nodes[j], &inner->schema,
+            exec::RouteSpec::HashAttr(query.inner_attr, round_salt),
+            std::move(dests), &tracker);
+        simple_sites[j]->prev_build_spool().Scan(
+            [&](Rid, std::span<const uint8_t> t) {
+              sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
+              split.Send(t);
+              return true;
+            });
+        split.Close();
+      }
+      FlushAllPools();
+      tracker.EndPhase();
+
+      tracker.BeginPhase("overflow_probe_" + std::to_string(round),
+                         sim::PhaseKind::kPipelined);
+      for (size_t j = 0; j < nsites; ++j) {
+        storage::StorageManager& sm =
+            *nodes_[static_cast<size_t>(join_nodes[j])];
+        std::vector<SplitTable::Destination> dests;
+        for (size_t k = 0; k < nsites; ++k) {
+          dests.push_back(
+              SplitTable::Destination{join_nodes[k], probe_deliver(k)});
+        }
+        SplitTable split(
+            join_nodes[j], &outer->schema,
+            exec::RouteSpec::HashAttr(query.outer_attr, round_salt),
+            std::move(dests), &tracker);
+        simple_sites[j]->prev_probe_spool().Scan(
+            [&](Rid, std::span<const uint8_t> t) {
+              sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
+              split.Send(t);
+              return true;
+            });
+        split.Close();
+      }
+      FlushAllPools();
+      tracker.EndPhase();
+    }
+  }
+
+  // Final packets / end-of-stream from the join operators to the stores.
+  tracker.BeginPhase("finalize", sim::PhaseKind::kPipelined);
+  for (auto& split : result_splits) split->Close();
+  if (query.store_result && config_.enable_logging) {
+    for (int node = 0; node < config_.num_disk_nodes; ++node) {
+      log.Commit(node);
+    }
+  }
+  FlushAllPools();
+  tracker.EndPhase();
+
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+
+  if (query.store_result) {
+    uint64_t stored = 0;
+    for (const auto& store : stores) stored += store->stored();
+    result.result_tuples = stored;
+    result_meta->num_tuples = stored;
+  } else {
+    result.result_tuples = result.returned.size();
+  }
+  // Site teardown drops the spool files before the tracker unbinds.
+  simple_sites.clear();
+  hybrid_sites.clear();
+  BindAll(nullptr);
+  result.metrics = tracker.Finish();
+  return result;
+}
+
+}  // namespace gammadb::gamma

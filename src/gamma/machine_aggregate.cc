@@ -1,0 +1,149 @@
+// Aggregate-query execution of GammaMachine (paper §1: aggregate tests were
+// run; detailed results deferred to [DEWI88]). Scheme: local aggregation at
+// every disk site, partials split on the grouping attribute to the merging
+// sites, final results returned to the host.
+
+#include <cstring>
+#include <memory>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "exec/aggregate.h"
+#include "exec/select.h"
+#include "exec/split_table.h"
+#include "gamma/machine.h"
+
+namespace gammadb::gamma {
+
+using catalog::RelationMeta;
+using catalog::Schema;
+using exec::AggState;
+using exec::GroupedAggregator;
+using exec::Predicate;
+using exec::SplitTable;
+using storage::LockMode;
+using storage::LockName;
+
+namespace {
+
+/// Wire format of a partial aggregate: the group key (routable int32) plus
+/// the opaque accumulator state.
+Schema PartialSchema() {
+  return Schema({{"group", catalog::AttrType::kInt32, 4},
+                 {"state", catalog::AttrType::kChar, sizeof(AggState)}});
+}
+
+}  // namespace
+
+Result<QueryResult> GammaMachine::RunAggregate(const AggregateQuery& query) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
+  if (query.value_attr < 0 ||
+      static_cast<size_t>(query.value_attr) >= meta->schema.num_attrs()) {
+    return Status::InvalidArgument("aggregate value attribute out of range");
+  }
+  if (query.group_attr >= 0 &&
+      static_cast<size_t>(query.group_attr) >= meta->schema.num_attrs()) {
+    return Status::InvalidArgument("aggregate group attribute out of range");
+  }
+
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  const uint64_t txn = next_txn_id_++;
+  const int ndisk = config_.num_disk_nodes;
+
+  // Scheduling: scan+local-aggregate operators, then global-merge operators.
+  tracker.ChargeScheduling(1, static_cast<uint32_t>(ndisk));
+  tracker.ChargeScheduling(1, static_cast<uint32_t>(ndisk));
+
+  // --- Phase 1: local aggregation at each disk site. ---
+  std::vector<std::unique_ptr<GroupedAggregator>> locals;
+  tracker.BeginPhase("local_agg", sim::PhaseKind::kPipelined);
+  for (int src = 0; src < ndisk; ++src) {
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
+    GAMMA_CHECK(sm.locks()
+                    .Acquire(txn,
+                             LockName::File(meta->per_node_file
+                                                [static_cast<size_t>(src)]),
+                             LockMode::kShared)
+                    .ok());
+    locals.push_back(std::make_unique<GroupedAggregator>(
+        query.group_attr, query.value_attr, query.func, &meta->schema,
+        &sm.charge()));
+    exec::SelectScan(sm.file(meta->per_node_file[static_cast<size_t>(src)]),
+                     meta->schema, query.predicate, sm.charge(),
+                     [&](std::span<const uint8_t> t) {
+                       locals.back()->Consume(t);
+                     });
+    tracker.ChargeControlMessage(src, config_.scheduler_node(), false);
+  }
+  tracker.EndPhase();
+
+  // --- Phase 2: split partials on the group key and merge. ---
+  const Schema partial_schema = PartialSchema();
+  const Schema result_schema = GroupedAggregator::ResultSchema();
+  std::vector<std::unique_ptr<GroupedAggregator>> globals;
+  for (int node = 0; node < ndisk; ++node) {
+    globals.push_back(std::make_unique<GroupedAggregator>(
+        /*group_attr=*/0, /*value_attr=*/0, query.func, &result_schema,
+        &nodes_[static_cast<size_t>(node)]->charge()));
+  }
+  const uint64_t salt = next_salt_++;
+  tracker.BeginPhase("global_agg", sim::PhaseKind::kPipelined);
+  for (int src = 0; src < ndisk; ++src) {
+    std::vector<SplitTable::Destination> dests;
+    for (int dst = 0; dst < ndisk; ++dst) {
+      dests.push_back(SplitTable::Destination{
+          dst, [&, dst](std::span<const uint8_t> partial) {
+            int32_t group;
+            AggState state;
+            std::memcpy(&group, partial.data(), sizeof(group));
+            std::memcpy(&state, partial.data() + sizeof(group),
+                        sizeof(state));
+            globals[static_cast<size_t>(dst)]->MergeGroup(group, state);
+          }});
+    }
+    SplitTable split(src, &partial_schema,
+                     query.group_attr < 0
+                         ? exec::RouteSpec::Single(0)
+                         : exec::RouteSpec::HashAttr(0, salt),
+                     std::move(dests), &tracker);
+    catalog::TupleBuilder builder(&partial_schema);
+    for (const auto& [group, state] : locals[static_cast<size_t>(src)]->groups()) {
+      builder.SetInt(0, group);
+      builder.SetChar(1, std::string_view(
+                             reinterpret_cast<const char*>(&state),
+                             sizeof(state)));
+      split.Send(builder.bytes());
+    }
+    split.Close();
+  }
+  tracker.EndPhase();
+
+  // --- Phase 3: return final values to the host. ---
+  QueryResult result;
+  tracker.BeginPhase("return", sim::PhaseKind::kPipelined);
+  for (int node = 0; node < ndisk; ++node) {
+    if (globals[static_cast<size_t>(node)]->num_groups() == 0) continue;
+    std::vector<SplitTable::Destination> dests;
+    dests.push_back(SplitTable::Destination{
+        config_.host_node(), [&result](std::span<const uint8_t> t) {
+          result.returned.emplace_back(t.begin(), t.end());
+        }});
+    SplitTable split(node, &result_schema, exec::RouteSpec::Single(0),
+                     std::move(dests), &tracker);
+    globals[static_cast<size_t>(node)]->EmitResults(
+        [&split](std::span<const uint8_t> t) { split.Send(t); });
+    split.Close();
+    tracker.ChargeControlMessage(node, config_.scheduler_node(), false);
+  }
+  tracker.EndPhase();
+
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  result.result_tuples = result.returned.size();
+  BindAll(nullptr);
+  result.metrics = tracker.Finish();
+  return result;
+}
+
+}  // namespace gammadb::gamma

@@ -1,0 +1,360 @@
+// Update-query execution of GammaMachine (paper §7, Table 3): single-tuple
+// appends, deletes, and modifies, with partial recovery through deferred
+// update files for the index structures and full concurrency control.
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "exec/select.h"
+#include "gamma/machine.h"
+#include "gamma/recovery_log.h"
+#include "storage/deferred_update.h"
+
+namespace gammadb::gamma {
+
+using catalog::IndexMeta;
+using catalog::PartitionStrategy;
+using catalog::RelationMeta;
+using catalog::TupleView;
+using exec::Predicate;
+using storage::AccessIntent;
+using storage::DeferredUpdateFile;
+using storage::LockMode;
+using storage::LockName;
+using storage::Rid;
+
+namespace {
+
+int32_t AttrOf(const catalog::Schema& schema,
+               std::span<const uint8_t> tuple, int attr) {
+  return TupleView(&schema, tuple).GetInt(static_cast<size_t>(attr));
+}
+
+}  // namespace
+
+Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
+  if (query.tuple.size() != meta->schema.tuple_size()) {
+    return Status::InvalidArgument("tuple size does not match schema");
+  }
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  const uint64_t txn = next_txn_id_++;
+
+  // Host submits to the scheduler, which initiates one update operator at
+  // the tuple's home site.
+  tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
+                               /*blocking=*/true);
+  tracker.ChargeScheduling(1, 1);
+
+  int target;
+  if (meta->partitioning.strategy == PartitionStrategy::kRoundRobin) {
+    target = static_cast<int>(meta->num_tuples %
+                              static_cast<uint64_t>(config_.num_disk_nodes));
+  } else {
+    catalog::Partitioner partitioner(&meta->partitioning, &meta->schema,
+                                     config_.num_disk_nodes);
+    target = partitioner.NodeFor(query.tuple);
+  }
+
+  tracker.BeginPhase("append", sim::PhaseKind::kSequential);
+  storage::StorageManager& sm = *nodes_[static_cast<size_t>(target)];
+  // The tuple itself travels host -> home site.
+  tracker.ChargeDataPacket(config_.host_node(), target, query.tuple.size());
+  GAMMA_CHECK(
+      sm.locks()
+          .Acquire(txn,
+                   LockName::File(
+                       meta->per_node_file[static_cast<size_t>(target)]),
+                   LockMode::kExclusive)
+          .ok());
+  sm.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
+  const Rid rid =
+      sm.file(meta->per_node_file[static_cast<size_t>(target)])
+          .Append(query.tuple);
+  DeferredUpdateFile deferred(&sm.charge(), config_.page_size);
+  for (const IndexMeta& index : meta->indices) {
+    deferred.LogInsert(
+        &sm.index(index.per_node_index[static_cast<size_t>(target)]),
+        AttrOf(meta->schema, query.tuple, index.attr), rid);
+  }
+  deferred.Commit();
+  if (config_.enable_logging) {
+    RecoveryLog log(&tracker, config_.recovery_node(), config_.page_size);
+    log.Append(target, static_cast<uint32_t>(query.tuple.size()));
+    log.Commit(target);
+  }
+  FlushAllPools();  // force the data page at commit
+  tracker.ChargeControlMessage(target, config_.scheduler_node(), true);
+  tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
+                               true);
+  tracker.EndPhase();
+
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  meta->num_tuples += 1;
+  QueryResult result;
+  result.result_tuples = 1;
+  BindAll(nullptr);
+  result.metrics = tracker.Finish();
+  return result;
+}
+
+Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
+  if (query.key_attr < 0 ||
+      static_cast<size_t>(query.key_attr) >= meta->schema.num_attrs()) {
+    return Status::InvalidArgument("delete key attribute out of range");
+  }
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  const uint64_t txn = next_txn_id_++;
+
+  const Predicate pred = Predicate::Eq(query.key_attr, query.key);
+  const std::vector<int> parts = ParticipatingNodes(*meta, pred);
+  const IndexMeta* index = meta->FindIndex(query.key_attr);
+
+  tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
+                               true);
+  tracker.ChargeScheduling(1, static_cast<uint32_t>(parts.size()));
+
+  uint64_t deleted = 0;
+  tracker.BeginPhase("delete", sim::PhaseKind::kSequential);
+  for (int node : parts) {
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(node)];
+    storage::HeapFile& fragment =
+        sm.file(meta->per_node_file[static_cast<size_t>(node)]);
+
+    std::vector<Rid> rids;
+    if (index != nullptr) {
+      rids = sm.index(index->per_node_index[static_cast<size_t>(node)])
+                 .RangeLookup(query.key, query.key);
+    } else {
+      fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
+        sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan +
+                        config_.hw.cost.instr_per_attr_compare);
+        if (pred.Eval(tuple, meta->schema)) rids.push_back(rid);
+        return true;
+      });
+    }
+    DeferredUpdateFile deferred(&sm.charge(), config_.page_size);
+    for (const Rid rid : rids) {
+      auto tuple = fragment.Fetch(rid, AccessIntent::kRandom);
+      GAMMA_CHECK(tuple.ok());
+      GAMMA_CHECK(sm.locks()
+                      .Acquire(txn,
+                               LockName::Record(
+                                   meta->per_node_file[static_cast<size_t>(
+                                       node)],
+                                   rid.page_index, rid.slot),
+                               LockMode::kExclusive)
+                      .ok());
+      GAMMA_CHECK(fragment.Delete(rid).ok());
+      for (const IndexMeta& idx : meta->indices) {
+        deferred.LogDelete(
+            &sm.index(idx.per_node_index[static_cast<size_t>(node)]),
+            AttrOf(meta->schema, *tuple, idx.attr), rid);
+      }
+      if (config_.enable_logging) {
+        RecoveryLog log(&tracker, config_.recovery_node(),
+                        config_.page_size);
+        log.Append(node, static_cast<uint32_t>(tuple->size()));
+        log.Commit(node);
+      }
+      ++deleted;
+    }
+    deferred.Commit();
+    tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
+  }
+  FlushAllPools();
+  tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
+                               true);
+  tracker.EndPhase();
+
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  meta->num_tuples -= deleted;
+  QueryResult result;
+  result.result_tuples = deleted;
+  BindAll(nullptr);
+  result.metrics = tracker.Finish();
+  return result;
+}
+
+Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
+  if (query.locate_attr < 0 ||
+      static_cast<size_t>(query.locate_attr) >= meta->schema.num_attrs() ||
+      query.target_attr < 0 ||
+      static_cast<size_t>(query.target_attr) >= meta->schema.num_attrs()) {
+    return Status::InvalidArgument("modify attribute out of range");
+  }
+  if (meta->schema.attr(static_cast<size_t>(query.target_attr)).type !=
+      catalog::AttrType::kInt32) {
+    return Status::InvalidArgument("modify supports integer attributes");
+  }
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  const uint64_t txn = next_txn_id_++;
+
+  const Predicate pred = Predicate::Eq(query.locate_attr, query.locate_key);
+  const std::vector<int> parts = ParticipatingNodes(*meta, pred);
+  const IndexMeta* locate_index = meta->FindIndex(query.locate_attr);
+  const bool relocates =
+      meta->partitioning.strategy != PartitionStrategy::kRoundRobin &&
+      meta->partitioning.key_attr == query.target_attr;
+
+  tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
+                               true);
+  tracker.ChargeScheduling(1, static_cast<uint32_t>(parts.size()));
+
+  uint64_t modified = 0;
+  tracker.BeginPhase("modify", sim::PhaseKind::kSequential);
+  for (int node : parts) {
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(node)];
+    storage::HeapFile& fragment =
+        sm.file(meta->per_node_file[static_cast<size_t>(node)]);
+
+    std::vector<Rid> rids;
+    if (locate_index != nullptr) {
+      rids = sm.index(locate_index->per_node_index[static_cast<size_t>(node)])
+                 .RangeLookup(query.locate_key, query.locate_key);
+    } else {
+      fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
+        sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan +
+                        config_.hw.cost.instr_per_attr_compare);
+        if (pred.Eval(tuple, meta->schema)) rids.push_back(rid);
+        return true;
+      });
+    }
+
+    for (const Rid rid : rids) {
+      auto old_tuple = fragment.Fetch(rid, AccessIntent::kRandom);
+      GAMMA_CHECK(old_tuple.ok());
+      std::vector<uint8_t> new_tuple = *old_tuple;
+      const int32_t new_value = query.new_value;
+      std::memcpy(new_tuple.data() +
+                      meta->schema.offset(static_cast<size_t>(query.target_attr)),
+                  &new_value, sizeof(new_value));
+      GAMMA_CHECK(sm.locks()
+                      .Acquire(txn,
+                               LockName::Record(
+                                   meta->per_node_file[static_cast<size_t>(
+                                       node)],
+                                   rid.page_index, rid.slot),
+                               LockMode::kExclusive)
+                      .ok());
+
+      if (relocates) {
+        // The partitioning attribute changed: delete here, re-insert at the
+        // new home site, and maintain every index at both ends through the
+        // deferred-update files (Halloween-safe, §7). The scheduler must
+        // initiate a second operator at the new home and run the commit
+        // protocol across both sites.
+        tracker.ChargeScheduling(1, 1);
+        tracker.ChargeControlMessage(config_.scheduler_node(), node, true);
+        tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
+        DeferredUpdateFile deferred_old(&sm.charge(), config_.page_size);
+        GAMMA_CHECK(fragment.Delete(rid).ok());
+        for (const IndexMeta& idx : meta->indices) {
+          deferred_old.LogDelete(
+              &sm.index(idx.per_node_index[static_cast<size_t>(node)]),
+              AttrOf(meta->schema, *old_tuple, idx.attr), rid);
+        }
+        deferred_old.Commit();
+
+        catalog::Partitioner partitioner(&meta->partitioning, &meta->schema,
+                                         config_.num_disk_nodes);
+        const int new_home = partitioner.NodeFor(new_tuple);
+        storage::StorageManager& dst = *nodes_[static_cast<size_t>(new_home)];
+        if (new_home != node) {
+          tracker.ChargeDataPacket(node, new_home, new_tuple.size());
+        }
+        GAMMA_CHECK(dst.locks()
+                        .Acquire(txn,
+                                 LockName::File(
+                                     meta->per_node_file[static_cast<size_t>(
+                                         new_home)]),
+                                 LockMode::kExclusive)
+                        .ok());
+        dst.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
+        const Rid new_rid =
+            dst.file(meta->per_node_file[static_cast<size_t>(new_home)])
+                .Append(new_tuple);
+        DeferredUpdateFile deferred_new(&dst.charge(), config_.page_size);
+        for (const IndexMeta& idx : meta->indices) {
+          deferred_new.LogInsert(
+              &dst.index(idx.per_node_index[static_cast<size_t>(new_home)]),
+              AttrOf(meta->schema, new_tuple, idx.attr), new_rid);
+        }
+        deferred_new.Commit();
+      } else {
+        GAMMA_CHECK(fragment.Update(rid, new_tuple).ok());
+        // Pre-image record for the statement, forced at commit (Gamma's
+        // partial recovery covers in-place modifies too).
+        sm.charge().DiskWrite(config_.page_size, AccessIntent::kRandom);
+        DeferredUpdateFile deferred(&sm.charge(), config_.page_size);
+        for (const IndexMeta& idx : meta->indices) {
+          if (idx.attr != query.target_attr) continue;
+          storage::BTree& tree =
+              sm.index(idx.per_node_index[static_cast<size_t>(node)]);
+          deferred.LogDelete(&tree,
+                             AttrOf(meta->schema, *old_tuple, idx.attr), rid);
+          deferred.LogInsert(&tree,
+                             AttrOf(meta->schema, new_tuple, idx.attr), rid);
+        }
+        deferred.Commit();
+      }
+      if (config_.enable_logging) {
+        // Before and after images.
+        RecoveryLog log(&tracker, config_.recovery_node(),
+                        config_.page_size);
+        log.Append(node, static_cast<uint32_t>(2 * new_tuple.size()));
+        log.Commit(node);
+      }
+      ++modified;
+    }
+    tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
+  }
+  FlushAllPools();
+  tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
+                               true);
+  tracker.EndPhase();
+
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  QueryResult result;
+  result.result_tuples = modified;
+  BindAll(nullptr);
+  result.metrics = tracker.Finish();
+  return result;
+}
+
+Result<std::vector<std::vector<uint8_t>>> GammaMachine::ReadRelation(
+    const std::string& name) {
+  GAMMA_ASSIGN_OR_RETURN(const RelationMeta* meta, catalog_.Get(name));
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(meta->num_tuples);
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    nodes_[static_cast<size_t>(i)]
+        ->file(meta->per_node_file[static_cast<size_t>(i)])
+        .Scan([&](Rid, std::span<const uint8_t> tuple) {
+          out.emplace_back(tuple.begin(), tuple.end());
+          return true;
+        });
+  }
+  return out;
+}
+
+Result<uint64_t> GammaMachine::CountTuples(const std::string& name) {
+  GAMMA_ASSIGN_OR_RETURN(const RelationMeta* meta, catalog_.Get(name));
+  uint64_t count = 0;
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    count += nodes_[static_cast<size_t>(i)]
+                 ->file(meta->per_node_file[static_cast<size_t>(i)])
+                 .num_tuples();
+  }
+  return count;
+}
+
+}  // namespace gammadb::gamma

@@ -1,0 +1,105 @@
+#ifndef GAMMA_GAMMA_QUERY_H_
+#define GAMMA_GAMMA_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/predicate.h"
+#include "exec/query_result.h"
+#include "sim/cost_tracker.h"
+
+namespace gammadb::gamma {
+
+/// How a selection accesses the relation.
+enum class AccessPath {
+  /// Let the machine pick (clustered index if usable, else non-clustered if
+  /// selective enough, else file scan — the §5.1 optimizer behaviour).
+  kAuto,
+  kFileScan,
+  kClusteredIndex,
+  kNonClusteredIndex,
+};
+
+/// Where join operators execute (§6): on the processors with disks, on the
+/// diskless processors, or on both.
+enum class JoinMode { kLocal, kRemote, kAllnodes };
+
+/// \brief Selection: retrieve tuples of `relation` satisfying `predicate`.
+struct SelectQuery {
+  std::string relation;
+  exec::Predicate predicate = exec::Predicate::True();
+  AccessPath access = AccessPath::kAuto;
+  /// Store the result in the database (round-robin declustered result
+  /// relation, the paper's default) rather than returning it to the host.
+  bool store_result = true;
+  /// Name for the stored result; auto-generated when empty.
+  std::string result_name;
+};
+
+/// \brief Equijoin of `outer` (probing side) with `inner` (building side),
+/// with optional selections pushed onto either input.
+struct JoinQuery {
+  std::string outer;
+  std::string inner;
+  int outer_attr = -1;
+  int inner_attr = -1;
+  exec::Predicate outer_pred = exec::Predicate::True();
+  exec::Predicate inner_pred = exec::Predicate::True();
+  JoinMode mode = JoinMode::kRemote;
+  bool store_result = true;
+  std::string result_name;
+  /// Optimizer's estimate of building tuples reaching the join (sizes the
+  /// Hybrid join's buckets); 0 = use the inner relation's cardinality.
+  uint64_t expected_build_tuples = 0;
+  /// Use the parallel Hybrid hash join instead of Gamma's Simple
+  /// hash-partitioned algorithm (the paper's proposed replacement, §8).
+  bool use_hybrid = false;
+  /// Insert a bit-vector filter built from the inner relation into the
+  /// outer side's split tables (§2).
+  bool use_bit_filter = false;
+};
+
+/// \brief Scalar or grouped aggregate over one relation.
+struct AggregateQuery {
+  std::string relation;
+  /// -1 for a scalar aggregate.
+  int group_attr = -1;
+  int value_attr = -1;
+  exec::AggFunc func = exec::AggFunc::kCount;
+  exec::Predicate predicate = exec::Predicate::True();
+};
+
+/// \brief Append one tuple (Table 3 rows 1-2).
+struct AppendQuery {
+  std::string relation;
+  std::vector<uint8_t> tuple;
+};
+
+/// \brief Delete the tuple whose `key_attr` equals `key` (Table 3 row 3;
+/// located through an index when one exists).
+struct DeleteQuery {
+  std::string relation;
+  int key_attr = -1;
+  int32_t key = 0;
+};
+
+/// \brief Modify one attribute of the tuple located by `locate_attr ==
+/// locate_key` (Table 3 rows 4-6). Relocates the tuple when the modified
+/// attribute is the partitioning key; maintains indices through deferred
+/// update files.
+struct ModifyQuery {
+  std::string relation;
+  int locate_attr = -1;
+  int32_t locate_key = 0;
+  int target_attr = -1;
+  int32_t new_value = 0;
+};
+
+/// Both machines report outcomes in the same shape (exec/query_result.h).
+using QueryResult = exec::QueryResult;
+
+}  // namespace gammadb::gamma
+
+#endif  // GAMMA_GAMMA_QUERY_H_

@@ -1,0 +1,68 @@
+#include "gamma/recovery_log.h"
+
+#include "common/macros.h"
+
+namespace gammadb::gamma {
+
+RecoveryLog::RecoveryLog(sim::CostTracker* tracker, int recovery_node,
+                         uint32_t page_size)
+    : tracker_(tracker),
+      recovery_node_(recovery_node),
+      page_size_(page_size) {
+  if (tracker_ != nullptr) {
+    GAMMA_CHECK(recovery_node >= 0 && recovery_node < tracker->num_nodes());
+    pending_.resize(static_cast<size_t>(tracker->num_nodes()), 0);
+  }
+}
+
+void RecoveryLog::ShipPacket(int src_node, uint64_t bytes) {
+  tracker_->ChargeDataPacket(src_node, recovery_node_, bytes);
+  // Server side: copy into the log buffer; write full log pages
+  // sequentially.
+  tracker_->ChargeCpu(recovery_node_,
+                      tracker_->hw().cost.instr_per_tuple_copy);
+  server_pending_ += bytes;
+  while (server_pending_ >= page_size_) {
+    tracker_->ChargeDiskWrite(recovery_node_, page_size_,
+                              /*sequential=*/true);
+    server_pending_ -= page_size_;
+    ++stats_.log_pages_written;
+  }
+}
+
+void RecoveryLog::Append(int src_node, uint32_t payload_bytes) {
+  const uint32_t record = kRecordHeaderBytes + payload_bytes;
+  ++stats_.records;
+  stats_.bytes += record;
+  if (tracker_ == nullptr) return;
+  // Building the record is cheap; shipping dominates.
+  tracker_->ChargeCpu(src_node, tracker_->hw().cost.instr_per_tuple_copy);
+  uint64_t& pending = pending_[static_cast<size_t>(src_node)];
+  pending += record;
+  const uint64_t payload = tracker_->hw().net.packet_payload_bytes;
+  while (pending >= payload) {
+    ShipPacket(src_node, payload);
+    pending -= payload;
+  }
+}
+
+void RecoveryLog::Commit(int src_node) {
+  if (tracker_ == nullptr) return;
+  uint64_t& pending = pending_[static_cast<size_t>(src_node)];
+  if (pending > 0) {
+    ShipPacket(src_node, pending);
+    pending = 0;
+  }
+  if (server_pending_ > 0) {
+    // Force the log tail (partial page) at commit.
+    tracker_->ChargeDiskWrite(recovery_node_, page_size_,
+                              /*sequential=*/true);
+    server_pending_ = 0;
+    ++stats_.log_pages_written;
+  }
+  // Commit acknowledgement round trip.
+  tracker_->ChargeControlMessage(src_node, recovery_node_, /*blocking=*/true);
+  tracker_->ChargeControlMessage(recovery_node_, src_node, /*blocking=*/false);
+}
+
+}  // namespace gammadb::gamma

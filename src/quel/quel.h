@@ -1,0 +1,56 @@
+#ifndef GAMMA_QUEL_QUEL_H_
+#define GAMMA_QUEL_QUEL_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "exec/query_result.h"
+#include "gamma/machine.h"
+
+namespace gammadb::quel {
+
+/// \brief A small QUEL front end for the Gamma machine.
+///
+/// Gamma's host spoke an extended QUEL (§2, [STON76]); this module covers
+/// the subset the paper's benchmark queries need:
+///
+///   range of t is A
+///   retrieve (t.all) where t.unique1 >= 0 and t.unique1 <= 99
+///   retrieve into R (t.all) where t.unique2 = 55
+///   retrieve (a.all, b.all) where a.unique2 = b.unique2
+///       and a.unique1 <= 999 and b.unique1 <= 999
+///   retrieve (min(t.unique1))
+///   retrieve (count(t.unique1) by t.ten)
+///   append to A (unique1 = 5, unique2 = 7)
+///   delete t where t.unique1 = 44
+///   replace t (ten = 5) where t.unique1 = 44
+///
+/// Statements are parsed, planned onto the machine's query descriptors, and
+/// executed; "range of" declarations persist in the session. Comparisons in
+/// a where-clause must target a single attribute per range variable (the
+/// benchmark's selection shape); joins take exactly one var-to-var equality.
+class Session {
+ public:
+  explicit Session(gamma::GammaMachine* machine);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and executes one statement. "range of" statements return an
+  /// empty QueryResult. Parse and planning errors come back as
+  /// InvalidArgument / NotImplemented.
+  Result<exec::QueryResult> Execute(std::string_view statement);
+
+  /// Relation bound to a range variable, if any (test hook).
+  Result<std::string> RangeOf(const std::string& var) const;
+
+ private:
+  gamma::GammaMachine* machine_;
+  std::map<std::string, std::string> range_vars_;
+};
+
+}  // namespace gammadb::quel
+
+#endif  // GAMMA_QUEL_QUEL_H_

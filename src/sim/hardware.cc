@@ -1,0 +1,41 @@
+#include "sim/hardware.h"
+
+namespace gammadb::sim {
+
+MachineParams MachineParams::GammaDefaults() {
+  MachineParams p;
+  // Struct member defaults are already the Gamma values; keep this factory
+  // explicit so call sites read as a configuration choice.
+  return p;
+}
+
+MachineParams MachineParams::TeradataDefaults() {
+  MachineParams p;
+  // Hitachi 525 MB 8.8" drives: slower positioning, ~1.8 MB/s transfer.
+  p.disk.transfer_bytes_per_sec = 1.8e6;
+  p.disk.positioning_sec = 0.025;
+  p.disk.sequential_overhead_sec = 0.004;
+  // Intel 80286 AMP processor, nominally ~1 MIPS.
+  p.cpu.mips = 1.0;
+  // Y-net: 12 MB/s aggregate; the per-AMP interface is modelled at 1 MB/s.
+  p.net.nic_bytes_per_sec = 1.0e6;
+  p.net.ring_bytes_per_sec = 12.0e6;
+  p.net.packet_payload_bytes = 2048;
+  p.net.control_msg_sec = 0.005;
+  p.net.sched_msgs_per_operator_per_node = 2;
+  // Teradata's software path lengths are far longer than Gamma's: predicates
+  // are interpreted rather than compiled into machine code, and every stored
+  // tuple runs the full recovery path ([DEWI87]; fitted from Table 1's
+  // Teradata column, ~4 ms of CPU per scanned tuple at 1 MIPS).
+  p.cost.instr_per_tuple_scan = 1000;
+  p.cost.instr_per_attr_compare = 1200;
+  p.cost.instr_per_tuple_copy = 1000;
+  p.cost.instr_per_tuple_hash = 300;
+  p.cost.instr_per_tuple_store = 12000;
+  p.cost.instr_per_packet_protocol = 4000;
+  p.cost.instr_per_sort_compare = 600;
+  p.cost.instr_per_page_io = 4000;
+  return p;
+}
+
+}  // namespace gammadb::sim

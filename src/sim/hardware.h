@@ -1,0 +1,130 @@
+#ifndef GAMMA_SIM_HARDWARE_H_
+#define GAMMA_SIM_HARDWARE_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace gammadb::sim {
+
+/// \brief Disk drive timing parameters.
+///
+/// Gamma defaults model the Fujitsu 333 MB 8" drives: the paper states a
+/// 32 KB transfer takes 13 ms ("very close to the time required to perform a
+/// random disk seek") and that the track size is 40 KB, giving a transfer
+/// rate of ~2.46 MB/s and an average positioning (seek + rotational) time of
+/// ~13 ms.
+struct DiskParams {
+  /// Sustained media transfer rate in bytes/second.
+  double transfer_bytes_per_sec = 2.46e6;
+  /// Average positioning time (seek + rotational latency) for a random
+  /// access, in seconds.
+  double positioning_sec = 0.013;
+  /// Per-page overhead on a *sequential* access. WiSS issued synchronous
+  /// page-at-a-time reads, so consecutive pages usually missed the next
+  /// sector and waited most of a rotation (~16.7 ms at 3600 rpm); this is
+  /// what makes a one-processor 100k-tuple scan take ~110 s (Figure 1) and
+  /// the 2 KB-page system disk-bound (§5.2.2).
+  double sequential_overhead_sec = 0.012;
+
+  /// Seconds to read or write `bytes` with the given access pattern.
+  double AccessSec(uint64_t bytes, bool sequential) const {
+    const double transfer = static_cast<double>(bytes) / transfer_bytes_per_sec;
+    return transfer + (sequential ? sequential_overhead_sec : positioning_sec);
+  }
+};
+
+/// \brief Processor speed. The VAX 11/750 is a 0.6 MIPS machine (paper §5.2.2).
+struct CpuParams {
+  double mips = 0.6;
+
+  double InstrSec(double instructions) const {
+    return instructions / (mips * 1e6);
+  }
+};
+
+/// \brief Interconnect parameters.
+///
+/// Gamma's 80 Mbit/s token ring is never the bottleneck (§5.2.1); the path
+/// from memory to the network is limited by the 4 Mbit/s Unibus on each VAX.
+/// Small control messages cost ~7 ms (§6.2.3), and data packets are 2 KB.
+struct NetParams {
+  double nic_bytes_per_sec = MbitPerSecToBytesPerSec(4.0);
+  double ring_bytes_per_sec = MbitPerSecToBytesPerSec(80.0);
+  uint32_t packet_payload_bytes = 2048;
+  double control_msg_sec = 0.007;
+  /// Control messages the scheduler exchanges per operator per participating
+  /// node (§6.2.3: "Gamma requires four messages to schedule a query
+  /// operator per node").
+  uint32_t sched_msgs_per_operator_per_node = 4;
+};
+
+/// \brief Software path lengths, in machine instructions.
+///
+/// These are the calibration knobs: they are fitted so that the Table 1/2/3
+/// configurations land near the paper's absolute numbers (see
+/// tests/calibration_test.cc), and each is a plausible 1988 path length.
+struct CostConstants {
+  /// Buffer-pool + file-system CPU per page I/O (WiSS page fix path).
+  double instr_per_page_io = 3000;
+  /// Buffer-pool hit (page already resident).
+  double instr_per_page_hit = 300;
+  /// Locating + fetching one tuple during a scan (slot lookup, bookkeeping).
+  double instr_per_tuple_scan = 250;
+  /// One compiled-predicate attribute comparison.
+  double instr_per_attr_compare = 100;
+  /// Copying one tuple into an output (packet or page) buffer and running
+  /// the per-tuple slice of the communications path.
+  double instr_per_tuple_copy = 700;
+  /// Hashing one attribute (split tables, join partitioning).
+  double instr_per_tuple_hash = 100;
+  /// Inserting one tuple into a join hash table.
+  double instr_per_tuple_build = 300;
+  /// Probing the hash table with one tuple (bucket walk + join test).
+  double instr_per_tuple_probe = 300;
+  /// Appending one tuple to a result file (page management amortized).
+  double instr_per_tuple_store = 700;
+  /// Datagram protocol cost per packet, charged at each end (sliding-window
+  /// reliable datagrams on a 0.6 MIPS machine).
+  double instr_per_packet_protocol = 3000;
+  /// Short-circuited (same node) message delivery per packet.
+  double instr_per_packet_shortcircuit = 500;
+  /// Handing one tuple to a consumer on the same processor (shared-memory
+  /// queue; no packet assembly or protocol). This asymmetry versus
+  /// instr_per_tuple_copy is what makes Local joins on the partitioning
+  /// attribute the fastest placement (§6.2.1).
+  double instr_per_tuple_local_handoff = 150;
+  /// CPU per B-tree level during a descent (binary search within a node).
+  double instr_per_btree_level = 300;
+  /// Acquiring/releasing one lock (concurrency-control path).
+  double instr_per_lock = 200;
+  /// One comparison during sorting (Teradata sort-merge path).
+  double instr_per_sort_compare = 150;
+  /// Updating one aggregate accumulator.
+  double instr_per_tuple_agg = 150;
+  /// Writing/applying one deferred-update record for index maintenance.
+  double instr_per_deferred_update = 500;
+};
+
+/// \brief Complete hardware + software-path description of one machine.
+struct MachineParams {
+  DiskParams disk;
+  CpuParams cpu;
+  NetParams net;
+  CostConstants cost;
+
+  /// The Gamma configuration evaluated in the paper: 17 VAX 11/750s, 8 with
+  /// Fujitsu disks, 80 Mbit/s token ring, 4 Mbit/s Unibus NIC.
+  static MachineParams GammaDefaults();
+
+  /// The Teradata DBC/1012 configuration: 20 AMPs (Intel 80286, ~1 MIPS)
+  /// with two 525 MB Hitachi drives each, 12 MB/s Y-net. Software path
+  /// lengths are far longer than Gamma's (interpreted predicates, per-tuple
+  /// recovery logging); they are fitted from the Teradata columns of
+  /// Tables 1-3 via [DEWI87]'s analysis.
+  static MachineParams TeradataDefaults();
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_HARDWARE_H_

@@ -1,0 +1,65 @@
+#include "sim/multiuser.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace gammadb::sim {
+
+ThroughputReport AnalyzeMix(const std::vector<MixItem>& mix, int num_nodes,
+                            int scheduler_node, const MachineParams& hw) {
+  GAMMA_CHECK(num_nodes > 0);
+  GAMMA_CHECK(scheduler_node >= 0 && scheduler_node < num_nodes);
+  ThroughputReport report;
+  report.per_node_demand.assign(static_cast<size_t>(num_nodes), NodeUsage{});
+  double ring_bytes_per_mix = 0;
+  double scheduler_sec_per_mix = 0;
+
+  for (const MixItem& item : mix) {
+    scheduler_sec_per_mix += item.weight * item.metrics.scheduling_sec;
+    for (const PhaseMetrics& phase : item.metrics.phases) {
+      ring_bytes_per_mix +=
+          item.weight * static_cast<double>(phase.ring_bytes);
+      for (size_t node = 0;
+           node < phase.per_node.size() &&
+           node < report.per_node_demand.size();
+           ++node) {
+        const NodeUsage& usage = phase.per_node[node];
+        NodeUsage& demand = report.per_node_demand[node];
+        demand.disk_sec += item.weight * usage.disk_sec;
+        demand.cpu_sec += item.weight * usage.cpu_sec;
+        demand.net_sec += item.weight * usage.net_sec;
+      }
+    }
+  }
+  report.per_node_demand[static_cast<size_t>(scheduler_node)].cpu_sec +=
+      scheduler_sec_per_mix;
+
+  // Utilization law: throughput <= 1 / busiest per-mix demand.
+  double busiest = 0;
+  for (int node = 0; node < num_nodes; ++node) {
+    const NodeUsage& demand = report.per_node_demand[static_cast<size_t>(node)];
+    for (const auto& [resource, seconds] :
+         {std::pair{Resource::kDisk, demand.disk_sec},
+          std::pair{Resource::kCpu, demand.cpu_sec},
+          std::pair{Resource::kNet, demand.net_sec}}) {
+      if (seconds > busiest) {
+        busiest = seconds;
+        report.bottleneck_node = node;
+        report.bottleneck_resource = resource;
+      }
+    }
+  }
+  const double ring_sec = ring_bytes_per_mix / hw.net.ring_bytes_per_sec;
+  if (ring_sec > busiest) {
+    busiest = ring_sec;
+    report.ring_limited = true;
+    report.bottleneck_node = -1;
+    report.bottleneck_resource = Resource::kNet;
+  }
+  report.bottleneck_busy_sec = busiest;
+  report.max_mixes_per_sec = busiest > 0 ? 1.0 / busiest : 0.0;
+  return report;
+}
+
+}  // namespace gammadb::sim

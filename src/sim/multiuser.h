@@ -1,0 +1,51 @@
+#ifndef GAMMA_SIM_MULTIUSER_H_
+#define GAMMA_SIM_MULTIUSER_H_
+
+#include <vector>
+
+#include "sim/cost_tracker.h"
+
+namespace gammadb::sim {
+
+/// \brief Operational-analysis throughput model for multiuser workloads.
+///
+/// The paper defers multiuser evaluation to future work but states the
+/// expectation it would test: "offloading the join operators to remote
+/// processors will allow the processors with disks to effectively support
+/// more concurrent selection and store operators" (§6.2.1). This model
+/// makes that testable: given the single-query resource profiles of a
+/// workload mix, the asymptotic throughput of a closed multiuser system is
+/// bounded by its busiest resource (the utilization law) — so moving join
+/// CPU off the disk nodes raises the bound exactly when the disk nodes are
+/// the bottleneck.
+struct MixItem {
+  /// Single-user metrics of one query of the mix.
+  QueryMetrics metrics;
+  /// Relative frequency within the mix.
+  double weight = 1.0;
+};
+
+struct ThroughputReport {
+  /// Upper bound on mix completions per second (all weights together).
+  double max_mixes_per_sec = 0;
+  /// The saturated resource.
+  int bottleneck_node = -1;
+  Resource bottleneck_resource = Resource::kNone;
+  /// True when the shared interconnect, not a node, binds throughput.
+  bool ring_limited = false;
+  /// Busy seconds demanded per mix at the bottleneck.
+  double bottleneck_busy_sec = 0;
+  /// Per-node demand (seconds of each resource per mix iteration).
+  std::vector<NodeUsage> per_node_demand;
+};
+
+/// Computes the throughput bound for a mix over `num_nodes` processors with
+/// the given hardware. Scheduling time is treated as demand on the
+/// scheduling processor (serialized there), so over-scheduling can itself
+/// become the bottleneck.
+ThroughputReport AnalyzeMix(const std::vector<MixItem>& mix, int num_nodes,
+                            int scheduler_node, const MachineParams& hw);
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_MULTIUSER_H_

@@ -1,0 +1,126 @@
+#ifndef GAMMA_STORAGE_BTREE_H_
+#define GAMMA_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace gammadb::storage {
+
+/// \brief B+-tree index mapping a 4-byte integer key to record ids.
+///
+/// Serves both of Gamma's index kinds: over a key-sorted file it is the
+/// paper's *clustered* index (leaf order == data order, so a range scan
+/// touches only the matching data pages sequentially); over an arbitrarily
+/// loaded file it is the *non-clustered* index (every qualifying tuple can
+/// fault a random data page — the behaviour behind Figs 4, 7 and 8).
+///
+/// Duplicate keys are allowed (entries are ordered by (key, rid)). Node
+/// fanout follows the page size, so the page-size experiments change index
+/// height and leaf count naturally. Deletion is by tombstone-free removal
+/// within a leaf without rebalancing (WiSS-era behaviour; documented
+/// trade-off: the tree never shrinks).
+class BTree {
+ public:
+  struct Entry {
+    int32_t key;
+    Rid rid;
+  };
+
+  /// Scan callback; return false to stop.
+  using ScanCallback = std::function<bool(const Entry&)>;
+
+  BTree(BufferPool* pool, const ChargeContext* charge);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Builds the tree from entries sorted by (key, rid). Must be empty.
+  void BulkLoad(std::span<const Entry> sorted_entries);
+
+  void Insert(int32_t key, Rid rid);
+
+  /// Removes the exact (key, rid) entry. Returns false if absent.
+  bool Delete(int32_t key, Rid rid);
+
+  /// Visits all entries with entry.key >= key in (key, rid) order.
+  void ScanFrom(int32_t key, const ScanCallback& callback) const;
+
+  /// Collects the rids of all entries with lo <= key <= hi.
+  std::vector<Rid> RangeLookup(int32_t lo, int32_t hi) const;
+
+  uint32_t height() const { return height_; }
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t num_pages() const { return num_pages_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Maximum entries per leaf / per internal node at this page size.
+  uint32_t leaf_capacity() const { return leaf_capacity_; }
+  uint32_t internal_capacity() const { return internal_capacity_; }
+
+ private:
+  struct NodeHeader {
+    uint16_t count;
+    uint8_t is_leaf;
+    uint8_t pad;
+    uint32_t next_leaf;  // leaf chain; kNoPage when none or internal
+  };
+  struct LeafEntry {
+    int32_t key;
+    uint32_t page_index;
+    uint16_t slot;
+    uint16_t pad;
+  };
+  struct InternalEntry {
+    int32_t key;      // smallest key in the child's subtree
+    uint32_t child;   // page number
+  };
+  static constexpr uint32_t kNoPage = 0xFFFFFFFF;
+  static constexpr uint32_t kHeaderSize = sizeof(NodeHeader);
+
+  static NodeHeader* Header(uint8_t* frame) {
+    return reinterpret_cast<NodeHeader*>(frame);
+  }
+  static const NodeHeader* Header(const uint8_t* frame) {
+    return reinterpret_cast<const NodeHeader*>(frame);
+  }
+  static LeafEntry* Leaves(uint8_t* frame) {
+    return reinterpret_cast<LeafEntry*>(frame + kHeaderSize);
+  }
+  static const LeafEntry* Leaves(const uint8_t* frame) {
+    return reinterpret_cast<const LeafEntry*>(frame + kHeaderSize);
+  }
+
+  static bool EntryLess(const LeafEntry& a, int32_t key, Rid rid);
+
+  uint32_t NewNode(bool is_leaf, uint8_t** frame_out);
+
+  /// Descends to the leaf that may contain the first entry >= key
+  /// (strict-less routing so duplicates split across leaves are not missed).
+  uint32_t FindLeafForScan(int32_t key) const;
+
+  /// Descends for insertion of (key, rid), recording the path of
+  /// (page_no, child_slot_in_parent) pairs.
+  uint32_t FindLeafForInsert(int32_t key, Rid rid,
+                             std::vector<uint32_t>* path) const;
+
+  void InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
+                        uint32_t new_child);
+
+  BufferPool* pool_;
+  const ChargeContext* charge_;
+  uint32_t leaf_capacity_;
+  uint32_t internal_capacity_;
+  uint32_t root_ = kNoPage;
+  uint32_t height_ = 0;  // number of levels; 1 == root is a leaf
+  uint64_t num_entries_ = 0;
+  uint32_t num_pages_ = 0;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_BTREE_H_

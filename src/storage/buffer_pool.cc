@@ -1,0 +1,115 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace gammadb::storage {
+
+BufferPool::BufferPool(SimulatedDisk* disk, const ChargeContext* charge,
+                       uint64_t capacity_bytes)
+    : disk_(disk), charge_(charge) {
+  GAMMA_CHECK(disk != nullptr && charge != nullptr);
+  const uint64_t frames = capacity_bytes / disk->page_size();
+  // Keep at least a handful of frames so concurrent pins (B-tree descents
+  // hold parent + child) always succeed.
+  capacity_frames_ = static_cast<uint32_t>(std::max<uint64_t>(frames, 8));
+}
+
+BufferPool::~BufferPool() {
+  // Intentionally no flush: accounting requires explicit FlushAll inside a
+  // phase; destruction outside a query would charge to nothing anyway.
+}
+
+void BufferPool::WriteBack(uint32_t page_no, Frame& frame) {
+  disk_->Write(page_no, frame.data.data());
+  charge_->DiskWrite(disk_->page_size(), frame.write_intent);
+  frame.dirty = false;
+}
+
+void BufferPool::MakeRoom() {
+  if (frames_.size() < capacity_frames_) return;
+  GAMMA_CHECK_MSG(!lru_.empty(), "buffer pool: all frames pinned");
+  const uint32_t victim_no = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim_no);
+  GAMMA_DCHECK(it != frames_.end());
+  if (it->second.dirty) WriteBack(victim_no, it->second);
+  frames_.erase(it);
+  ++evictions_;
+}
+
+uint8_t* BufferPool::Pin(uint32_t page_no, AccessIntent intent) {
+  auto it = frames_.find(page_no);
+  if (it != frames_.end()) {
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.pin_count += 1;
+    ++hits_;
+    charge_->BufferHit();
+    return frame.data.data();
+  }
+  MakeRoom();
+  Frame& frame = frames_[page_no];
+  frame.data.resize(disk_->page_size());
+  disk_->Read(page_no, frame.data.data());
+  frame.pin_count = 1;
+  ++misses_;
+  charge_->DiskRead(disk_->page_size(), intent);
+  return frame.data.data();
+}
+
+uint32_t BufferPool::NewPage(uint8_t** frame_out) {
+  MakeRoom();
+  const uint32_t page_no = disk_->Allocate();
+  Frame& frame = frames_[page_no];
+  frame.data.assign(disk_->page_size(), 0);
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.write_intent = AccessIntent::kSequential;
+  *frame_out = frame.data.data();
+  return page_no;
+}
+
+void BufferPool::MarkDirty(uint32_t page_no, AccessIntent intent) {
+  auto it = frames_.find(page_no);
+  GAMMA_CHECK_MSG(it != frames_.end() && it->second.pin_count > 0,
+                  "MarkDirty on unpinned page");
+  it->second.dirty = true;
+  it->second.write_intent = intent;
+}
+
+void BufferPool::Unpin(uint32_t page_no) {
+  auto it = frames_.find(page_no);
+  GAMMA_CHECK_MSG(it != frames_.end() && it->second.pin_count > 0,
+                  "Unpin without pin");
+  Frame& frame = it->second;
+  frame.pin_count -= 1;
+  if (frame.pin_count == 0) {
+    frame.lru_pos = lru_.insert(lru_.end(), page_no);
+    frame.in_lru = true;
+  }
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [page_no, frame] : frames_) {
+    if (frame.dirty) WriteBack(page_no, frame);
+  }
+}
+
+void BufferPool::Invalidate() {
+  FlushAll();
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pin_count == 0) {
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace gammadb::storage

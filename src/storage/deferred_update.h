@@ -1,0 +1,54 @@
+#ifndef GAMMA_STORAGE_DEFERRED_UPDATE_H_
+#define GAMMA_STORAGE_DEFERRED_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/btree.h"
+
+namespace gammadb::storage {
+
+/// \brief Gamma's deferred-update file for index maintenance.
+///
+/// When an update statement modifies an attribute that an index is built on,
+/// applying the index change immediately would let the statement re-find the
+/// tuple it just moved (the Halloween problem, paper §7 footnote 5). Gamma
+/// instead queues index changes in a deferred-update file and applies them
+/// when the statement completes. The file corresponds only to the index
+/// structure, not the data file, and doubles as Gamma's partial-recovery
+/// record for the statement.
+class DeferredUpdateFile {
+ public:
+  DeferredUpdateFile(const ChargeContext* charge, uint32_t page_size);
+
+  DeferredUpdateFile(const DeferredUpdateFile&) = delete;
+  DeferredUpdateFile& operator=(const DeferredUpdateFile&) = delete;
+
+  void LogInsert(BTree* index, int32_t key, Rid rid);
+  void LogDelete(BTree* index, int32_t key, Rid rid);
+
+  size_t pending() const { return records_.size(); }
+
+  /// Applies all queued index changes (statement commit). Charges one forced
+  /// page write for the deferred file plus the per-record apply path.
+  void Commit();
+
+  /// Drops all queued changes (statement abort).
+  void Abort() { records_.clear(); }
+
+ private:
+  struct Record {
+    BTree* index;
+    bool is_insert;
+    int32_t key;
+    Rid rid;
+  };
+
+  const ChargeContext* charge_;
+  uint32_t page_size_;
+  std::vector<Record> records_;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_DEFERRED_UPDATE_H_

@@ -1,0 +1,28 @@
+#include "storage/disk.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gammadb::storage {
+
+SimulatedDisk::SimulatedDisk(uint32_t page_size) : page_size_(page_size) {
+  GAMMA_CHECK(page_size >= 64);
+}
+
+uint32_t SimulatedDisk::Allocate() {
+  pages_.emplace_back(page_size_, uint8_t{0});
+  return static_cast<uint32_t>(pages_.size() - 1);
+}
+
+void SimulatedDisk::Read(uint32_t page_no, uint8_t* out) const {
+  GAMMA_CHECK(page_no < pages_.size());
+  std::memcpy(out, pages_[page_no].data(), page_size_);
+}
+
+void SimulatedDisk::Write(uint32_t page_no, const uint8_t* data) {
+  GAMMA_CHECK(page_no < pages_.size());
+  std::memcpy(pages_[page_no].data(), data, page_size_);
+}
+
+}  // namespace gammadb::storage

@@ -1,0 +1,78 @@
+#ifndef GAMMA_STORAGE_DISK_H_
+#define GAMMA_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_tracker.h"
+
+namespace gammadb::storage {
+
+/// Disk access pattern hint. Drives the cost model's positioning-vs-streaming
+/// distinction; callers (file scans, B-tree descents) know which they are.
+enum class AccessIntent { kSequential, kRandom };
+
+/// Per-node accounting hook. A StorageManager owns one; every storage
+/// component charges through it. When `tracker` is null (unit tests, data
+/// loading outside a measured query) charging is a no-op.
+struct ChargeContext {
+  sim::CostTracker* tracker = nullptr;
+  int node = -1;
+
+  void DiskRead(uint64_t bytes, AccessIntent intent) const {
+    if (tracker != nullptr) {
+      tracker->ChargeDiskRead(node, bytes, intent == AccessIntent::kSequential);
+    }
+  }
+  void DiskWrite(uint64_t bytes, AccessIntent intent) const {
+    if (tracker != nullptr) {
+      tracker->ChargeDiskWrite(node, bytes,
+                               intent == AccessIntent::kSequential);
+    }
+  }
+  void BufferHit() const {
+    if (tracker != nullptr) tracker->ChargeBufferHit(node);
+  }
+  void Cpu(double instructions) const {
+    if (tracker != nullptr) tracker->ChargeCpu(node, instructions);
+  }
+  /// Search CPU within one B-tree node during a descent.
+  void BtreeNodeVisit() const {
+    if (tracker != nullptr) {
+      tracker->ChargeCpu(node, tracker->hw().cost.instr_per_btree_level);
+    }
+  }
+};
+
+/// \brief One simulated disk drive: a flat array of fixed-size pages.
+///
+/// Data lives in host memory; timing comes entirely from the cost model via
+/// the ChargeContext at the buffer-pool layer (the disk itself is a dumb
+/// store so tests can use it without accounting).
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(uint32_t page_size);
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+
+  /// Allocates a zeroed page and returns its page number.
+  uint32_t Allocate();
+
+  /// Copies a page into `out` (must hold page_size bytes).
+  void Read(uint32_t page_no, uint8_t* out) const;
+
+  /// Copies `data` (page_size bytes) into the page.
+  void Write(uint32_t page_no, const uint8_t* data);
+
+ private:
+  uint32_t page_size_;
+  std::vector<std::vector<uint8_t>> pages_;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_DISK_H_

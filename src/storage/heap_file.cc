@@ -1,0 +1,115 @@
+#include "storage/heap_file.h"
+
+#include "common/macros.h"
+
+namespace gammadb::storage {
+
+HeapFile::HeapFile(BufferPool* pool, const ChargeContext* charge)
+    : pool_(pool), charge_(charge) {
+  GAMMA_CHECK(pool != nullptr && charge != nullptr);
+}
+
+Rid HeapFile::Append(std::span<const uint8_t> record) {
+  GAMMA_CHECK_MSG(record.size() + 16 <= pool_->page_size(),
+                  "record larger than a page");
+  if (!pages_.empty()) {
+    const uint32_t page_no = pages_.back();
+    uint8_t* frame = pool_->Pin(page_no, AccessIntent::kSequential);
+    SlottedPage page(frame, pool_->page_size());
+    if (auto slot = page.Insert(record)) {
+      pool_->MarkDirty(page_no, AccessIntent::kSequential);
+      pool_->Unpin(page_no);
+      ++num_tuples_;
+      return Rid{static_cast<uint32_t>(pages_.size() - 1), *slot};
+    }
+    pool_->Unpin(page_no);
+  }
+  uint8_t* frame = nullptr;
+  const uint32_t page_no = pool_->NewPage(&frame);
+  SlottedPage::Initialize(frame, pool_->page_size());
+  SlottedPage page(frame, pool_->page_size());
+  auto slot = page.Insert(record);
+  GAMMA_CHECK_MSG(slot.has_value(), "record does not fit on an empty page");
+  pool_->Unpin(page_no);
+  pages_.push_back(page_no);
+  ++num_tuples_;
+  return Rid{static_cast<uint32_t>(pages_.size() - 1), *slot};
+}
+
+void HeapFile::Scan(const ScanCallback& callback) const {
+  if (pages_.empty()) return;
+  ScanPages(0, num_pages() - 1, callback);
+}
+
+void HeapFile::ScanPages(uint32_t first_page, uint32_t last_page,
+                         const ScanCallback& callback) const {
+  GAMMA_CHECK(first_page <= last_page && last_page < pages_.size());
+  for (uint32_t i = first_page; i <= last_page; ++i) {
+    const uint32_t page_no = pages_[i];
+    uint8_t* frame = pool_->Pin(page_no, AccessIntent::kSequential);
+    SlottedPage page(frame, pool_->page_size());
+    bool keep_going = true;
+    for (uint16_t slot = 0; keep_going && slot < page.slot_count(); ++slot) {
+      auto record = page.Get(slot);
+      if (record.empty()) continue;
+      keep_going = callback(Rid{i, slot}, record);
+    }
+    pool_->Unpin(page_no);
+    if (!keep_going) return;
+  }
+}
+
+Result<std::vector<uint8_t>> HeapFile::Fetch(Rid rid,
+                                             AccessIntent intent) const {
+  if (rid.page_index >= pages_.size()) {
+    return Status::NotFound("rid page out of range");
+  }
+  const uint32_t page_no = pages_[rid.page_index];
+  uint8_t* frame = pool_->Pin(page_no, intent);
+  SlottedPage page(frame, pool_->page_size());
+  auto record = page.Get(rid.slot);
+  if (record.empty()) {
+    pool_->Unpin(page_no);
+    return Status::NotFound("rid slot not live");
+  }
+  std::vector<uint8_t> out(record.begin(), record.end());
+  pool_->Unpin(page_no);
+  return out;
+}
+
+Status HeapFile::Delete(Rid rid) {
+  if (rid.page_index >= pages_.size()) {
+    return Status::NotFound("rid page out of range");
+  }
+  const uint32_t page_no = pages_[rid.page_index];
+  uint8_t* frame = pool_->Pin(page_no, AccessIntent::kRandom);
+  SlottedPage page(frame, pool_->page_size());
+  const bool deleted = page.Delete(rid.slot);
+  if (deleted) {
+    pool_->MarkDirty(page_no, AccessIntent::kRandom);
+    --num_tuples_;
+  }
+  pool_->Unpin(page_no);
+  return deleted ? Status::OK() : Status::NotFound("rid slot not live");
+}
+
+Status HeapFile::Update(Rid rid, std::span<const uint8_t> record) {
+  if (rid.page_index >= pages_.size()) {
+    return Status::NotFound("rid page out of range");
+  }
+  const uint32_t page_no = pages_[rid.page_index];
+  uint8_t* frame = pool_->Pin(page_no, AccessIntent::kRandom);
+  SlottedPage page(frame, pool_->page_size());
+  const bool updated = page.Update(rid.slot, record);
+  if (updated) pool_->MarkDirty(page_no, AccessIntent::kRandom);
+  pool_->Unpin(page_no);
+  return updated ? Status::OK()
+                 : Status::ResourceExhausted("record does not fit on page");
+}
+
+void HeapFile::Clear() {
+  pages_.clear();
+  num_tuples_ = 0;
+}
+
+}  // namespace gammadb::storage

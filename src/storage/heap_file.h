@@ -1,0 +1,85 @@
+#ifndef GAMMA_STORAGE_HEAP_FILE_H_
+#define GAMMA_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace gammadb::storage {
+
+/// Record id: a page's index *within its file* plus the slot on that page.
+/// Stable across in-place updates; invalidated by deletion.
+struct Rid {
+  uint32_t page_index = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+  bool operator<(const Rid& other) const {
+    return page_index != other.page_index ? page_index < other.page_index
+                                          : slot < other.slot;
+  }
+};
+
+/// \brief A WiSS-style structured sequential file of records.
+///
+/// Records are appended into slotted pages; the file remembers its disk
+/// pages in order, so a scan is a sequential sweep. Loading in key order
+/// yields the paper's "clustered" organization (index order == key order)
+/// with no extra machinery.
+class HeapFile {
+ public:
+  /// Callback for scans: (rid, record bytes). Return false to stop the scan.
+  using ScanCallback = std::function<bool(Rid, std::span<const uint8_t>)>;
+
+  HeapFile(BufferPool* pool, const ChargeContext* charge);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+  HeapFile(HeapFile&&) = default;
+  HeapFile& operator=(HeapFile&&) = default;
+
+  uint32_t num_pages() const {
+    return static_cast<uint32_t>(pages_.size());
+  }
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  /// Appends a record, growing the file as needed.
+  Rid Append(std::span<const uint8_t> record);
+
+  /// Full sequential scan.
+  void Scan(const ScanCallback& callback) const;
+
+  /// Sequential scan of the page range [first_page, last_page].
+  void ScanPages(uint32_t first_page, uint32_t last_page,
+                 const ScanCallback& callback) const;
+
+  /// Random fetch of one record (copied out).
+  Result<std::vector<uint8_t>> Fetch(
+      Rid rid, AccessIntent intent = AccessIntent::kRandom) const;
+
+  /// Tombstones the record.
+  Status Delete(Rid rid);
+
+  /// Replaces the record; must fit on its page (fixed-size records always
+  /// do). The rid remains valid.
+  Status Update(Rid rid, std::span<const uint8_t> record);
+
+  /// Forgets all pages and tuples (temporary-file reuse). The simulated
+  /// disk's space is unbounded, so old pages are simply abandoned.
+  void Clear();
+
+ private:
+  BufferPool* pool_;
+  const ChargeContext* charge_;
+  std::vector<uint32_t> pages_;  // disk page numbers, in file order
+  uint64_t num_tuples_ = 0;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,86 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace gammadb::storage {
+
+LockManager::LockManager(const ChargeContext* charge) : charge_(charge) {
+  GAMMA_CHECK(charge != nullptr);
+}
+
+Status LockManager::Acquire(uint64_t txn_id, LockName name, LockMode mode) {
+  ++acquisitions_;
+  if (charge_->tracker != nullptr) {
+    charge_->Cpu(charge_->tracker->hw().cost.instr_per_lock);
+  }
+  const uint64_t key = name.Encode();
+  LockState& state = locks_[key];
+
+  const bool already_shared =
+      std::find(state.shared_holders.begin(), state.shared_holders.end(),
+                txn_id) != state.shared_holders.end();
+  const bool already_exclusive = state.exclusive &&
+                                 state.exclusive_holder == txn_id;
+
+  if (mode == LockMode::kShared) {
+    if (already_shared || already_exclusive) return Status::OK();
+    if (state.exclusive) {
+      return Status::FailedPrecondition("lock conflict: held exclusively");
+    }
+    state.shared_holders.push_back(txn_id);
+    held_[txn_id].push_back(key);
+    return Status::OK();
+  }
+
+  // Exclusive request.
+  if (already_exclusive) return Status::OK();
+  if (state.exclusive) {
+    return Status::FailedPrecondition("lock conflict: held exclusively");
+  }
+  if (!state.shared_holders.empty()) {
+    // Upgrade is allowed only when this txn is the sole shared holder.
+    if (state.shared_holders.size() == 1 && already_shared) {
+      state.shared_holders.clear();
+    } else {
+      return Status::FailedPrecondition("lock conflict: shared holders");
+    }
+  } else if (already_shared) {
+    state.shared_holders.clear();
+  }
+  state.exclusive = true;
+  state.exclusive_holder = txn_id;
+  if (!already_shared) held_[txn_id].push_back(key);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  auto it = held_.find(txn_id);
+  if (it == held_.end()) return;
+  for (uint64_t key : it->second) {
+    auto lock_it = locks_.find(key);
+    if (lock_it == locks_.end()) continue;
+    LockState& state = lock_it->second;
+    if (state.exclusive && state.exclusive_holder == txn_id) {
+      state.exclusive = false;
+      state.exclusive_holder = 0;
+    }
+    auto holder = std::find(state.shared_holders.begin(),
+                            state.shared_holders.end(), txn_id);
+    if (holder != state.shared_holders.end()) {
+      state.shared_holders.erase(holder);
+    }
+    if (!state.exclusive && state.shared_holders.empty()) {
+      locks_.erase(lock_it);
+    }
+  }
+  held_.erase(it);
+}
+
+size_t LockManager::held_count(uint64_t txn_id) const {
+  auto it = held_.find(txn_id);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace gammadb::storage

@@ -1,0 +1,66 @@
+#ifndef GAMMA_STORAGE_STORAGE_MANAGER_H_
+#define GAMMA_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "storage/heap_file.h"
+#include "storage/lock_manager.h"
+
+namespace gammadb::storage {
+
+using FileId = uint32_t;
+using IndexId = uint32_t;
+
+/// \brief All storage state of one processor-with-disk: the NOSE/WiSS role.
+///
+/// Owns the node's simulated disk, buffer pool, heap files, B-tree indices
+/// and lock manager, plus the ChargeContext through which every component
+/// reports simulated hardware usage. A machine binds the context to the
+/// current query's CostTracker before running operators on the node.
+class StorageManager {
+ public:
+  StorageManager(uint32_t page_size, uint64_t buffer_bytes);
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  uint32_t page_size() const { return disk_.page_size(); }
+
+  /// Binds (or clears, with nullptr) the accounting sink for this node.
+  void BindTracker(sim::CostTracker* tracker, int node);
+  const ChargeContext& charge() const { return charge_; }
+
+  BufferPool& pool() { return pool_; }
+  LockManager& locks() { return locks_; }
+
+  FileId CreateFile();
+  HeapFile& file(FileId id);
+  const HeapFile& file(FileId id) const;
+  bool HasFile(FileId id) const { return files_.contains(id); }
+  /// Drops the file (temporary-file lifecycle).
+  void DropFile(FileId id);
+
+  IndexId CreateIndex();
+  BTree& index(IndexId id);
+  const BTree& index(IndexId id) const;
+  void DropIndex(IndexId id);
+
+ private:
+  ChargeContext charge_;
+  SimulatedDisk disk_;
+  BufferPool pool_;
+  LockManager locks_;
+  std::unordered_map<FileId, std::unique_ptr<HeapFile>> files_;
+  std::unordered_map<IndexId, std::unique_ptr<BTree>> indices_;
+  FileId next_file_id_ = 1;
+  IndexId next_index_id_ = 1;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_STORAGE_MANAGER_H_

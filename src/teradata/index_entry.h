@@ -1,0 +1,41 @@
+#ifndef GAMMA_TERADATA_INDEX_ENTRY_H_
+#define GAMMA_TERADATA_INDEX_ENTRY_H_
+
+// Internal to the teradata module: on-disk layout of one dense secondary
+// index entry (the index rows are hashed on the key and carry the tuple id).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/heap_file.h"
+
+namespace gammadb::teradata::internal {
+
+struct IndexEntry {
+  int32_t key;
+  uint32_t page_index;
+  uint16_t slot;
+  uint16_t pad;
+};
+
+inline std::vector<uint8_t> SerializeIndexEntry(int32_t key,
+                                                storage::Rid rid) {
+  IndexEntry entry{key, rid.page_index, rid.slot, 0};
+  std::vector<uint8_t> bytes(sizeof(entry));
+  std::memcpy(bytes.data(), &entry, sizeof(entry));
+  return bytes;
+}
+
+inline IndexEntry DeserializeIndexEntry(std::span<const uint8_t> bytes) {
+  IndexEntry entry;
+  GAMMA_CHECK(bytes.size() == sizeof(entry));
+  std::memcpy(&entry, bytes.data(), sizeof(entry));
+  return entry;
+}
+
+}  // namespace gammadb::teradata::internal
+
+#endif  // GAMMA_TERADATA_INDEX_ENTRY_H_

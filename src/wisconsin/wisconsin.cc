@@ -1,0 +1,90 @@
+#include "wisconsin/wisconsin.h"
+
+#include <string>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace gammadb::wisconsin {
+
+const catalog::Schema& WisconsinSchema() {
+  static const catalog::Schema* schema = new catalog::Schema({
+      {"unique1", catalog::AttrType::kInt32, 4},
+      {"unique2", catalog::AttrType::kInt32, 4},
+      {"two", catalog::AttrType::kInt32, 4},
+      {"four", catalog::AttrType::kInt32, 4},
+      {"ten", catalog::AttrType::kInt32, 4},
+      {"twenty", catalog::AttrType::kInt32, 4},
+      {"onePercent", catalog::AttrType::kInt32, 4},
+      {"tenPercent", catalog::AttrType::kInt32, 4},
+      {"twentyPercent", catalog::AttrType::kInt32, 4},
+      {"fiftyPercent", catalog::AttrType::kInt32, 4},
+      {"unique3", catalog::AttrType::kInt32, 4},
+      {"evenOnePercent", catalog::AttrType::kInt32, 4},
+      {"oddOnePercent", catalog::AttrType::kInt32, 4},
+      {"stringu1", catalog::AttrType::kChar, 52},
+      {"stringu2", catalog::AttrType::kChar, 52},
+      {"string4", catalog::AttrType::kChar, 52},
+  });
+  return *schema;
+}
+
+namespace {
+
+/// Builds the benchmark's 52-character string for a value: seven significant
+/// characters (base-26 digits of the value) followed by padding.
+std::string MakeString(uint32_t value, char pad) {
+  std::string out(52, pad);
+  for (int pos = 6; pos >= 0; --pos) {
+    out[static_cast<size_t>(pos)] = static_cast<char>('A' + value % 26);
+    value /= 26;
+  }
+  return out;
+}
+
+constexpr const char* kString4Cycle[4] = {"AAAA", "HHHH", "OOOO", "VVVV"};
+
+}  // namespace
+
+uint32_t TuplesPerPage(uint32_t page_size) {
+  const uint32_t tuple_size = WisconsinSchema().tuple_size();
+  // Slotted-page header (8 bytes) plus a 4-byte slot per record.
+  return (page_size - 8) / (tuple_size + 4);
+}
+
+std::vector<std::vector<uint8_t>> GenerateWisconsin(uint32_t n,
+                                                    uint64_t seed) {
+  Rng rng1(seed);
+  Rng rng2(seed ^ 0x5EED5EEDULL);
+  const std::vector<uint32_t> unique1 = rng1.Permutation(n);
+  const std::vector<uint32_t> unique2 = rng2.Permutation(n);
+
+  const catalog::Schema& schema = WisconsinSchema();
+  std::vector<std::vector<uint8_t>> tuples;
+  tuples.reserve(n);
+  catalog::TupleBuilder builder(&schema);
+  for (uint32_t i = 0; i < n; ++i) {
+    const int32_t u1 = static_cast<int32_t>(unique1[i]);
+    const int32_t u2 = static_cast<int32_t>(unique2[i]);
+    builder.SetInt(kUnique1, u1);
+    builder.SetInt(kUnique2, u2);
+    builder.SetInt(kTwo, u1 % 2);
+    builder.SetInt(kFour, u1 % 4);
+    builder.SetInt(kTen, u1 % 10);
+    builder.SetInt(kTwenty, u1 % 20);
+    builder.SetInt(kOnePercent, u1 % 100);
+    builder.SetInt(kTenPercent, u1 % 10);
+    builder.SetInt(kTwentyPercent, u1 % 5);
+    builder.SetInt(kFiftyPercent, u1 % 2);
+    builder.SetInt(kUnique3, u1);
+    builder.SetInt(kEvenOnePercent, (u1 % 100) * 2);
+    builder.SetInt(kOddOnePercent, (u1 % 100) * 2 + 1);
+    builder.SetChar(kStringU1, MakeString(unique1[i], 'x'));
+    builder.SetChar(kStringU2, MakeString(unique2[i], 'x'));
+    builder.SetChar(kString4, kString4Cycle[i % 4]);
+    tuples.emplace_back(builder.bytes().begin(), builder.bytes().end());
+  }
+  return tuples;
+}
+
+}  // namespace gammadb::wisconsin

@@ -1,0 +1,49 @@
+#ifndef GAMMA_WISCONSIN_WISCONSIN_H_
+#define GAMMA_WISCONSIN_WISCONSIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace gammadb::wisconsin {
+
+/// Attribute indices of the standard Wisconsin benchmark relation [BITT83]:
+/// thirteen 4-byte integers followed by three 52-byte strings (208 bytes).
+enum WisconsinAttr : int {
+  kUnique1 = 0,        // 0..n-1, random order; the key/partitioning attribute
+  kUnique2,            // 0..n-1, uncorrelated with unique1
+  kTwo,                // unique1 mod 2
+  kFour,               // unique1 mod 4
+  kTen,                // unique1 mod 10
+  kTwenty,             // unique1 mod 20
+  kOnePercent,         // unique1 mod 100
+  kTenPercent,         // unique1 mod 10
+  kTwentyPercent,      // unique1 mod 5
+  kFiftyPercent,       // unique1 mod 2
+  kUnique3,            // == unique1
+  kEvenOnePercent,     // onePercent * 2
+  kOddOnePercent,      // onePercent * 2 + 1
+  kStringU1,           // 52-char string derived from unique1
+  kStringU2,           // 52-char string derived from unique2
+  kString4,            // cycles through four fixed strings
+  kNumWisconsinAttrs,
+};
+
+/// The 208-byte Wisconsin schema (13 int attributes + 3 char(52)).
+const catalog::Schema& WisconsinSchema();
+
+/// \brief Generates an n-tuple Wisconsin relation.
+///
+/// unique1 and unique2 are independent random permutations of 0..n-1 drawn
+/// from `seed`, guaranteeing uniqueness and no correlation (paper §4). Two
+/// "copies" of a relation (the paper's A and B) are produced by calling this
+/// twice with the same arguments.
+std::vector<std::vector<uint8_t>> GenerateWisconsin(uint32_t n, uint64_t seed);
+
+/// Tuple count of one 4 KB page of Wisconsin tuples (~17, §5.1).
+uint32_t TuplesPerPage(uint32_t page_size);
+
+}  // namespace gammadb::wisconsin
+
+#endif  // GAMMA_WISCONSIN_WISCONSIN_H_

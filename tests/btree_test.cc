@@ -1,0 +1,218 @@
+// Unit and property tests for the B+-tree: bulk load, incremental inserts
+// with splits, deletes, duplicates, range scans, and page-size effects.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+#include "storage/storage_manager.h"
+
+namespace gammadb::storage {
+namespace {
+
+Rid MakeRid(uint32_t i) {
+  return Rid{i / 100, static_cast<uint16_t>(i % 100)};
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : sm_(4096, 256 * 1024) { index_id_ = sm_.CreateIndex(); }
+  BTree& tree() { return sm_.index(index_id_); }
+
+  StorageManager sm_;
+  IndexId index_id_;
+};
+
+TEST_F(BTreeTest, EmptyTreeScansNothing) {
+  tree().BulkLoad({});
+  int seen = 0;
+  tree().ScanFrom(INT32_MIN, [&](const BTree::Entry&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 0);
+}
+
+TEST_F(BTreeTest, BulkLoadAndLookup) {
+  std::vector<BTree::Entry> entries;
+  for (int32_t key = 0; key < 10000; ++key) {
+    entries.push_back({key, MakeRid(static_cast<uint32_t>(key))});
+  }
+  tree().BulkLoad(entries);
+  EXPECT_EQ(tree().num_entries(), 10000u);
+  EXPECT_GE(tree().height(), 2u);
+
+  const auto rids = tree().RangeLookup(500, 509);
+  ASSERT_EQ(rids.size(), 10u);
+  EXPECT_EQ(rids[0], MakeRid(500));
+  EXPECT_EQ(rids[9], MakeRid(509));
+}
+
+TEST_F(BTreeTest, RangeLookupBoundaries) {
+  std::vector<BTree::Entry> entries;
+  for (int32_t key = 0; key < 100; ++key) entries.push_back({key * 2, MakeRid(static_cast<uint32_t>(key))});
+  tree().BulkLoad(entries);
+  EXPECT_EQ(tree().RangeLookup(-10, -1).size(), 0u);
+  EXPECT_EQ(tree().RangeLookup(200, 300).size(), 0u);
+  EXPECT_EQ(tree().RangeLookup(0, 198).size(), 100u);
+  EXPECT_EQ(tree().RangeLookup(1, 1).size(), 0u);  // odd keys absent
+  EXPECT_EQ(tree().RangeLookup(2, 2).size(), 1u);
+}
+
+TEST_F(BTreeTest, IncrementalInsertWithSplits) {
+  // Enough inserts to force several leaf and internal splits.
+  Rng rng(11);
+  const auto perm = rng.Permutation(20000);
+  for (uint32_t i : perm) {
+    tree().Insert(static_cast<int32_t>(i), MakeRid(i));
+  }
+  EXPECT_EQ(tree().num_entries(), 20000u);
+  EXPECT_GE(tree().height(), 2u);
+
+  // Full scan returns all keys in order.
+  int32_t expected = 0;
+  tree().ScanFrom(INT32_MIN, [&](const BTree::Entry& entry) {
+    EXPECT_EQ(entry.key, expected);
+    EXPECT_EQ(entry.rid, MakeRid(static_cast<uint32_t>(expected)));
+    ++expected;
+    return true;
+  });
+  EXPECT_EQ(expected, 20000);
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllFound) {
+  for (uint32_t i = 0; i < 3000; ++i) {
+    tree().Insert(static_cast<int32_t>(i % 10), MakeRid(i));
+  }
+  const auto rids = tree().RangeLookup(3, 3);
+  EXPECT_EQ(rids.size(), 300u);
+  std::set<Rid> unique(rids.begin(), rids.end());
+  EXPECT_EQ(unique.size(), 300u);
+}
+
+TEST_F(BTreeTest, DeleteExactEntry) {
+  for (uint32_t i = 0; i < 1000; ++i) {
+    tree().Insert(static_cast<int32_t>(i), MakeRid(i));
+  }
+  EXPECT_TRUE(tree().Delete(500, MakeRid(500)));
+  EXPECT_FALSE(tree().Delete(500, MakeRid(500)));  // already gone
+  EXPECT_FALSE(tree().Delete(500, MakeRid(501)));  // wrong rid
+  EXPECT_EQ(tree().num_entries(), 999u);
+  EXPECT_EQ(tree().RangeLookup(500, 500).size(), 0u);
+  EXPECT_EQ(tree().RangeLookup(499, 501).size(), 2u);
+}
+
+TEST_F(BTreeTest, DeleteAmongDuplicates) {
+  for (uint32_t i = 0; i < 100; ++i) tree().Insert(7, MakeRid(i));
+  EXPECT_TRUE(tree().Delete(7, MakeRid(42)));
+  const auto rids = tree().RangeLookup(7, 7);
+  EXPECT_EQ(rids.size(), 99u);
+  for (const Rid& rid : rids) EXPECT_FALSE(rid == MakeRid(42));
+}
+
+TEST_F(BTreeTest, ScanFromMidRangeWithEarlyStop) {
+  for (uint32_t i = 0; i < 5000; ++i) {
+    tree().Insert(static_cast<int32_t>(i), MakeRid(i));
+  }
+  std::vector<int32_t> keys;
+  tree().ScanFrom(4990, [&](const BTree::Entry& entry) {
+    keys.push_back(entry.key);
+    return keys.size() < 5;
+  });
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(keys.front(), 4990);
+  EXPECT_EQ(keys.back(), 4994);
+}
+
+TEST_F(BTreeTest, MixedBulkLoadThenInserts) {
+  std::vector<BTree::Entry> entries;
+  for (int32_t key = 0; key < 1000; ++key) {
+    entries.push_back({key * 2, MakeRid(static_cast<uint32_t>(key))});
+  }
+  tree().BulkLoad(entries);
+  for (int32_t key = 0; key < 1000; ++key) {
+    tree().Insert(key * 2 + 1, MakeRid(static_cast<uint32_t>(key + 10000)));
+  }
+  EXPECT_EQ(tree().num_entries(), 2000u);
+  int32_t expected = 0;
+  tree().ScanFrom(INT32_MIN, [&](const BTree::Entry& entry) {
+    EXPECT_EQ(entry.key, expected++);
+    return true;
+  });
+  EXPECT_EQ(expected, 2000);
+}
+
+// Fanout must shrink as entries grow relative to page size: the mechanism
+// behind the paper's page-size-vs-index-height trade (Figs 7-8).
+TEST(BTreeFanoutTest, FanoutScalesWithPageSize) {
+  StorageManager sm2k(2048, 256 * 1024);
+  StorageManager sm32k(32768, 1024 * 1024);
+  BTree& small = sm2k.index(sm2k.CreateIndex());
+  BTree& large = sm32k.index(sm32k.CreateIndex());
+  EXPECT_GT(large.leaf_capacity(), small.leaf_capacity() * 10);
+
+  std::vector<BTree::Entry> entries;
+  for (int32_t key = 0; key < 50000; ++key) {
+    entries.push_back({key, MakeRid(static_cast<uint32_t>(key))});
+  }
+  small.BulkLoad(entries);
+  large.BulkLoad(entries);
+  EXPECT_GT(small.num_pages(), large.num_pages() * 8);
+  EXPECT_GE(small.height(), large.height());
+}
+
+// Property: random workload against a std::multimap oracle, across page
+// sizes (duplicates, interleaved inserts and deletes, range scans).
+class BTreePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreePropertyTest, MatchesMultimapOracle) {
+  const uint32_t page_size = GetParam();
+  StorageManager sm(page_size, 1024 * 1024);
+  BTree& tree = sm.index(sm.CreateIndex());
+
+  Rng rng(page_size * 31);
+  std::multimap<int32_t, Rid> oracle;
+  uint32_t next_rid = 0;
+  for (int step = 0; step < 8000; ++step) {
+    if (oracle.empty() || rng.Uniform(10) < 7) {
+      const int32_t key = static_cast<int32_t>(rng.Uniform(500));
+      const Rid rid = MakeRid(next_rid++);
+      tree.Insert(key, rid);
+      oracle.emplace(key, rid);
+    } else {
+      auto it = oracle.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(oracle.size())));
+      EXPECT_TRUE(tree.Delete(it->first, it->second));
+      oracle.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.num_entries(), oracle.size());
+
+  // Random range lookups agree with the oracle as multisets of rids.
+  for (int trial = 0; trial < 50; ++trial) {
+    const int32_t lo = static_cast<int32_t>(rng.Uniform(500));
+    const int32_t hi = lo + static_cast<int32_t>(rng.Uniform(100));
+    auto rids = tree.RangeLookup(lo, hi);
+    std::multiset<uint64_t> got;
+    for (const Rid& rid : rids) {
+      got.insert((static_cast<uint64_t>(rid.page_index) << 16) | rid.slot);
+    }
+    std::multiset<uint64_t> expected;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      expected.insert((static_cast<uint64_t>(it->second.page_index) << 16) |
+                      it->second.slot);
+    }
+    EXPECT_EQ(got, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPageSizes, BTreePropertyTest,
+                         ::testing::Values(512u, 2048u, 4096u, 32768u));
+
+}  // namespace
+}  // namespace gammadb::storage

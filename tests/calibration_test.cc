@@ -1,0 +1,315 @@
+// Calibration tests: the simulated machines must land in a band around the
+// paper's published numbers (within a factor of two for absolute values)
+// and must reproduce every ordering/shape claim made in the paper's prose.
+// These are the guardrails that keep future changes from silently
+// de-calibrating the model.
+
+#include <gtest/gtest.h>
+
+#include "exec/predicate.h"
+#include "gamma/machine.h"
+#include "teradata/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+
+constexpr uint64_t kSeed = 0xA11CE;
+
+/// |measured| must be within a factor-2 band of |paper|.
+#define EXPECT_IN_BAND(measured, paper)                      \
+  do {                                                       \
+    EXPECT_GT(measured, (paper) / 2.0) << "paper " << paper; \
+    EXPECT_LT(measured, (paper)*2.0) << "paper " << paper;   \
+  } while (0)
+
+class GammaCalibration : public ::testing::Test {
+ protected:
+  static gamma::GammaMachine* machine() {
+    static gamma::GammaMachine* m = [] {
+      auto* machine = new gamma::GammaMachine(gamma::GammaConfig{});
+      const auto tuples = wis::GenerateWisconsin(10000, kSeed);
+      GAMMA_CHECK(machine
+                      ->CreateRelation("heap", wis::WisconsinSchema(),
+                                       catalog::PartitionSpec::Hashed(
+                                           wis::kUnique1))
+                      .ok());
+      GAMMA_CHECK(machine->LoadTuples("heap", tuples).ok());
+      GAMMA_CHECK(machine
+                      ->CreateRelation("idx", wis::WisconsinSchema(),
+                                       catalog::PartitionSpec::Hashed(
+                                           wis::kUnique1))
+                      .ok());
+      GAMMA_CHECK(machine->LoadTuples("idx", tuples).ok());
+      GAMMA_CHECK(machine->BuildIndex("idx", wis::kUnique1, true).ok());
+      GAMMA_CHECK(machine->BuildIndex("idx", wis::kUnique2, false).ok());
+      return machine;
+    }();
+    return m;
+  }
+
+  double Select(const std::string& relation, int attr, int32_t lo,
+                int32_t hi, gamma::AccessPath access) {
+    gamma::SelectQuery query;
+    query.relation = relation;
+    query.predicate = Predicate::Range(attr, lo, hi);
+    query.access = access;
+    const auto result = machine()->RunSelect(query);
+    GAMMA_CHECK(result.ok());
+    return result->seconds();
+  }
+};
+
+TEST_F(GammaCalibration, Table1SelectionBands10k) {
+  // Paper Table 1, Gamma column, 10,000 tuples.
+  EXPECT_IN_BAND(Select("heap", wis::kUnique1, 0, 99,
+                        gamma::AccessPath::kFileScan),
+                 1.63);
+  EXPECT_IN_BAND(Select("heap", wis::kUnique1, 0, 999,
+                        gamma::AccessPath::kFileScan),
+                 2.11);
+  EXPECT_IN_BAND(Select("idx", wis::kUnique2, 0, 99,
+                        gamma::AccessPath::kNonClusteredIndex),
+                 1.03);
+  EXPECT_IN_BAND(Select("idx", wis::kUnique1, 0, 99,
+                        gamma::AccessPath::kClusteredIndex),
+                 0.59);
+  EXPECT_IN_BAND(Select("idx", wis::kUnique1, 0, 999,
+                        gamma::AccessPath::kClusteredIndex),
+                 1.26);
+
+  gamma::SelectQuery single;
+  single.relation = "idx";
+  single.predicate = Predicate::Eq(wis::kUnique1, 5000);
+  EXPECT_IN_BAND(machine()->RunSelect(single)->seconds(), 0.15);
+}
+
+TEST_F(GammaCalibration, OrderingClaimsHold) {
+  // Clustered beats non-clustered beats scan at 1% (§5.1).
+  const double scan = Select("heap", wis::kUnique1, 100, 199,
+                             gamma::AccessPath::kFileScan);
+  const double nc = Select("idx", wis::kUnique2, 100, 199,
+                           gamma::AccessPath::kNonClusteredIndex);
+  const double clustered = Select("idx", wis::kUnique1, 100, 199,
+                                  gamma::AccessPath::kClusteredIndex);
+  EXPECT_LT(clustered, nc);
+  EXPECT_LT(nc, scan);
+}
+
+TEST(GammaCalibrationHeavy, ClusteredIndexCostTracksResultSize) {
+  // §5.1: the 10% selection from 10k and the 1% from 100k both retrieve and
+  // store 1,000 tuples through a clustered index and cost about the same
+  // (1.26 vs 1.25 seconds in Table 1).
+  auto run = [](uint32_t n, int32_t hi) {
+    gamma::GammaMachine machine{gamma::GammaConfig{}};
+    const auto tuples = wis::GenerateWisconsin(n, kSeed);
+    GAMMA_CHECK(machine
+                    .CreateRelation("r", wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(machine.LoadTuples("r", tuples).ok());
+    GAMMA_CHECK(machine.BuildIndex("r", wis::kUnique1, true).ok());
+    gamma::SelectQuery query;
+    query.relation = "r";
+    query.predicate = Predicate::Range(wis::kUnique1, 0, hi);
+    query.access = gamma::AccessPath::kClusteredIndex;
+    const auto result = machine.RunSelect(query);
+    GAMMA_CHECK(result.ok());
+    GAMMA_CHECK(result->result_tuples == 1000);
+    return result->seconds();
+  };
+  const double ten_pct_of_10k = run(10000, 999);
+  const double one_pct_of_100k = run(100000, 999);
+  EXPECT_NEAR(ten_pct_of_10k / one_pct_of_100k, 1.0, 0.35);
+}
+
+TEST(GammaCalibrationHeavy, LinearScalingWithRelationSize) {
+  // Table 1: execution time scales linearly with relation size.
+  auto run = [](uint32_t n) {
+    gamma::GammaMachine machine{gamma::GammaConfig{}};
+    GAMMA_CHECK(machine
+                    .CreateRelation("r", wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(
+        machine.LoadTuples("r", wis::GenerateWisconsin(n, kSeed)).ok());
+    gamma::SelectQuery query;
+    query.relation = "r";
+    query.predicate = Predicate::Range(wis::kUnique1, 0,
+                                       static_cast<int32_t>(n / 100) - 1);
+    query.access = gamma::AccessPath::kFileScan;
+    return machine.RunSelect(query)->seconds();
+  };
+  const double at_10k = run(10000);
+  const double at_100k = run(100000);
+  // Fixed scheduling costs make the ratio slightly below 10.
+  EXPECT_GT(at_100k / at_10k, 5.0);
+  EXPECT_LT(at_100k / at_10k, 11.0);
+}
+
+TEST(GammaCalibrationHeavy, PageSizeSweetSpotAt8K) {
+  // §8: going from 4 KB to 8 KB helps; beyond 8 KB there is little gain.
+  auto run = [](uint32_t page_size) {
+    gamma::GammaConfig config;
+    config.page_size = page_size;
+    gamma::GammaMachine machine(config);
+    GAMMA_CHECK(machine
+                    .CreateRelation("r", wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(
+        machine.LoadTuples("r", wis::GenerateWisconsin(100000, kSeed)).ok());
+    gamma::SelectQuery query;
+    query.relation = "r";
+    query.predicate = Predicate::Range(wis::kUnique1, 0, 999);
+    query.access = gamma::AccessPath::kFileScan;
+    return machine.RunSelect(query)->seconds();
+  };
+  const double at_4k = run(4096);
+  const double at_8k = run(8192);
+  const double at_32k = run(32768);
+  EXPECT_LT(at_8k, at_4k * 0.95);          // 4 -> 8 KB is a real gain
+  EXPECT_GT(at_32k, at_8k * 0.85);         // beyond 8 KB: little effect
+}
+
+TEST(TeradataCalibration, Table1Bands10k) {
+  teradata::TeradataMachine machine{teradata::TeradataConfig{}};
+  const auto tuples = wis::GenerateWisconsin(10000, kSeed);
+  GAMMA_CHECK(
+      machine.CreateRelation("a", wis::WisconsinSchema(), wis::kUnique1)
+          .ok());
+  GAMMA_CHECK(machine.LoadTuples("a", tuples).ok());
+  GAMMA_CHECK(machine.BuildSecondaryIndex("a", wis::kUnique2).ok());
+
+  teradata::TdSelectQuery query;
+  query.relation = "a";
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 99);
+  EXPECT_IN_BAND(machine.RunSelect(query)->seconds(), 6.86);
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 999);
+  EXPECT_IN_BAND(machine.RunSelect(query)->seconds(), 15.97);
+  // §5.1: the indexed 1% selection is NOT significantly faster than the
+  // scan (the whole index is scanned and data fetches are random).
+  query.predicate = Predicate::Range(wis::kUnique2, 0, 99);
+  EXPECT_IN_BAND(machine.RunSelect(query)->seconds(), 7.81);
+  // Single-tuple select: ~1.08 s at every size.
+  query.predicate = Predicate::Eq(wis::kUnique1, 500);
+  query.store_result = true;
+  EXPECT_IN_BAND(machine.RunSelect(query)->seconds(), 1.08);
+}
+
+TEST(JoinCalibration, CrossMachineShapeClaims) {
+  // §6.1 on 100k tuples: Teradata does joinABprime faster than joinAselB,
+  // Gamma the opposite; and both Gamma times are several times faster.
+  constexpr uint32_t kN = 100000;
+  const auto a = wis::GenerateWisconsin(kN, kSeed);
+  const auto bprime = wis::GenerateWisconsin(kN / 10, 0xB123);
+
+  gamma::GammaConfig config;
+  config.join_memory_total = 4800 * 1024;
+  gamma::GammaMachine gamma_machine(config);
+  teradata::TeradataMachine td_machine{teradata::TeradataConfig{}};
+  for (const char* name : {"A", "B"}) {
+    GAMMA_CHECK(gamma_machine
+                    .CreateRelation(name, wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(gamma_machine.LoadTuples(name, a).ok());
+    GAMMA_CHECK(
+        td_machine.CreateRelation(name, wis::WisconsinSchema(), wis::kUnique1)
+            .ok());
+    GAMMA_CHECK(td_machine.LoadTuples(name, a).ok());
+  }
+  GAMMA_CHECK(gamma_machine
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(gamma_machine.LoadTuples("Bprime", bprime).ok());
+  GAMMA_CHECK(td_machine
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  wis::kUnique1)
+                  .ok());
+  GAMMA_CHECK(td_machine.LoadTuples("Bprime", bprime).ok());
+
+  // Gamma joinABprime vs joinAselB (selection propagation applies).
+  gamma::JoinQuery g_abprime;
+  g_abprime.outer = "A";
+  g_abprime.inner = "Bprime";
+  g_abprime.outer_attr = wis::kUnique2;
+  g_abprime.inner_attr = wis::kUnique2;
+  const double g_ab = gamma_machine.RunJoin(g_abprime)->seconds();
+
+  gamma::JoinQuery g_aselb = g_abprime;
+  g_aselb.inner = "B";
+  g_aselb.outer_pred = Predicate::Range(wis::kUnique2, 0, kN / 10 - 1);
+  g_aselb.inner_pred = Predicate::Range(wis::kUnique2, 0, kN / 10 - 1);
+  const double g_asb = gamma_machine.RunJoin(g_aselb)->seconds();
+
+  teradata::TdJoinQuery t_abprime;
+  t_abprime.outer = "A";
+  t_abprime.inner = "Bprime";
+  t_abprime.outer_attr = wis::kUnique2;
+  t_abprime.inner_attr = wis::kUnique2;
+  const double t_ab = td_machine.RunJoin(t_abprime)->seconds();
+
+  teradata::TdJoinQuery t_aselb = t_abprime;
+  t_aselb.inner = "B";
+  t_aselb.inner_pred = Predicate::Range(wis::kUnique2, 0, kN / 10 - 1);
+  const double t_asb = td_machine.RunJoin(t_aselb)->seconds();
+
+  EXPECT_LT(t_ab, t_asb);   // Teradata: ABprime always faster
+  EXPECT_GT(g_ab, g_asb);   // Gamma: the opposite (§6.1)
+  EXPECT_GT(t_ab / g_ab, 3.0);  // Gamma several times faster overall
+  EXPECT_IN_BAND(g_ab, 47.6);
+  EXPECT_IN_BAND(t_ab, 321.8);
+
+  // Key-attribute join: Teradata improves substantially (§6.1).
+  teradata::TdJoinQuery t_key = t_abprime;
+  t_key.outer_attr = wis::kUnique1;
+  t_key.inner_attr = wis::kUnique1;
+  const double t_key_sec = td_machine.RunJoin(t_key)->seconds();
+  EXPECT_LT(t_key_sec, t_ab * 0.75);
+}
+
+TEST(Table3Calibration, GammaUpdateBands) {
+  gamma::GammaMachine machine{gamma::GammaConfig{}};
+  const auto tuples = wis::GenerateWisconsin(10000, kSeed);
+  GAMMA_CHECK(machine
+                  .CreateRelation("r", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("r", tuples).ok());
+  GAMMA_CHECK(machine.BuildIndex("r", wis::kUnique1, true).ok());
+  GAMMA_CHECK(machine.BuildIndex("r", wis::kUnique2, false).ok());
+
+  catalog::TupleBuilder builder(&wis::WisconsinSchema());
+  builder.SetInt(wis::kUnique1, 20000).SetInt(wis::kUnique2, 20000);
+  gamma::AppendQuery append{
+      "r", {builder.bytes().begin(), builder.bytes().end()}};
+  EXPECT_IN_BAND(machine.RunAppend(append)->seconds(), 0.60);
+
+  gamma::DeleteQuery del{"r", wis::kUnique1, 123};
+  EXPECT_IN_BAND(machine.RunDelete(del)->seconds(), 0.44);
+
+  // Modify of the key attribute (relocation) is the costliest update. Known
+  // deviation (EXPERIMENTS.md): the model sits ~2.5x below the paper's
+  // 1.01 s for this row — the real machine's cross-site commit protocol had
+  // costs we do not itemize — but the row must stay the most expensive one.
+  gamma::ModifyQuery relocate{"r", wis::kUnique1, 42, wis::kUnique1, 30000};
+  const double relocate_sec = machine.RunModify(relocate)->seconds();
+  EXPECT_GT(relocate_sec, 0.3);
+  EXPECT_LT(relocate_sec, 1.01 * 2);
+  gamma::ModifyQuery in_place{"r", wis::kUnique1, 43, wis::kTen, 5};
+  EXPECT_LT(machine.RunModify(in_place)->seconds(), relocate_sec);
+}
+
+}  // namespace
+}  // namespace gammadb

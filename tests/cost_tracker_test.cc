@@ -1,0 +1,174 @@
+// Unit tests for the hardware model and cost tracker: phase timing rules,
+// packet short-circuiting, ring limits, and scheduling costs.
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_tracker.h"
+#include "sim/hardware.h"
+
+namespace gammadb::sim {
+namespace {
+
+MachineParams Gamma() { return MachineParams::GammaDefaults(); }
+
+TEST(HardwareTest, GammaDefaultsMatchPaper) {
+  const MachineParams hw = Gamma();
+  EXPECT_DOUBLE_EQ(hw.cpu.mips, 0.6);
+  EXPECT_NEAR(hw.net.nic_bytes_per_sec, 500000.0, 1.0);   // 4 Mbit/s Unibus
+  EXPECT_NEAR(hw.net.ring_bytes_per_sec, 1e7, 1.0);       // 80 Mbit/s ring
+  EXPECT_EQ(hw.net.packet_payload_bytes, 2048u);
+  EXPECT_NEAR(hw.net.control_msg_sec, 0.007, 1e-9);
+  EXPECT_EQ(hw.net.sched_msgs_per_operator_per_node, 4u);
+}
+
+TEST(HardwareTest, TeradataSlowerPaths) {
+  const MachineParams td = MachineParams::TeradataDefaults();
+  // Interpreted predicate evaluation: far longer per-tuple path than
+  // Gamma's compiled predicates.
+  EXPECT_GT(td.cost.instr_per_attr_compare,
+            Gamma().cost.instr_per_attr_compare * 5);
+  EXPECT_GT(td.cost.instr_per_tuple_store,
+            Gamma().cost.instr_per_tuple_store * 5);
+  EXPECT_GT(td.disk.positioning_sec, Gamma().disk.positioning_sec);
+}
+
+TEST(CostTrackerTest, PipelinedPhaseTakesBottleneckResource) {
+  CostTracker tracker(Gamma(), 2);
+  tracker.BeginPhase("p", PhaseKind::kPipelined);
+  tracker.ChargeCpu(0, 0.6e6);      // 1 s of CPU
+  tracker.ChargeSerialSec(0, 0.1);  // plus 0.1 s serial
+  tracker.EndPhase();
+  const QueryMetrics metrics = tracker.Finish();
+  ASSERT_EQ(metrics.phases.size(), 1u);
+  EXPECT_NEAR(metrics.phases[0].elapsed_sec, 1.1, 1e-9);
+  EXPECT_EQ(metrics.phases[0].bottleneck_node, 0);
+  EXPECT_EQ(metrics.phases[0].bottleneck_resource, Resource::kCpu);
+}
+
+TEST(CostTrackerTest, SequentialPhaseSumsResources) {
+  CostTracker tracker(Gamma(), 1);
+  tracker.BeginPhase("p", PhaseKind::kSequential);
+  tracker.ChargeCpu(0, 0.6e6);                      // 1 s CPU
+  tracker.ChargeDiskRead(0, 4096, /*sequential=*/false);  // ~18 ms
+  tracker.EndPhase();
+  const QueryMetrics metrics = tracker.Finish();
+  EXPECT_GT(metrics.phases[0].elapsed_sec, 1.01);
+}
+
+TEST(CostTrackerTest, SlowestNodeSetsPhaseTime) {
+  CostTracker tracker(Gamma(), 4);
+  tracker.BeginPhase("p", PhaseKind::kPipelined);
+  for (int node = 0; node < 4; ++node) {
+    tracker.ChargeCpu(node, (node + 1) * 0.6e6);
+  }
+  tracker.EndPhase();
+  const QueryMetrics metrics = tracker.Finish();
+  EXPECT_NEAR(metrics.phases[0].elapsed_sec, 4.0, 1e-9);
+  EXPECT_EQ(metrics.phases[0].bottleneck_node, 3);
+}
+
+TEST(CostTrackerTest, ShortCircuitSkipsNicAndRing) {
+  CostTracker tracker(Gamma(), 2);
+  tracker.BeginPhase("p", PhaseKind::kPipelined);
+  tracker.ChargeDataPacket(0, 0, 2048);
+  tracker.EndPhase();
+  QueryMetrics metrics = tracker.Finish();
+  const NodeUsage total = metrics.Totals();
+  EXPECT_EQ(total.packets_short_circuited, 1u);
+  EXPECT_EQ(total.packets_sent, 0u);
+  EXPECT_EQ(metrics.phases[0].ring_bytes, 0u);
+  EXPECT_DOUBLE_EQ(total.net_sec, 0.0);
+  EXPECT_NEAR(metrics.ShortCircuitFraction(), 1.0, 1e-9);
+}
+
+TEST(CostTrackerTest, RemotePacketChargesBothNicsAndRing) {
+  CostTracker tracker(Gamma(), 2);
+  tracker.BeginPhase("p", PhaseKind::kPipelined);
+  tracker.ChargeDataPacket(0, 1, 2048);
+  tracker.EndPhase();
+  QueryMetrics metrics = tracker.Finish();
+  ASSERT_EQ(metrics.phases[0].per_node.size(), 2u);
+  const double nic_sec = 2048.0 / Gamma().net.nic_bytes_per_sec;
+  EXPECT_NEAR(metrics.phases[0].per_node[0].net_sec, nic_sec, 1e-9);
+  EXPECT_NEAR(metrics.phases[0].per_node[1].net_sec, nic_sec, 1e-9);
+  EXPECT_EQ(metrics.phases[0].ring_bytes, 2048u);
+}
+
+TEST(CostTrackerTest, ForcedNetworkPacketOnSameNode) {
+  // Teradata's result redistribution never short-circuits (§4).
+  CostTracker tracker(MachineParams::TeradataDefaults(), 2);
+  tracker.BeginPhase("p", PhaseKind::kPipelined);
+  tracker.ChargeDataPacket(0, 0, 2048, /*force_network=*/true);
+  tracker.EndPhase();
+  QueryMetrics metrics = tracker.Finish();
+  const NodeUsage total = metrics.Totals();
+  EXPECT_EQ(total.packets_short_circuited, 0u);
+  EXPECT_EQ(total.packets_sent, 1u);
+  EXPECT_GT(total.net_sec, 0.0);
+  EXPECT_EQ(metrics.phases[0].ring_bytes, 2048u);
+}
+
+TEST(CostTrackerTest, RingCanBeTheBottleneck) {
+  // Many node pairs each send little: per-node NIC time is small but the
+  // shared ring must carry the sum.
+  MachineParams hw = Gamma();
+  hw.net.ring_bytes_per_sec = 1000.0;  // pathologically slow ring
+  CostTracker tracker(hw, 8);
+  tracker.BeginPhase("p", PhaseKind::kPipelined);
+  for (int src = 0; src < 4; ++src) {
+    tracker.ChargeDataPacket(src, src + 4, 2048);
+  }
+  tracker.EndPhase();
+  QueryMetrics metrics = tracker.Finish();
+  EXPECT_TRUE(metrics.phases[0].ring_limited);
+  EXPECT_NEAR(metrics.phases[0].elapsed_sec, 4 * 2048 / 1000.0, 1e-9);
+}
+
+TEST(CostTrackerTest, SchedulingSerializedAtScheduler) {
+  // §6.2.3: 4 messages per operator per node at 7 ms each; 2 operators on
+  // 8 nodes = 64 messages ~ 0.45 s.
+  CostTracker tracker(Gamma(), 8);
+  tracker.ChargeScheduling(2, 8);
+  const QueryMetrics metrics = tracker.Finish();
+  EXPECT_EQ(metrics.scheduling_msgs, 64u);
+  EXPECT_NEAR(metrics.scheduling_sec, 64 * 0.007, 1e-9);
+}
+
+TEST(CostTrackerTest, TotalSumsSchedulingAndPhases) {
+  CostTracker tracker(Gamma(), 1);
+  tracker.ChargeScheduling(1, 1);
+  tracker.BeginPhase("a", PhaseKind::kPipelined);
+  tracker.ChargeCpu(0, 0.6e6);
+  tracker.EndPhase();
+  tracker.BeginPhase("b", PhaseKind::kPipelined);
+  tracker.ChargeCpu(0, 1.2e6);
+  tracker.EndPhase();
+  const QueryMetrics metrics = tracker.Finish();
+  EXPECT_NEAR(metrics.TotalSec(), 4 * 0.007 + 1.0 + 2.0, 1e-9);
+}
+
+TEST(CostTrackerTest, BlockingControlMessageAddsSerialLatency) {
+  CostTracker tracker(Gamma(), 2);
+  tracker.BeginPhase("p", PhaseKind::kSequential);
+  tracker.ChargeControlMessage(0, 1, /*blocking=*/true);
+  tracker.EndPhase();
+  const QueryMetrics metrics = tracker.Finish();
+  EXPECT_GE(metrics.phases[0].elapsed_sec, 0.007);
+}
+
+TEST(CostTrackerTest, DiskChargesCountPages) {
+  CostTracker tracker(Gamma(), 1);
+  tracker.BeginPhase("p", PhaseKind::kPipelined);
+  tracker.ChargeDiskRead(0, 4096, true);
+  tracker.ChargeDiskRead(0, 4096, false);
+  tracker.ChargeDiskWrite(0, 4096, true);
+  tracker.EndPhase();
+  const NodeUsage total = tracker.Finish().Totals();
+  EXPECT_EQ(total.pages_read, 2u);
+  EXPECT_EQ(total.pages_written, 1u);
+  EXPECT_EQ(total.seq_page_ios, 2u);
+  EXPECT_EQ(total.rand_page_ios, 1u);
+}
+
+}  // namespace
+}  // namespace gammadb::sim

@@ -1,0 +1,197 @@
+// Failure-injection tests: every public API must turn bad input into a
+// descriptive Status, never a crash or a silent wrong answer, and must leave
+// the machine usable afterwards.
+
+#include <gtest/gtest.h>
+
+#include "gamma/machine.h"
+#include "teradata/machine.h"
+#include "test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+
+class GammaErrorTest : public ::testing::Test {
+ protected:
+  GammaErrorTest() : machine_(Config()) {
+    GAMMA_CHECK(machine_
+                    .CreateRelation("A", wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(
+        machine_.LoadTuples("A", wis::GenerateWisconsin(500, 1)).ok());
+  }
+  static gamma::GammaConfig Config() {
+    gamma::GammaConfig config;
+    config.num_disk_nodes = 2;
+    config.num_diskless_nodes = 0;  // Remote joins impossible
+    return config;
+  }
+  gamma::GammaMachine machine_;
+};
+
+TEST_F(GammaErrorTest, UnknownRelationEverywhere) {
+  gamma::SelectQuery select;
+  select.relation = "nope";
+  EXPECT_TRUE(machine_.RunSelect(select).status().IsNotFound());
+
+  gamma::JoinQuery join;
+  join.outer = "A";
+  join.inner = "nope";
+  join.outer_attr = 0;
+  join.inner_attr = 0;
+  join.mode = gamma::JoinMode::kLocal;
+  EXPECT_TRUE(machine_.RunJoin(join).status().IsNotFound());
+
+  gamma::AggregateQuery agg;
+  agg.relation = "nope";
+  agg.value_attr = 0;
+  EXPECT_TRUE(machine_.RunAggregate(agg).status().IsNotFound());
+
+  EXPECT_TRUE(machine_.ReadRelation("nope").status().IsNotFound());
+  EXPECT_TRUE(machine_.CountTuples("nope").status().IsNotFound());
+}
+
+TEST_F(GammaErrorTest, DuplicateRelationRejected) {
+  EXPECT_FALSE(machine_
+                   .CreateRelation("A", wis::WisconsinSchema(),
+                                   catalog::PartitionSpec::RoundRobin())
+                   .ok());
+}
+
+TEST_F(GammaErrorTest, SchemaMismatchOnLoadAndAppend) {
+  const std::vector<std::vector<uint8_t>> bad = {{1, 2, 3}};
+  EXPECT_TRUE(machine_.LoadTuples("A", bad).IsInvalidArgument());
+  gamma::AppendQuery append{"A", {1, 2, 3}};
+  EXPECT_TRUE(machine_.RunAppend(append).status().IsInvalidArgument());
+  EXPECT_EQ(*machine_.CountTuples("A"), 500u);  // nothing leaked in
+}
+
+TEST_F(GammaErrorTest, AttributeRangeChecks) {
+  gamma::JoinQuery join;
+  join.outer = "A";
+  join.inner = "A";
+  join.outer_attr = 99;
+  join.inner_attr = 0;
+  join.mode = gamma::JoinMode::kLocal;
+  EXPECT_TRUE(machine_.RunJoin(join).status().IsInvalidArgument());
+
+  gamma::AggregateQuery agg;
+  agg.relation = "A";
+  agg.value_attr = 99;
+  EXPECT_TRUE(machine_.RunAggregate(agg).status().IsInvalidArgument());
+  agg.value_attr = 0;
+  agg.group_attr = 99;
+  EXPECT_TRUE(machine_.RunAggregate(agg).status().IsInvalidArgument());
+
+  gamma::DeleteQuery del{"A", -1, 0};
+  EXPECT_TRUE(machine_.RunDelete(del).status().IsInvalidArgument());
+
+  gamma::ModifyQuery modify{"A", 0, 1, 99, 0};
+  EXPECT_TRUE(machine_.RunModify(modify).status().IsInvalidArgument());
+  // Modifying a string attribute is not supported.
+  gamma::ModifyQuery strings{"A", wis::kUnique1, 1, wis::kStringU1, 0};
+  EXPECT_TRUE(machine_.RunModify(strings).status().IsInvalidArgument());
+}
+
+TEST_F(GammaErrorTest, RemoteJoinWithoutDisklessNodes) {
+  gamma::JoinQuery join;
+  join.outer = "A";
+  join.inner = "A";
+  join.outer_attr = wis::kUnique2;
+  join.inner_attr = wis::kUnique2;
+  join.mode = gamma::JoinMode::kRemote;
+  EXPECT_TRUE(machine_.RunJoin(join).status().IsInvalidArgument());
+  // Local mode still works afterwards.
+  join.mode = gamma::JoinMode::kLocal;
+  const auto result = machine_.RunJoin(join);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 500u);  // self-join on a unique attr
+}
+
+TEST_F(GammaErrorTest, BuildIndexValidation) {
+  EXPECT_TRUE(machine_.BuildIndex("nope", 0, true).IsNotFound());
+  EXPECT_TRUE(machine_.BuildIndex("A", 99, true).IsInvalidArgument());
+  ASSERT_TRUE(machine_.BuildIndex("A", wis::kUnique2, false).ok());
+  // Clustered after non-clustered would invalidate rids: rejected.
+  EXPECT_FALSE(machine_.BuildIndex("A", wis::kUnique1, true).ok());
+}
+
+TEST_F(GammaErrorTest, DeleteAndModifyMissingKeyAreNoOps) {
+  gamma::DeleteQuery del{"A", wis::kUnique1, 99999};
+  const auto deleted = machine_.RunDelete(del);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->result_tuples, 0u);
+  gamma::ModifyQuery modify{"A", wis::kUnique1, 99999, wis::kTen, 1};
+  const auto modified = machine_.RunModify(modify);
+  ASSERT_TRUE(modified.ok());
+  EXPECT_EQ(modified->result_tuples, 0u);
+  EXPECT_EQ(*machine_.CountTuples("A"), 500u);
+}
+
+TEST(TeradataErrorTest, ValidationMirrorsGamma) {
+  teradata::TeradataMachine machine{teradata::TeradataConfig{}};
+  EXPECT_TRUE(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  /*primary_key_attr=*/99)
+                  .IsInvalidArgument());
+  ASSERT_TRUE(
+      machine.CreateRelation("A", wis::WisconsinSchema(), wis::kUnique1)
+          .ok());
+  EXPECT_FALSE(
+      machine.CreateRelation("A", wis::WisconsinSchema(), wis::kUnique1)
+          .ok());
+  ASSERT_TRUE(
+      machine.LoadTuples("A", wis::GenerateWisconsin(500, 1)).ok());
+
+  EXPECT_TRUE(machine.LoadTuples("A", {{1, 2}}).IsInvalidArgument());
+  EXPECT_TRUE(machine.BuildSecondaryIndex("A", 99).IsInvalidArgument());
+  EXPECT_TRUE(machine.BuildSecondaryIndex("nope", 0).IsNotFound());
+
+  teradata::TdSelectQuery select;
+  select.relation = "nope";
+  EXPECT_TRUE(machine.RunSelect(select).status().IsNotFound());
+
+  teradata::TdJoinQuery join;
+  join.outer = "A";
+  join.inner = "A";
+  join.outer_attr = 99;
+  join.inner_attr = 0;
+  EXPECT_TRUE(machine.RunJoin(join).status().IsInvalidArgument());
+
+  teradata::TdAppendQuery append{"A", {1}};
+  EXPECT_TRUE(machine.RunAppend(append).status().IsInvalidArgument());
+  teradata::TdDeleteQuery del{"A", -1, 0};
+  EXPECT_TRUE(machine.RunDelete(del).status().IsInvalidArgument());
+  teradata::TdModifyQuery modify{"A", 0, 1, 99, 0};
+  EXPECT_TRUE(machine.RunModify(modify).status().IsInvalidArgument());
+
+  // Machine still fully functional after the barrage.
+  select.relation = "A";
+  select.predicate = Predicate::Range(wis::kUnique1, 0, 49);
+  select.store_result = false;
+  const auto result = machine.RunSelect(select);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 50u);
+}
+
+TEST(TeradataErrorTest, DeleteMissingKeyIsNoOp) {
+  teradata::TeradataMachine machine{teradata::TeradataConfig{}};
+  ASSERT_TRUE(
+      machine.CreateRelation("A", wis::WisconsinSchema(), wis::kUnique1)
+          .ok());
+  ASSERT_TRUE(machine.LoadTuples("A", wis::GenerateWisconsin(100, 1)).ok());
+  teradata::TdDeleteQuery del{"A", wis::kUnique1, 424242};
+  const auto result = machine.RunDelete(del);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 0u);
+  EXPECT_EQ(*machine.CountTuples("A"), 100u);
+}
+
+}  // namespace
+}  // namespace gammadb

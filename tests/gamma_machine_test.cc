@@ -1,0 +1,377 @@
+// Integration tests for the Gamma machine: every query type checked for
+// correct answers against reference oracles, plus the cost-model behaviours
+// the paper's analysis depends on.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gamma/machine.h"
+#include "test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::gamma {
+namespace {
+
+using catalog::PartitionSpec;
+using exec::Predicate;
+using gammadb::testing::MiniSchema;
+using gammadb::testing::ReferenceJoinCount;
+using gammadb::testing::ValuesOf;
+namespace wis = gammadb::wisconsin;
+
+GammaConfig SmallConfig() {
+  GammaConfig config;
+  config.num_disk_nodes = 4;
+  config.num_diskless_nodes = 4;
+  config.join_memory_total = 4 << 20;
+  return config;
+}
+
+class GammaMachineTest : public ::testing::Test {
+ protected:
+  GammaMachineTest() : machine_(SmallConfig()) {
+    tuples_ = wis::GenerateWisconsin(2000, 7);
+    EXPECT_TRUE(machine_
+                    .CreateRelation("A", wis::WisconsinSchema(),
+                                    PartitionSpec::Hashed(wis::kUnique1))
+                    .ok());
+    EXPECT_TRUE(machine_.LoadTuples("A", tuples_).ok());
+  }
+
+  GammaMachine machine_;
+  std::vector<std::vector<uint8_t>> tuples_;
+};
+
+TEST_F(GammaMachineTest, LoadDistributesAllTuples) {
+  EXPECT_EQ(*machine_.CountTuples("A"), 2000u);
+  // Hash declustering is roughly balanced.
+  for (int node = 0; node < 4; ++node) {
+    const auto& meta = **machine_.catalog().Get("A");
+    const uint64_t frag =
+        machine_.node(node)
+            .file(meta.per_node_file[static_cast<size_t>(node)])
+            .num_tuples();
+    EXPECT_GT(frag, 350u);
+    EXPECT_LT(frag, 650u);
+  }
+}
+
+TEST_F(GammaMachineTest, FileScanSelectionCorrect) {
+  SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Range(wis::kUnique2, 100, 299);
+  query.access = AccessPath::kFileScan;
+  const auto result = machine_.RunSelect(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 200u);
+  EXPECT_GT(result->seconds(), 0.0);
+
+  const auto stored = *machine_.ReadRelation(result->result_relation);
+  EXPECT_EQ(ValuesOf(stored, wis::WisconsinSchema(), wis::kUnique2),
+            gammadb::testing::ReferenceSelect(tuples_, wis::WisconsinSchema(),
+                                              wis::kUnique2, 100, 299,
+                                              wis::kUnique2));
+}
+
+TEST_F(GammaMachineTest, SelectionResultDeclusteredRoundRobin) {
+  SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 399);
+  const auto result = machine_.RunSelect(query);
+  ASSERT_TRUE(result.ok());
+  const auto& meta = **machine_.catalog().Get(result->result_relation);
+  for (int node = 0; node < 4; ++node) {
+    const uint64_t frag =
+        machine_.node(node)
+            .file(meta.per_node_file[static_cast<size_t>(node)])
+            .num_tuples();
+    EXPECT_NEAR(static_cast<double>(frag), 100.0, 35.0);
+  }
+}
+
+TEST_F(GammaMachineTest, IndexedSelectionsAgreeWithScan) {
+  ASSERT_TRUE(machine_.BuildIndex("A", wis::kUnique1, /*clustered=*/true).ok());
+  ASSERT_TRUE(
+      machine_.BuildIndex("A", wis::kUnique2, /*clustered=*/false).ok());
+
+  for (const AccessPath path :
+       {AccessPath::kFileScan, AccessPath::kClusteredIndex}) {
+    SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(wis::kUnique1, 500, 519);
+    query.access = path;
+    query.store_result = false;
+    const auto result = machine_.RunSelect(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->result_tuples, 20u) << static_cast<int>(path);
+    EXPECT_EQ(ValuesOf(result->returned, wis::WisconsinSchema(),
+                       wis::kUnique1),
+              gammadb::testing::ReferenceSelect(
+                  tuples_, wis::WisconsinSchema(), wis::kUnique1, 500, 519,
+                  wis::kUnique1));
+  }
+
+  SelectQuery nc;
+  nc.relation = "A";
+  nc.predicate = Predicate::Range(wis::kUnique2, 500, 519);
+  nc.access = AccessPath::kNonClusteredIndex;
+  nc.store_result = false;
+  const auto result = machine_.RunSelect(nc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 20u);
+}
+
+TEST_F(GammaMachineTest, AutoAccessPathMatchesPaperOptimizer) {
+  ASSERT_TRUE(machine_.BuildIndex("A", wis::kUnique1, true).ok());
+  ASSERT_TRUE(machine_.BuildIndex("A", wis::kUnique2, false).ok());
+
+  // 1% selection on the non-clustered attribute: index is used (few random
+  // fetches beat the scan), so far fewer pages are read than a full scan.
+  SelectQuery one_pct;
+  one_pct.relation = "A";
+  one_pct.predicate = Predicate::Range(wis::kUnique2, 0, 19);
+  one_pct.store_result = false;
+  const auto one = machine_.RunSelect(one_pct);
+  ASSERT_TRUE(one.ok());
+
+  SelectQuery ten_pct = one_pct;
+  ten_pct.predicate = Predicate::Range(wis::kUnique2, 0, 199);
+  const auto ten = machine_.RunSelect(ten_pct);
+  ASSERT_TRUE(ten.ok());
+
+  // The 10% query fell back to a scan and reads every data page; the 1%
+  // query via the index reads ~20 data pages plus index pages.
+  EXPECT_LT(one->metrics.Totals().pages_read,
+            ten->metrics.Totals().pages_read / 3);
+  EXPECT_EQ(one->result_tuples, 20u);
+  EXPECT_EQ(ten->result_tuples, 200u);
+}
+
+TEST_F(GammaMachineTest, SingleTupleSelectGoesToOneNode) {
+  ASSERT_TRUE(machine_.BuildIndex("A", wis::kUnique1, true).ok());
+  SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Eq(wis::kUnique1, 777);
+  const auto result = machine_.RunSelect(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 1u);
+  // Exactly one select + one store operator were scheduled (8 msgs).
+  EXPECT_EQ(result->metrics.scheduling_msgs, 8u);
+  // Cheap: a couple of descent I/Os, not a scan.
+  EXPECT_LT(result->metrics.Totals().pages_read, 10u);
+}
+
+TEST_F(GammaMachineTest, JoinAllModesCorrect) {
+  const auto bprime = wis::GenerateWisconsin(200, 8);
+  ASSERT_TRUE(machine_
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine_.LoadTuples("Bprime", bprime).ok());
+  const uint64_t expected = ReferenceJoinCount(
+      bprime, wis::WisconsinSchema(), wis::kUnique2, tuples_,
+      wis::WisconsinSchema(), wis::kUnique2);
+  ASSERT_EQ(expected, 200u);  // Bprime unique2 values are a subset of A's
+
+  for (const JoinMode mode :
+       {JoinMode::kLocal, JoinMode::kRemote, JoinMode::kAllnodes}) {
+    JoinQuery query;
+    query.outer = "A";
+    query.inner = "Bprime";
+    query.outer_attr = wis::kUnique2;
+    query.inner_attr = wis::kUnique2;
+    query.mode = mode;
+    const auto result = machine_.RunJoin(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->result_tuples, expected) << static_cast<int>(mode);
+    EXPECT_EQ(result->metrics.overflow_rounds, 0u);
+    // Result relation holds concatenated inner++outer tuples.
+    const auto stored = *machine_.ReadRelation(result->result_relation);
+    ASSERT_EQ(stored.size(), expected);
+    EXPECT_EQ(stored[0].size(), 2 * wis::WisconsinSchema().tuple_size());
+  }
+}
+
+TEST_F(GammaMachineTest, JoinWithSelectionsPushedDown) {
+  const auto b = wis::GenerateWisconsin(2000, 7);  // copy of A
+  ASSERT_TRUE(machine_
+                  .CreateRelation("B", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine_.LoadTuples("B", b).ok());
+
+  // joinAselB shape: restrict both to 10% on unique2, join on unique2.
+  JoinQuery query;
+  query.outer = "A";
+  query.inner = "B";
+  query.outer_attr = wis::kUnique2;
+  query.inner_attr = wis::kUnique2;
+  query.outer_pred = Predicate::Range(wis::kUnique2, 0, 199);
+  query.inner_pred = Predicate::Range(wis::kUnique2, 0, 199);
+  const auto result = machine_.RunJoin(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 200u);  // copies match 1:1
+}
+
+TEST_F(GammaMachineTest, JoinOverflowStillCorrect) {
+  GammaConfig config = SmallConfig();
+  config.join_memory_total = 64 * 1024;  // starves the hash tables
+  GammaMachine machine(config);
+  ASSERT_TRUE(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine.LoadTuples("A", tuples_).ok());
+  const auto bprime = wis::GenerateWisconsin(1000, 8);
+  ASSERT_TRUE(machine
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine.LoadTuples("Bprime", bprime).ok());
+
+  JoinQuery query;
+  query.outer = "A";
+  query.inner = "Bprime";
+  query.outer_attr = wis::kUnique2;
+  query.inner_attr = wis::kUnique2;
+  const auto result = machine.RunJoin(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.overflow_rounds, 0u);
+  EXPECT_EQ(result->result_tuples, 1000u);
+
+  // With ample memory the same join runs with no overflow and faster.
+  config.join_memory_total = 16 << 20;
+  GammaMachine roomy(config);
+  ASSERT_TRUE(roomy
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(roomy.LoadTuples("A", tuples_).ok());
+  ASSERT_TRUE(roomy
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(roomy.LoadTuples("Bprime", bprime).ok());
+  const auto fast = roomy.RunJoin(query);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->metrics.overflow_rounds, 0u);
+  EXPECT_EQ(fast->result_tuples, 1000u);
+  EXPECT_LT(fast->seconds(), result->seconds());
+}
+
+TEST_F(GammaMachineTest, DuplicateSkewJoinConvergesViaForcedRound) {
+  // Regression: joining on an attribute with only a handful of distinct
+  // values while the hash tables are starved used to ping-pong forever —
+  // no residency split can shrink a single key group that exceeds the
+  // table. The orchestrator must detect the stalled round and force one.
+  GammaConfig config = SmallConfig();
+  config.join_memory_total = 16 * 1024;  // far below any 'ten' key group
+  GammaMachine machine(config);
+  ASSERT_TRUE(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine.LoadTuples("A", tuples_).ok());
+  const auto small = wis::GenerateWisconsin(400, 8);
+  ASSERT_TRUE(machine
+                  .CreateRelation("S", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine.LoadTuples("S", small).ok());
+
+  JoinQuery query;
+  query.outer = "A";
+  query.inner = "S";
+  query.outer_attr = wis::kTen;  // 10 distinct values
+  query.inner_attr = wis::kTen;
+  const auto result = machine.RunJoin(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples,
+            ReferenceJoinCount(small, wis::WisconsinSchema(), wis::kTen,
+                               tuples_, wis::WisconsinSchema(), wis::kTen));
+  EXPECT_GT(result->metrics.overflow_rounds, 0u);
+}
+
+TEST_F(GammaMachineTest, HybridJoinMatchesSimple) {
+  const auto bprime = wis::GenerateWisconsin(500, 8);
+  ASSERT_TRUE(machine_
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine_.LoadTuples("Bprime", bprime).ok());
+  JoinQuery query;
+  query.outer = "A";
+  query.inner = "Bprime";
+  query.outer_attr = wis::kUnique2;
+  query.inner_attr = wis::kUnique2;
+  query.use_hybrid = true;
+  const auto result = machine_.RunJoin(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 500u);
+}
+
+TEST_F(GammaMachineTest, BitFilterPreservesAnswerAndCutsTraffic) {
+  const auto bprime = wis::GenerateWisconsin(100, 8);
+  ASSERT_TRUE(machine_
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  PartitionSpec::Hashed(wis::kUnique1))
+                  .ok());
+  ASSERT_TRUE(machine_.LoadTuples("Bprime", bprime).ok());
+  JoinQuery query;
+  query.outer = "A";
+  query.inner = "Bprime";
+  query.outer_attr = wis::kUnique2;
+  query.inner_attr = wis::kUnique2;
+  const auto plain = machine_.RunJoin(query);
+  ASSERT_TRUE(plain.ok());
+  query.use_bit_filter = true;
+  const auto filtered = machine_.RunJoin(query);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->result_tuples, plain->result_tuples);
+  const auto plain_bytes = plain->metrics.Totals().bytes_sent;
+  const auto filtered_bytes = filtered->metrics.Totals().bytes_sent;
+  EXPECT_LT(filtered_bytes, plain_bytes / 2);
+}
+
+TEST_F(GammaMachineTest, ScalarAndGroupedAggregates) {
+  AggregateQuery scalar;
+  scalar.relation = "A";
+  scalar.value_attr = wis::kUnique1;
+  scalar.func = exec::AggFunc::kMax;
+  const auto max_result = machine_.RunAggregate(scalar);
+  ASSERT_TRUE(max_result.ok());
+  ASSERT_EQ(max_result->returned.size(), 1u);
+  const catalog::Schema schema = exec::GroupedAggregator::ResultSchema();
+  EXPECT_EQ(catalog::TupleView(&schema, max_result->returned[0]).GetInt(1),
+            1999);
+
+  AggregateQuery grouped;
+  grouped.relation = "A";
+  grouped.group_attr = wis::kTen;
+  grouped.value_attr = wis::kUnique1;
+  grouped.func = exec::AggFunc::kCount;
+  const auto count_result = machine_.RunAggregate(grouped);
+  ASSERT_TRUE(count_result.ok());
+  EXPECT_EQ(count_result->returned.size(), 10u);
+  int64_t total = 0;
+  for (const auto& row : count_result->returned) {
+    total += catalog::TupleView(&schema, row).GetInt(1);
+  }
+  EXPECT_EQ(total, 2000);
+}
+
+TEST_F(GammaMachineTest, AggregateWithPredicate) {
+  AggregateQuery query;
+  query.relation = "A";
+  query.value_attr = wis::kUnique1;
+  query.func = exec::AggFunc::kCount;
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 99);
+  const auto result = machine_.RunAggregate(query);
+  ASSERT_TRUE(result.ok());
+  const catalog::Schema schema = exec::GroupedAggregator::ResultSchema();
+  EXPECT_EQ(catalog::TupleView(&schema, result->returned[0]).GetInt(1), 100);
+}
+
+}  // namespace
+}  // namespace gammadb::gamma

@@ -1,0 +1,129 @@
+// Unit tests for the WiSS-style heap file.
+
+#include <gtest/gtest.h>
+
+#include "storage/heap_file.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+
+namespace gammadb::storage {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest() : sm_(4096, 64 * 1024) { file_id_ = sm_.CreateFile(); }
+
+  HeapFile& file() { return sm_.file(file_id_); }
+
+  StorageManager sm_;
+  FileId file_id_;
+};
+
+TEST_F(HeapFileTest, AppendScanRoundTrip) {
+  const auto tuples = gammadb::testing::MiniRelation(100, 1);
+  for (const auto& tuple : tuples) file().Append(tuple);
+  EXPECT_EQ(file().num_tuples(), 100u);
+
+  std::vector<std::vector<uint8_t>> scanned;
+  file().Scan([&](Rid, std::span<const uint8_t> record) {
+    scanned.emplace_back(record.begin(), record.end());
+    return true;
+  });
+  ASSERT_EQ(scanned.size(), 100u);
+  // Heap file preserves append order.
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(scanned[i], tuples[i]);
+}
+
+TEST_F(HeapFileTest, TuplesPerPageMatchesPaperArithmetic) {
+  // §5.1: 17 Wisconsin tuples per 4 KB page, 589 pages for 10,000 tuples.
+  const auto tuples = wisconsin::GenerateWisconsin(10000, 42);
+  for (const auto& tuple : tuples) file().Append(tuple);
+  EXPECT_EQ((4096u - 8) / (208 + 4), 19u);  // raw arithmetic bound
+  const uint32_t per_page =
+      static_cast<uint32_t>(10000 / file().num_pages());
+  EXPECT_GE(per_page, 17u);
+  EXPECT_LE(per_page, 19u);
+  EXPECT_NEAR(static_cast<double>(file().num_pages()), 589.0, 70.0);
+}
+
+TEST_F(HeapFileTest, FetchByRid) {
+  const auto t0 = gammadb::testing::MiniTuple(7, 14);
+  const auto t1 = gammadb::testing::MiniTuple(8, 16);
+  const Rid rid0 = file().Append(t0);
+  const Rid rid1 = file().Append(t1);
+  EXPECT_EQ(*file().Fetch(rid0), t0);
+  EXPECT_EQ(*file().Fetch(rid1), t1);
+}
+
+TEST_F(HeapFileTest, FetchMissingRidFails) {
+  EXPECT_TRUE(file().Fetch(Rid{5, 0}).status().IsNotFound());
+  file().Append(gammadb::testing::MiniTuple(1, 2));
+  EXPECT_TRUE(file().Fetch(Rid{0, 9}).status().IsNotFound());
+}
+
+TEST_F(HeapFileTest, DeleteRemovesFromScan) {
+  const Rid rid0 = file().Append(gammadb::testing::MiniTuple(1, 2));
+  file().Append(gammadb::testing::MiniTuple(3, 6));
+  ASSERT_TRUE(file().Delete(rid0).ok());
+  EXPECT_EQ(file().num_tuples(), 1u);
+  int seen = 0;
+  file().Scan([&](Rid, std::span<const uint8_t> record) {
+    const catalog::TupleView view(&gammadb::testing::MiniSchema(), record);
+    EXPECT_EQ(view.GetInt(0), 3);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+  EXPECT_TRUE(file().Delete(rid0).IsNotFound());
+}
+
+TEST_F(HeapFileTest, UpdateInPlace) {
+  const Rid rid = file().Append(gammadb::testing::MiniTuple(1, 2));
+  ASSERT_TRUE(file().Update(rid, gammadb::testing::MiniTuple(1, 99)).ok());
+  const auto fetched = file().Fetch(rid);
+  ASSERT_TRUE(fetched.ok());
+  const catalog::TupleView view(&gammadb::testing::MiniSchema(), *fetched);
+  EXPECT_EQ(view.GetInt(1), 99);
+}
+
+TEST_F(HeapFileTest, ScanEarlyStop) {
+  for (int i = 0; i < 50; ++i) {
+    file().Append(gammadb::testing::MiniTuple(i, i));
+  }
+  int seen = 0;
+  file().Scan([&](Rid, std::span<const uint8_t>) {
+    return ++seen < 10;
+  });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_F(HeapFileTest, ScanPagesSubrange) {
+  for (int i = 0; i < 2000; ++i) {
+    file().Append(gammadb::testing::MiniTuple(i, i));
+  }
+  ASSERT_GT(file().num_pages(), 3u);
+  uint64_t subrange = 0;
+  file().ScanPages(1, 2, [&](Rid rid, std::span<const uint8_t>) {
+    EXPECT_GE(rid.page_index, 1u);
+    EXPECT_LE(rid.page_index, 2u);
+    ++subrange;
+    return true;
+  });
+  EXPECT_GT(subrange, 0u);
+  EXPECT_LT(subrange, 2000u);
+}
+
+TEST_F(HeapFileTest, ClearForgetsEverything) {
+  for (int i = 0; i < 100; ++i) {
+    file().Append(gammadb::testing::MiniTuple(i, i));
+  }
+  file().Clear();
+  EXPECT_EQ(file().num_tuples(), 0u);
+  EXPECT_EQ(file().num_pages(), 0u);
+  // Reusable after Clear.
+  file().Append(gammadb::testing::MiniTuple(1, 1));
+  EXPECT_EQ(file().num_tuples(), 1u);
+}
+
+}  // namespace
+}  // namespace gammadb::storage

@@ -1,0 +1,85 @@
+// Tests for the multiuser throughput model (extension of §6.2.1).
+
+#include <gtest/gtest.h>
+
+#include "sim/multiuser.h"
+
+namespace gammadb::sim {
+namespace {
+
+QueryMetrics MakeMetrics(int num_nodes,
+                         const std::vector<NodeUsage>& usage,
+                         uint64_t ring_bytes = 0, double sched = 0) {
+  QueryMetrics metrics;
+  metrics.scheduling_sec = sched;
+  PhaseMetrics phase;
+  phase.per_node = usage;
+  phase.per_node.resize(static_cast<size_t>(num_nodes));
+  phase.ring_bytes = ring_bytes;
+  metrics.phases.push_back(std::move(phase));
+  return metrics;
+}
+
+NodeUsage Usage(double disk, double cpu, double net) {
+  NodeUsage usage;
+  usage.disk_sec = disk;
+  usage.cpu_sec = cpu;
+  usage.net_sec = net;
+  return usage;
+}
+
+TEST(MultiuserTest, BottleneckIsBusiestResource) {
+  const MachineParams hw = MachineParams::GammaDefaults();
+  std::vector<MixItem> mix;
+  mix.push_back({MakeMetrics(3, {Usage(2.0, 1.0, 0.1),
+                                 Usage(0.5, 4.0, 0.1)}),
+                 1.0});
+  const auto report = AnalyzeMix(mix, 3, /*scheduler_node=*/2, hw);
+  EXPECT_EQ(report.bottleneck_node, 1);
+  EXPECT_EQ(report.bottleneck_resource, Resource::kCpu);
+  EXPECT_DOUBLE_EQ(report.bottleneck_busy_sec, 4.0);
+  EXPECT_DOUBLE_EQ(report.max_mixes_per_sec, 0.25);
+}
+
+TEST(MultiuserTest, WeightsScaleDemand) {
+  const MachineParams hw = MachineParams::GammaDefaults();
+  std::vector<MixItem> mix;
+  mix.push_back({MakeMetrics(2, {Usage(1.0, 0.0, 0.0)}), 3.0});
+  mix.push_back({MakeMetrics(2, {Usage(0.0, 2.0, 0.0)}), 1.0});
+  const auto report = AnalyzeMix(mix, 2, 1, hw);
+  // Disk demand 3s vs CPU demand 2s at node 0.
+  EXPECT_EQ(report.bottleneck_resource, Resource::kDisk);
+  EXPECT_DOUBLE_EQ(report.bottleneck_busy_sec, 3.0);
+}
+
+TEST(MultiuserTest, SchedulerCanBeTheBottleneck) {
+  const MachineParams hw = MachineParams::GammaDefaults();
+  std::vector<MixItem> mix;
+  mix.push_back({MakeMetrics(2, {Usage(0.1, 0.1, 0.1)}, 0, /*sched=*/5.0),
+                 1.0});
+  const auto report = AnalyzeMix(mix, 2, /*scheduler_node=*/1, hw);
+  EXPECT_EQ(report.bottleneck_node, 1);
+  EXPECT_EQ(report.bottleneck_resource, Resource::kCpu);
+  EXPECT_DOUBLE_EQ(report.bottleneck_busy_sec, 5.0);
+}
+
+TEST(MultiuserTest, RingCanBeTheBottleneck) {
+  MachineParams hw = MachineParams::GammaDefaults();
+  hw.net.ring_bytes_per_sec = 100.0;
+  std::vector<MixItem> mix;
+  mix.push_back({MakeMetrics(2, {Usage(0.1, 0.1, 0.1)}, /*ring_bytes=*/1000),
+                 1.0});
+  const auto report = AnalyzeMix(mix, 2, 1, hw);
+  EXPECT_TRUE(report.ring_limited);
+  EXPECT_DOUBLE_EQ(report.bottleneck_busy_sec, 10.0);
+  EXPECT_DOUBLE_EQ(report.max_mixes_per_sec, 0.1);
+}
+
+TEST(MultiuserTest, EmptyMixHasNoThroughputBound) {
+  const MachineParams hw = MachineParams::GammaDefaults();
+  const auto report = AnalyzeMix({}, 2, 0, hw);
+  EXPECT_DOUBLE_EQ(report.max_mixes_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace gammadb::sim

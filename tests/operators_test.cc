@@ -1,0 +1,236 @@
+// Unit tests for selection operators (scan, clustered / non-clustered index
+// select), predicates, the store consumer, external sort and merge join.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exec/merge_join.h"
+#include "exec/predicate.h"
+#include "exec/select.h"
+#include "exec/sort.h"
+#include "exec/store.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+
+namespace gammadb::exec {
+namespace {
+
+using gammadb::testing::MiniSchema;
+using gammadb::testing::MiniTuple;
+
+TEST(PredicateTest, Forms) {
+  const auto tuple = MiniTuple(5, 10);
+  EXPECT_TRUE(Predicate::True().Eval(tuple, MiniSchema()));
+  EXPECT_TRUE(Predicate::Eq(0, 5).Eval(tuple, MiniSchema()));
+  EXPECT_FALSE(Predicate::Eq(0, 6).Eval(tuple, MiniSchema()));
+  EXPECT_TRUE(Predicate::Range(1, 10, 20).Eval(tuple, MiniSchema()));
+  EXPECT_FALSE(Predicate::Range(1, 11, 20).Eval(tuple, MiniSchema()));
+  EXPECT_EQ(Predicate::True().compare_count(), 0);
+  EXPECT_EQ(Predicate::Eq(0, 1).compare_count(), 1);
+  EXPECT_EQ(Predicate::Range(0, 1, 2).compare_count(), 2);
+}
+
+class SelectTest : public ::testing::Test {
+ protected:
+  SelectTest() : sm_(4096, 64 * 1024) {
+    file_id_ = sm_.CreateFile();
+    // Load in key order so a clustered index is legitimate.
+    for (int32_t id = 0; id < 2000; ++id) {
+      rids_.push_back(sm_.file(file_id_).Append(MiniTuple(id, id * 2)));
+    }
+    clustered_id_ = sm_.CreateIndex();
+    std::vector<storage::BTree::Entry> entries;
+    for (int32_t id = 0; id < 2000; ++id) {
+      entries.push_back({id, rids_[static_cast<size_t>(id)]});
+    }
+    sm_.index(clustered_id_).BulkLoad(entries);
+
+    // Non-clustered index on val (== id*2): same rids keyed differently.
+    nc_id_ = sm_.CreateIndex();
+    std::vector<storage::BTree::Entry> nc_entries;
+    for (int32_t id = 0; id < 2000; ++id) {
+      nc_entries.push_back({id * 2, rids_[static_cast<size_t>(id)]});
+    }
+    sm_.index(nc_id_).BulkLoad(nc_entries);
+  }
+
+  std::multiset<int32_t> Collect(const ScanStats& stats,
+                                 std::vector<std::vector<uint8_t>>* out) {
+    (void)stats;
+    std::multiset<int32_t> ids;
+    for (const auto& tuple : *out) {
+      ids.insert(catalog::TupleView(&MiniSchema(), tuple).GetInt(0));
+    }
+    return ids;
+  }
+
+  storage::StorageManager sm_;
+  storage::FileId file_id_;
+  storage::IndexId clustered_id_;
+  storage::IndexId nc_id_;
+  std::vector<storage::Rid> rids_;
+};
+
+TEST_F(SelectTest, FileScanMatchesPredicate) {
+  std::vector<std::vector<uint8_t>> out;
+  const auto stats = SelectScan(
+      sm_.file(file_id_), MiniSchema(), Predicate::Range(0, 100, 119),
+      sm_.charge(),
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+  EXPECT_EQ(stats.examined, 2000u);
+  EXPECT_EQ(stats.emitted, 20u);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST_F(SelectTest, ClusteredIndexSelectReadsOnlyRange) {
+  std::vector<std::vector<uint8_t>> out;
+  const auto stats = ClusteredIndexSelect(
+      sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
+      Predicate::Range(0, 100, 119), sm_.charge(),
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+  EXPECT_EQ(stats.emitted, 20u);
+  // Only the page range holding keys 100..119 is examined, far fewer than
+  // a full scan.
+  EXPECT_LT(stats.examined, 400u);
+  const auto ids = Collect(stats, &out);
+  EXPECT_EQ(*ids.begin(), 100);
+  EXPECT_EQ(*ids.rbegin(), 119);
+}
+
+TEST_F(SelectTest, ClusteredIndexEmptyRange) {
+  std::vector<std::vector<uint8_t>> out;
+  const auto stats = ClusteredIndexSelect(
+      sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
+      Predicate::Range(0, 5000, 6000), sm_.charge(),
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+  EXPECT_EQ(stats.examined, 0u);
+  EXPECT_EQ(stats.emitted, 0u);
+}
+
+TEST_F(SelectTest, NonClusteredIndexSelect) {
+  std::vector<std::vector<uint8_t>> out;
+  const auto stats = NonClusteredIndexSelect(
+      sm_.file(file_id_), sm_.index(nc_id_), MiniSchema(),
+      Predicate::Range(1, 200, 238),  // val in [200,238] -> ids 100..119
+      sm_.charge(),
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+  EXPECT_EQ(stats.emitted, 20u);
+  EXPECT_EQ(stats.examined, 20u);  // exactly the qualifying tuples fetched
+  const auto ids = Collect(stats, &out);
+  EXPECT_EQ(*ids.begin(), 100);
+  EXPECT_EQ(*ids.rbegin(), 119);
+}
+
+TEST_F(SelectTest, ExactMatchThroughIndex) {
+  std::vector<std::vector<uint8_t>> out;
+  ClusteredIndexSelect(
+      sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
+      Predicate::Eq(0, 777), sm_.charge(),
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(catalog::TupleView(&MiniSchema(), out[0]).GetInt(1), 1554);
+}
+
+TEST(StoreTest, AppendsAndCounts) {
+  storage::StorageManager sm(4096, 64 * 1024);
+  const storage::FileId file_id = sm.CreateFile();
+  StoreConsumer store(&sm.file(file_id), &sm.charge());
+  for (int32_t i = 0; i < 50; ++i) store.Consume(MiniTuple(i, i));
+  EXPECT_EQ(store.stored(), 50u);
+  EXPECT_EQ(sm.file(file_id).num_tuples(), 50u);
+}
+
+TEST(SortTest, PredictRunCount) {
+  EXPECT_EQ(PredictRunCount(0, 100, 1000), 0u);
+  EXPECT_EQ(PredictRunCount(10, 100, 1000), 1u);
+  EXPECT_EQ(PredictRunCount(11, 100, 1000), 2u);
+  EXPECT_EQ(PredictRunCount(100, 100, 1000), 10u);
+}
+
+TEST(SortTest, SortsAcrossRuns) {
+  storage::StorageManager sm(4096, 256 * 1024);
+  const storage::FileId input_id = sm.CreateFile();
+  const auto tuples = gammadb::testing::MiniRelation(5000, 3);
+  for (const auto& tuple : tuples) sm.file(input_id).Append(tuple);
+
+  // Tiny sort memory forces multiple runs and a real merge.
+  const uint64_t memory = 500 * MiniSchema().tuple_size();
+  ASSERT_GT(PredictRunCount(5000, MiniSchema().tuple_size(), memory), 5u);
+  const storage::FileId sorted_id =
+      ExternalSort(sm, input_id, MiniSchema(), /*attr=*/0, memory);
+
+  int32_t expected = 0;
+  sm.file(sorted_id).Scan([&](storage::Rid, std::span<const uint8_t> t) {
+    EXPECT_EQ(catalog::TupleView(&MiniSchema(), t).GetInt(0), expected++);
+    return true;
+  });
+  EXPECT_EQ(expected, 5000);
+  // Input untouched.
+  EXPECT_EQ(sm.file(input_id).num_tuples(), 5000u);
+}
+
+TEST(SortTest, EmptyInput) {
+  storage::StorageManager sm(4096, 64 * 1024);
+  const storage::FileId input_id = sm.CreateFile();
+  const storage::FileId sorted_id =
+      ExternalSort(sm, input_id, MiniSchema(), 0, 1 << 20);
+  EXPECT_EQ(sm.file(sorted_id).num_tuples(), 0u);
+}
+
+TEST(MergeJoinTest, JoinsSortedInputsWithDuplicates) {
+  storage::StorageManager sm(4096, 256 * 1024);
+  const storage::FileId left_id = sm.CreateFile();
+  const storage::FileId right_id = sm.CreateFile();
+  // left keys: 0,1,1,2,3 ; right keys: 1,1,2,4
+  for (int32_t k : {0, 1, 1, 2, 3}) sm.file(left_id).Append(MiniTuple(k, k));
+  for (int32_t k : {1, 1, 2, 4}) sm.file(right_id).Append(MiniTuple(k, -k));
+
+  std::vector<std::vector<uint8_t>> out;
+  const auto stats = SortMergeJoin(
+      sm.file(left_id), MiniSchema(), 0, sm.file(right_id), MiniSchema(), 0,
+      sm.charge(),
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+  // key 1: 2x2 = 4 matches; key 2: 1. Total 5.
+  EXPECT_EQ(stats.output, 5u);
+  ASSERT_EQ(out.size(), 5u);
+  const catalog::Schema joined =
+      catalog::Schema::Concat(MiniSchema(), MiniSchema());
+  for (const auto& tuple : out) {
+    const catalog::TupleView view(&joined, tuple);
+    EXPECT_EQ(view.GetInt(0), view.GetInt(3));  // equijoin keys agree
+  }
+}
+
+TEST(MergeJoinTest, LargeRandomAgainstOracle) {
+  storage::StorageManager sm(4096, 1 << 20);
+  const storage::FileId left_id = sm.CreateFile();
+  const storage::FileId right_id = sm.CreateFile();
+  Rng rng(9);
+  std::vector<std::vector<uint8_t>> left, right;
+  for (int i = 0; i < 2000; ++i) {
+    left.push_back(MiniTuple(static_cast<int32_t>(rng.Uniform(500)), i));
+    right.push_back(MiniTuple(static_cast<int32_t>(rng.Uniform(500)), -i));
+  }
+  auto by_key = [](const std::vector<uint8_t>& a,
+                   const std::vector<uint8_t>& b) {
+    return catalog::TupleView(&MiniSchema(), a).GetInt(0) <
+           catalog::TupleView(&MiniSchema(), b).GetInt(0);
+  };
+  std::sort(left.begin(), left.end(), by_key);
+  std::sort(right.begin(), right.end(), by_key);
+  for (const auto& t : left) sm.file(left_id).Append(t);
+  for (const auto& t : right) sm.file(right_id).Append(t);
+
+  uint64_t matches = 0;
+  const auto stats = SortMergeJoin(
+      sm.file(left_id), MiniSchema(), 0, sm.file(right_id), MiniSchema(), 0,
+      sm.charge(), [&](std::span<const uint8_t>) { ++matches; });
+  EXPECT_EQ(stats.output, matches);
+  EXPECT_EQ(matches, gammadb::testing::ReferenceJoinCount(
+                         left, MiniSchema(), 0, right, MiniSchema(), 0));
+}
+
+}  // namespace
+}  // namespace gammadb::exec

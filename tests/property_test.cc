@@ -1,0 +1,253 @@
+// Property-based tests (parameterized gtest): query answers must be
+// invariant to every performance-affecting configuration knob, and the
+// cost-model outputs must obey basic sanity laws (conservation,
+// monotonicity).
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "exec/predicate.h"
+#include "gamma/machine.h"
+#include "test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::gamma {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+using gammadb::testing::ValuesOf;
+
+constexpr uint32_t kN = 3000;
+constexpr uint64_t kSeed = 0x5EED;
+
+GammaMachine MakeMachine(int disk_nodes, uint32_t page_size,
+                         uint64_t join_memory) {
+  GammaConfig config;
+  config.num_disk_nodes = disk_nodes;
+  config.num_diskless_nodes = disk_nodes;
+  config.page_size = page_size;
+  config.join_memory_total = join_memory;
+  return GammaMachine(config);
+}
+
+void LoadStandard(GammaMachine& machine, bool with_indices) {
+  const auto tuples = wis::GenerateWisconsin(kN, kSeed);
+  GAMMA_CHECK(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("A", tuples).ok());
+  if (with_indices) {
+    GAMMA_CHECK(machine.BuildIndex("A", wis::kUnique1, true).ok());
+    GAMMA_CHECK(machine.BuildIndex("A", wis::kUnique2, false).ok());
+  }
+  const auto bprime = wis::GenerateWisconsin(kN / 10, kSeed + 1);
+  GAMMA_CHECK(machine
+                  .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("Bprime", bprime).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Answer invariance: (disk nodes, page size) must never change any answer.
+// ---------------------------------------------------------------------------
+
+class ConfigInvariance
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>> {};
+
+TEST_P(ConfigInvariance, SelectionAnswersInvariant) {
+  const auto [disk_nodes, page_size] = GetParam();
+  GammaMachine machine = MakeMachine(disk_nodes, page_size, 4 << 20);
+  LoadStandard(machine, /*with_indices=*/true);
+
+  const auto tuples = wis::GenerateWisconsin(kN, kSeed);
+  for (const auto& [attr, access] :
+       std::vector<std::pair<int, AccessPath>>{
+           {wis::kUnique1, AccessPath::kFileScan},
+           {wis::kUnique1, AccessPath::kClusteredIndex},
+           {wis::kUnique2, AccessPath::kNonClusteredIndex}}) {
+    SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(attr, 100, 399);
+    query.access = access;
+    query.store_result = false;
+    const auto result = machine.RunSelect(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(ValuesOf(result->returned, wis::WisconsinSchema(), attr),
+              gammadb::testing::ReferenceSelect(tuples,
+                                                wis::WisconsinSchema(), attr,
+                                                100, 399, attr))
+        << "nodes=" << disk_nodes << " page=" << page_size
+        << " access=" << static_cast<int>(access);
+  }
+}
+
+TEST_P(ConfigInvariance, JoinAnswersInvariant) {
+  const auto [disk_nodes, page_size] = GetParam();
+  GammaMachine machine = MakeMachine(disk_nodes, page_size, 4 << 20);
+  LoadStandard(machine, /*with_indices=*/false);
+  for (const JoinMode mode :
+       {JoinMode::kLocal, JoinMode::kRemote, JoinMode::kAllnodes}) {
+    JoinQuery query;
+    query.outer = "A";
+    query.inner = "Bprime";
+    query.outer_attr = wis::kUnique2;
+    query.inner_attr = wis::kUnique2;
+    query.mode = mode;
+    const auto result = machine.RunJoin(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->result_tuples, kN / 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodeAndPageSweep, ConfigInvariance,
+    ::testing::Combine(::testing::Values(1, 3, 8),
+                       ::testing::Values(2048u, 8192u, 32768u)));
+
+// ---------------------------------------------------------------------------
+// Overflow invariance: the join answer must not depend on hash-table memory,
+// the overflow algorithm, or bit filters.
+// ---------------------------------------------------------------------------
+
+class MemoryInvariance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemoryInvariance, JoinAnswerIndependentOfMemory) {
+  GammaMachine machine = MakeMachine(4, 4096, GetParam());
+  LoadStandard(machine, /*with_indices=*/false);
+  for (const bool hybrid : {false, true}) {
+    for (const bool filter : {false, true}) {
+      JoinQuery query;
+      query.outer = "A";
+      query.inner = "Bprime";
+      query.outer_attr = wis::kUnique2;
+      query.inner_attr = wis::kUnique2;
+      query.use_hybrid = hybrid;
+      query.use_bit_filter = filter;
+      query.expected_build_tuples = kN / 10;
+      const auto result = machine.RunJoin(query);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->result_tuples, kN / 10)
+          << "memory=" << GetParam() << " hybrid=" << hybrid
+          << " filter=" << filter;
+      // The stored result must physically exist in full.
+      EXPECT_EQ(*machine.CountTuples(result->result_relation), kN / 10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MemorySweep, MemoryInvariance,
+                         ::testing::Values(16 * 1024, 64 * 1024, 256 * 1024,
+                                           8 << 20));
+
+// ---------------------------------------------------------------------------
+// Cost-model laws.
+// ---------------------------------------------------------------------------
+
+TEST(CostLaws, SpeedupMonotoneInProcessors) {
+  double previous = 1e30;
+  for (const int procs : {1, 2, 4, 8}) {
+    GammaMachine machine = MakeMachine(procs, 4096, 4 << 20);
+    LoadStandard(machine, /*with_indices=*/false);
+    SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(wis::kUnique1, 0, kN / 10 - 1);
+    query.access = AccessPath::kFileScan;
+    const double seconds = machine.RunSelect(query)->seconds();
+    EXPECT_LT(seconds, previous) << procs << " processors";
+    previous = seconds;
+  }
+}
+
+TEST(CostLaws, ScanTimeMonotoneInPageSize) {
+  double previous = 1e30;
+  for (const uint32_t page_size : {2048u, 4096u, 8192u, 16384u, 32768u}) {
+    GammaMachine machine = MakeMachine(4, page_size, 4 << 20);
+    LoadStandard(machine, /*with_indices=*/false);
+    SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(wis::kUnique1, kN + 1, kN + 2);  // 0%
+    query.access = AccessPath::kFileScan;
+    const double seconds = machine.RunSelect(query)->seconds();
+    EXPECT_LE(seconds, previous * 1.001) << page_size;
+    previous = seconds;
+  }
+}
+
+TEST(CostLaws, OverflowRoundsMonotoneInMemory) {
+  uint32_t previous_rounds = 1000;
+  for (const uint64_t memory :
+       {24ull * 1024, 64ull * 1024, 256ull * 1024, 8ull << 20}) {
+    GammaMachine machine = MakeMachine(4, 4096, memory);
+    LoadStandard(machine, /*with_indices=*/false);
+    JoinQuery query;
+    query.outer = "A";
+    query.inner = "Bprime";
+    query.outer_attr = wis::kUnique2;
+    query.inner_attr = wis::kUnique2;
+    const auto result = machine.RunJoin(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->metrics.overflow_rounds, previous_rounds);
+    previous_rounds = result->metrics.overflow_rounds;
+  }
+  EXPECT_EQ(previous_rounds, 0u);  // ample memory: no overflow
+}
+
+TEST(CostLaws, MetricsSanity) {
+  GammaMachine machine = MakeMachine(4, 4096, 64 * 1024);
+  LoadStandard(machine, /*with_indices=*/false);
+  JoinQuery query;
+  query.outer = "A";
+  query.inner = "Bprime";
+  query.outer_attr = wis::kUnique2;
+  query.inner_attr = wis::kUnique2;
+  const auto result = machine.RunJoin(query);
+  ASSERT_TRUE(result.ok());
+  const auto& metrics = result->metrics;
+  EXPECT_GE(metrics.scheduling_sec, 0.0);
+  double phase_sum = 0;
+  for (const auto& phase : metrics.phases) {
+    EXPECT_GE(phase.elapsed_sec, 0.0);
+    for (const auto& node : phase.per_node) {
+      EXPECT_GE(node.disk_sec, 0.0);
+      EXPECT_GE(node.cpu_sec, 0.0);
+      EXPECT_GE(node.net_sec, 0.0);
+      // No node can beat the phase clock.
+      EXPECT_LE(node.ElapsedSec(phase.kind), phase.elapsed_sec + 1e-9);
+    }
+    phase_sum += phase.elapsed_sec;
+  }
+  EXPECT_NEAR(metrics.TotalSec(), metrics.scheduling_sec + phase_sum, 1e-9);
+  const double sc = metrics.ShortCircuitFraction();
+  EXPECT_GE(sc, 0.0);
+  EXPECT_LE(sc, 1.0);
+}
+
+TEST(CostLaws, ShortCircuitFractionFallsWithProcessors) {
+  // §5.2.1: with n processors, 1/n of round-robin result traffic stays
+  // local; the fraction must fall as n grows.
+  double previous = 1.1;
+  for (const int procs : {1, 2, 4, 8}) {
+    GammaMachine machine = MakeMachine(procs, 4096, 4 << 20);
+    LoadStandard(machine, /*with_indices=*/false);
+    SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(wis::kUnique1, 0, kN / 10 - 1);
+    query.access = AccessPath::kFileScan;
+    const auto result = machine.RunSelect(query);
+    ASSERT_TRUE(result.ok());
+    const double sc = result->metrics.ShortCircuitFraction();
+    EXPECT_LT(sc, previous) << procs;
+    EXPECT_NEAR(sc, 1.0 / procs, 0.15) << procs;
+    previous = sc;
+  }
+}
+
+}  // namespace
+}  // namespace gammadb::gamma

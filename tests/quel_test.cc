@@ -1,0 +1,165 @@
+// Tests for the QUEL front end: parsing, planning onto machine queries,
+// session range variables, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "gamma/machine.h"
+#include "quel/quel.h"
+#include "test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::quel {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+
+class QuelTest : public ::testing::Test {
+ protected:
+  QuelTest() : machine_(Config()), session_(&machine_) {
+    const auto tuples = wis::GenerateWisconsin(2000, 21);
+    GAMMA_CHECK(machine_
+                    .CreateRelation("A", wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(machine_.LoadTuples("A", tuples).ok());
+    GAMMA_CHECK(machine_
+                    .CreateRelation("Bprime", wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(
+        machine_.LoadTuples("Bprime", wis::GenerateWisconsin(200, 22)).ok());
+  }
+
+  static gamma::GammaConfig Config() {
+    gamma::GammaConfig config;
+    config.num_disk_nodes = 4;
+    config.num_diskless_nodes = 4;
+    return config;
+  }
+
+  gamma::GammaMachine machine_;
+  Session session_;
+};
+
+TEST_F(QuelTest, RangeDeclaration) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  EXPECT_EQ(*session_.RangeOf("t"), "A");
+  EXPECT_TRUE(session_.RangeOf("x").status().IsNotFound());
+  EXPECT_TRUE(
+      session_.Execute("range of u is NoSuch").status().IsNotFound());
+}
+
+TEST_F(QuelTest, RetrieveRangeSelection) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto result = session_.Execute(
+      "retrieve (t.all) where t.unique1 >= 100 and t.unique1 <= 199");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 100u);
+  EXPECT_EQ(result->returned.size(), 100u);  // host-bound without 'into'
+}
+
+TEST_F(QuelTest, RetrieveIntoStoresResult) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto result =
+      session_.Execute("retrieve into tenpct (t.all) where t.unique1 < 200");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 200u);
+  EXPECT_EQ(result->result_relation, "tenpct");
+  EXPECT_EQ(*machine_.CountTuples("tenpct"), 200u);
+}
+
+TEST_F(QuelTest, ExactMatchSelection) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto result =
+      session_.Execute("retrieve (t.all) where t.unique2 = 55");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 1u);
+}
+
+TEST_F(QuelTest, ContradictoryClausesMatchNothing) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto result = session_.Execute(
+      "retrieve (t.all) where t.unique1 > 100 and t.unique1 < 50");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 0u);
+}
+
+TEST_F(QuelTest, JoinWithSelections) {
+  ASSERT_TRUE(session_.Execute("range of a is A").ok());
+  ASSERT_TRUE(session_.Execute("range of b is Bprime").ok());
+  const auto result = session_.Execute(
+      "retrieve (a.all, b.all) where a.unique2 = b.unique2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 200u);
+
+  const auto restricted = session_.Execute(
+      "retrieve (a.all, b.all) where a.unique2 = b.unique2 "
+      "and b.unique2 < 100");
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->result_tuples, 100u);
+}
+
+TEST_F(QuelTest, Aggregates) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto max_result = session_.Execute("retrieve (max(t.unique1))");
+  ASSERT_TRUE(max_result.ok());
+  const catalog::Schema schema = exec::GroupedAggregator::ResultSchema();
+  ASSERT_EQ(max_result->returned.size(), 1u);
+  EXPECT_EQ(catalog::TupleView(&schema, max_result->returned[0]).GetInt(1),
+            1999);
+
+  const auto grouped =
+      session_.Execute("retrieve (count(t.unique1) by t.ten)");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->returned.size(), 10u);
+
+  const auto filtered = session_.Execute(
+      "retrieve (count(t.unique1)) where t.unique1 < 500");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(catalog::TupleView(&schema, filtered->returned[0]).GetInt(1),
+            500);
+}
+
+TEST_F(QuelTest, AppendDeleteReplace) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto appended =
+      session_.Execute("append to A (unique1 = 9999, unique2 = 9999)");
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(*machine_.CountTuples("A"), 2001u);
+
+  const auto replaced =
+      session_.Execute("replace t (ten = 7) where t.unique1 = 9999");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->result_tuples, 1u);
+
+  const auto deleted =
+      session_.Execute("delete t where t.unique1 = 9999");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->result_tuples, 1u);
+  EXPECT_EQ(*machine_.CountTuples("A"), 2000u);
+}
+
+TEST_F(QuelTest, ErrorsAreStatusesNotCrashes) {
+  EXPECT_FALSE(session_.Execute("garbage statement").ok());
+  EXPECT_FALSE(session_.Execute("retrieve t.all").ok());     // missing parens
+  EXPECT_FALSE(session_.Execute("retrieve (x.all)").ok());   // unbound var
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  EXPECT_FALSE(
+      session_.Execute("retrieve (t.all) where t.nosuch = 1").ok());
+  EXPECT_FALSE(session_.Execute("delete t where t.unique1 < 100").ok());
+  EXPECT_FALSE(session_.Execute("retrieve (t.unique1)").ok());  // projection
+  EXPECT_FALSE(session_.Execute("retrieve (t.all) where t.unique1 @ 3").ok());
+}
+
+TEST_F(QuelTest, CaseInsensitiveKeywordsAndRelationLookup) {
+  ASSERT_TRUE(session_.Execute("RANGE OF T IS a").ok());
+  const auto result =
+      session_.Execute("RETRIEVE (T.ALL) WHERE T.UNIQUE1 < 10");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 10u);
+}
+
+}  // namespace
+}  // namespace gammadb::quel

@@ -1,0 +1,118 @@
+// Tests for the recovery server extension (§8 future work): log-record
+// accounting, the cost it adds, and that answers never change.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gamma/machine.h"
+#include "gamma/recovery_log.h"
+#include "test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::gamma {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+
+TEST(RecoveryLogUnit, PacketAndPageAccounting) {
+  sim::CostTracker tracker(sim::MachineParams::GammaDefaults(), 4);
+  tracker.BeginPhase("p", sim::PhaseKind::kPipelined);
+  RecoveryLog log(&tracker, /*recovery_node=*/3, /*page_size=*/4096);
+  // 100 records of 208-byte images = 24 KB of log: expect ~11 packets and
+  // ~6 log pages (5 full + 1 forced tail).
+  for (int i = 0; i < 100; ++i) log.Append(0, 208);
+  log.Commit(0);
+  tracker.EndPhase();
+  const auto metrics = tracker.Finish();
+  EXPECT_EQ(log.stats().records, 100u);
+  EXPECT_EQ(log.stats().bytes, 100u * (208 + RecoveryLog::kRecordHeaderBytes));
+  EXPECT_GE(log.stats().log_pages_written, 5u);
+  const auto totals = metrics.Totals();
+  EXPECT_GE(totals.packets_sent, 11u);
+  EXPECT_EQ(totals.pages_written, log.stats().log_pages_written);
+  // All log pages were written at the recovery node, sequentially.
+  EXPECT_EQ(totals.seq_page_ios, log.stats().log_pages_written);
+  EXPECT_GT(metrics.phases[0].per_node[3].disk_sec, 0.0);
+}
+
+TEST(RecoveryLogUnit, NullTrackerIsUncharged) {
+  RecoveryLog log(nullptr, 0, 4096);
+  for (int i = 0; i < 10; ++i) log.Append(0, 100);
+  log.Commit(0);
+  EXPECT_EQ(log.stats().records, 10u);
+}
+
+class RecoveryLogMachine : public ::testing::Test {
+ protected:
+  static std::unique_ptr<GammaMachine> MakeMachine(bool logging) {
+    GammaConfig config;
+    config.num_disk_nodes = 4;
+    config.num_diskless_nodes = 4;
+    config.enable_logging = logging;
+    auto machine = std::make_unique<GammaMachine>(config);
+    const auto tuples = wis::GenerateWisconsin(2000, 9);
+    GAMMA_CHECK(machine
+                    ->CreateRelation("A", wis::WisconsinSchema(),
+                                     catalog::PartitionSpec::Hashed(
+                                         wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(machine->LoadTuples("A", tuples).ok());
+    GAMMA_CHECK(machine->BuildIndex("A", wis::kUnique1, true).ok());
+    return machine;
+  }
+};
+
+TEST_F(RecoveryLogMachine, SelectionWithStoreCostsMoreAndAnswersMatch) {
+  auto plain_ptr = MakeMachine(false);
+  auto logged_ptr = MakeMachine(true);
+  GammaMachine& plain = *plain_ptr;
+  GammaMachine& logged = *logged_ptr;
+  SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 199);  // 10%
+  const auto without = plain.RunSelect(query);
+  const auto with = logged.RunSelect(query);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(without->result_tuples, 200u);
+  EXPECT_EQ(with->result_tuples, 200u);
+  EXPECT_GT(with->seconds(), without->seconds());
+}
+
+TEST_F(RecoveryLogMachine, HostBoundSelectionUnaffected) {
+  auto plain_ptr = MakeMachine(false);
+  auto logged_ptr = MakeMachine(true);
+  GammaMachine& plain = *plain_ptr;
+  GammaMachine& logged = *logged_ptr;
+  SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 199);
+  query.store_result = false;  // nothing stored -> nothing logged
+  const auto without = plain.RunSelect(query);
+  const auto with = logged.RunSelect(query);
+  EXPECT_NEAR(with->seconds(), without->seconds(), 1e-9);
+}
+
+TEST_F(RecoveryLogMachine, UpdatesPayLoggingOverhead) {
+  auto plain_ptr = MakeMachine(false);
+  auto logged_ptr = MakeMachine(true);
+  GammaMachine& plain = *plain_ptr;
+  GammaMachine& logged = *logged_ptr;
+  catalog::TupleBuilder builder(&wis::WisconsinSchema());
+  builder.SetInt(wis::kUnique1, 5000).SetInt(wis::kUnique2, 5000);
+  AppendQuery append{"A", {builder.bytes().begin(), builder.bytes().end()}};
+  const double without = plain.RunAppend(append)->seconds();
+  const double with = logged.RunAppend(append)->seconds();
+  EXPECT_GT(with, without + 0.01);  // log force + ack round trip
+  EXPECT_EQ(*plain.CountTuples("A"), 2001u);
+  EXPECT_EQ(*logged.CountTuples("A"), 2001u);
+
+  ModifyQuery modify{"A", wis::kUnique1, 77, wis::kTen, 3};
+  EXPECT_GT(logged.RunModify(modify)->seconds(),
+            plain.RunModify(modify)->seconds());
+}
+
+}  // namespace
+}  // namespace gammadb::gamma

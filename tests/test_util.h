@@ -1,0 +1,101 @@
+#ifndef GAMMA_TESTS_TEST_UTIL_H_
+#define GAMMA_TESTS_TEST_UTIL_H_
+
+// Shared helpers for the test suite: a tiny schema, deterministic tuple
+// builders, and reference (oracle) implementations of the paper's queries.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::testing {
+
+/// Small three-attribute schema for focused unit tests: (id, val, payload).
+inline const catalog::Schema& MiniSchema() {
+  static const catalog::Schema* schema = new catalog::Schema({
+      {"id", catalog::AttrType::kInt32, 4},
+      {"val", catalog::AttrType::kInt32, 4},
+      {"payload", catalog::AttrType::kChar, 16},
+  });
+  return *schema;
+}
+
+inline std::vector<uint8_t> MiniTuple(int32_t id, int32_t val) {
+  catalog::TupleBuilder builder(&MiniSchema());
+  builder.SetInt(0, id).SetInt(1, val).SetChar(2, "payload");
+  return {builder.bytes().begin(), builder.bytes().end()};
+}
+
+/// n mini tuples with id = 0..n-1 in random order and val = id * 2.
+inline std::vector<std::vector<uint8_t>> MiniRelation(uint32_t n,
+                                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> ids = rng.Permutation(n);
+  std::vector<std::vector<uint8_t>> tuples;
+  tuples.reserve(n);
+  for (uint32_t id : ids) {
+    tuples.push_back(MiniTuple(static_cast<int32_t>(id),
+                               static_cast<int32_t>(id) * 2));
+  }
+  return tuples;
+}
+
+/// Oracle: tuples of `input` whose `attr` lies in [lo, hi], as a multiset of
+/// attribute values (order-independent comparison).
+inline std::multiset<int32_t> ReferenceSelect(
+    const std::vector<std::vector<uint8_t>>& input,
+    const catalog::Schema& schema, int attr, int32_t lo, int32_t hi,
+    int result_attr) {
+  std::multiset<int32_t> out;
+  for (const auto& tuple : input) {
+    const catalog::TupleView view(&schema, tuple);
+    const int32_t key = view.GetInt(static_cast<size_t>(attr));
+    if (key >= lo && key <= hi) {
+      out.insert(view.GetInt(static_cast<size_t>(result_attr)));
+    }
+  }
+  return out;
+}
+
+/// Oracle: equijoin match count of `left.attr_l == right.attr_r`.
+inline uint64_t ReferenceJoinCount(
+    const std::vector<std::vector<uint8_t>>& left,
+    const catalog::Schema& left_schema, int attr_l,
+    const std::vector<std::vector<uint8_t>>& right,
+    const catalog::Schema& right_schema, int attr_r) {
+  std::map<int32_t, uint64_t> left_counts;
+  for (const auto& tuple : left) {
+    left_counts[catalog::TupleView(&left_schema, tuple)
+                    .GetInt(static_cast<size_t>(attr_l))] += 1;
+  }
+  uint64_t matches = 0;
+  for (const auto& tuple : right) {
+    const auto it = left_counts.find(
+        catalog::TupleView(&right_schema, tuple)
+            .GetInt(static_cast<size_t>(attr_r)));
+    if (it != left_counts.end()) matches += it->second;
+  }
+  return matches;
+}
+
+/// Multiset of one attribute's values over a tuple set.
+inline std::multiset<int32_t> ValuesOf(
+    const std::vector<std::vector<uint8_t>>& tuples,
+    const catalog::Schema& schema, int attr) {
+  std::multiset<int32_t> out;
+  for (const auto& tuple : tuples) {
+    out.insert(catalog::TupleView(&schema, tuple)
+                   .GetInt(static_cast<size_t>(attr)));
+  }
+  return out;
+}
+
+}  // namespace gammadb::testing
+
+#endif  // GAMMA_TESTS_TEST_UTIL_H_
