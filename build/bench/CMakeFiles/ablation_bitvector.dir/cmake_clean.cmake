@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bitvector.dir/ablation_bitvector.cc.o"
+  "CMakeFiles/ablation_bitvector.dir/ablation_bitvector.cc.o.d"
+  "ablation_bitvector"
+  "ablation_bitvector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

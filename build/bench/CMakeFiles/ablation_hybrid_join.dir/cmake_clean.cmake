@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_join.dir/ablation_hybrid_join.cc.o"
+  "CMakeFiles/ablation_hybrid_join.dir/ablation_hybrid_join.cc.o.d"
+  "ablation_hybrid_join"
+  "ablation_hybrid_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

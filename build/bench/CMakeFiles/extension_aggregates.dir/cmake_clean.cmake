@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_aggregates.dir/extension_aggregates.cc.o"
+  "CMakeFiles/extension_aggregates.dir/extension_aggregates.cc.o.d"
+  "extension_aggregates"
+  "extension_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

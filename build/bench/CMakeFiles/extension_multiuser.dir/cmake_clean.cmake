@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multiuser.dir/extension_multiuser.cc.o"
+  "CMakeFiles/extension_multiuser.dir/extension_multiuser.cc.o.d"
+  "extension_multiuser"
+  "extension_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_recovery_server.dir/extension_recovery_server.cc.o"
+  "CMakeFiles/extension_recovery_server.dir/extension_recovery_server.cc.o.d"
+  "extension_recovery_server"
+  "extension_recovery_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_recovery_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_selection_speedup.dir/fig01_02_selection_speedup.cc.o"
+  "CMakeFiles/fig01_02_selection_speedup.dir/fig01_02_selection_speedup.cc.o.d"
+  "fig01_02_selection_speedup"
+  "fig01_02_selection_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_selection_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_04_indexed_selection_speedup.dir/fig03_04_indexed_selection_speedup.cc.o"
+  "CMakeFiles/fig03_04_indexed_selection_speedup.dir/fig03_04_indexed_selection_speedup.cc.o.d"
+  "fig03_04_indexed_selection_speedup"
+  "fig03_04_indexed_selection_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_04_indexed_selection_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

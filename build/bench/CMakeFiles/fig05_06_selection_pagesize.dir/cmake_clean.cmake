@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_selection_pagesize.dir/fig05_06_selection_pagesize.cc.o"
+  "CMakeFiles/fig05_06_selection_pagesize.dir/fig05_06_selection_pagesize.cc.o.d"
+  "fig05_06_selection_pagesize"
+  "fig05_06_selection_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_selection_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

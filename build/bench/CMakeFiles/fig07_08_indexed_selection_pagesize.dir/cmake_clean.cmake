@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_indexed_selection_pagesize.dir/fig07_08_indexed_selection_pagesize.cc.o"
+  "CMakeFiles/fig07_08_indexed_selection_pagesize.dir/fig07_08_indexed_selection_pagesize.cc.o.d"
+  "fig07_08_indexed_selection_pagesize"
+  "fig07_08_indexed_selection_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_indexed_selection_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_12_join_speedup.dir/fig09_12_join_speedup.cc.o"
+  "CMakeFiles/fig09_12_join_speedup.dir/fig09_12_join_speedup.cc.o.d"
+  "fig09_12_join_speedup"
+  "fig09_12_join_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_12_join_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_join_overflow.dir/fig13_join_overflow.cc.o"
+  "CMakeFiles/fig13_join_overflow.dir/fig13_join_overflow.cc.o.d"
+  "fig13_join_overflow"
+  "fig13_join_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_join_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_join_pagesize.dir/fig14_15_join_pagesize.cc.o"
+  "CMakeFiles/fig14_15_join_pagesize.dir/fig14_15_join_pagesize.cc.o.d"
+  "fig14_15_join_pagesize"
+  "fig14_15_join_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_join_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

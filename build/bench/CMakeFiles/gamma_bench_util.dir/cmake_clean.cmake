@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/gamma_bench_util.dir/bench_util.cc.o.d"
+  "libgamma_bench_util.a"
+  "libgamma_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_operators.cc" "bench/CMakeFiles/micro_operators.dir/micro_operators.cc.o" "gcc" "bench/CMakeFiles/micro_operators.dir/micro_operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gamma_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gamma/CMakeFiles/gamma_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/teradata/CMakeFiles/gamma_teradata.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gamma_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gamma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gamma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wisconsin/CMakeFiles/gamma_wisconsin.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/gamma_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_selection.dir/table1_selection.cc.o"
+  "CMakeFiles/table1_selection.dir/table1_selection.cc.o.d"
+  "table1_selection"
+  "table1_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

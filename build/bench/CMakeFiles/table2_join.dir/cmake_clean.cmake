@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_join.dir/table2_join.cc.o"
+  "CMakeFiles/table2_join.dir/table2_join.cc.o.d"
+  "table2_join"
+  "table2_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

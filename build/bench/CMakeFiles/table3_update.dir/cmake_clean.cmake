@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_update.dir/table3_update.cc.o"
+  "CMakeFiles/table3_update.dir/table3_update.cc.o.d"
+  "table3_update"
+  "table3_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_duel.dir/machine_duel.cpp.o"
+  "CMakeFiles/machine_duel.dir/machine_duel.cpp.o.d"
+  "machine_duel"
+  "machine_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

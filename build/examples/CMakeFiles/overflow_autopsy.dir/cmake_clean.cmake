@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_autopsy.dir/overflow_autopsy.cpp.o"
+  "CMakeFiles/overflow_autopsy.dir/overflow_autopsy.cpp.o.d"
+  "overflow_autopsy"
+  "overflow_autopsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_autopsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

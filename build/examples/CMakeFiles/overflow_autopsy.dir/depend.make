@@ -1,0 +1,2 @@
+# Empty dependencies file for overflow_autopsy.
+# This may be replaced when dependencies are built.

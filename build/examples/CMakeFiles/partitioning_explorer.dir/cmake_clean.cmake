@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioning_explorer.dir/partitioning_explorer.cpp.o"
+  "CMakeFiles/partitioning_explorer.dir/partitioning_explorer.cpp.o.d"
+  "partitioning_explorer"
+  "partitioning_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioning_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quel_session.dir/quel_session.cpp.o"
+  "CMakeFiles/quel_session.dir/quel_session.cpp.o.d"
+  "quel_session"
+  "quel_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quel_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_catalog.dir/catalog.cc.o"
+  "CMakeFiles/gamma_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/gamma_catalog.dir/partition.cc.o"
+  "CMakeFiles/gamma_catalog.dir/partition.cc.o.d"
+  "CMakeFiles/gamma_catalog.dir/schema.cc.o"
+  "CMakeFiles/gamma_catalog.dir/schema.cc.o.d"
+  "libgamma_catalog.a"
+  "libgamma_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

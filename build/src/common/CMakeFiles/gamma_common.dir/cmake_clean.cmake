@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_common.dir/hash.cc.o"
+  "CMakeFiles/gamma_common.dir/hash.cc.o.d"
+  "CMakeFiles/gamma_common.dir/rng.cc.o"
+  "CMakeFiles/gamma_common.dir/rng.cc.o.d"
+  "CMakeFiles/gamma_common.dir/status.cc.o"
+  "CMakeFiles/gamma_common.dir/status.cc.o.d"
+  "libgamma_common.a"
+  "libgamma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/gamma_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/bit_vector_filter.cc" "src/exec/CMakeFiles/gamma_exec.dir/bit_vector_filter.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/bit_vector_filter.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/exec/CMakeFiles/gamma_exec.dir/hash_join.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/hash_join.cc.o.d"
+  "/root/repo/src/exec/hash_table.cc" "src/exec/CMakeFiles/gamma_exec.dir/hash_table.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/hash_table.cc.o.d"
+  "/root/repo/src/exec/hybrid_join.cc" "src/exec/CMakeFiles/gamma_exec.dir/hybrid_join.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/hybrid_join.cc.o.d"
+  "/root/repo/src/exec/merge_join.cc" "src/exec/CMakeFiles/gamma_exec.dir/merge_join.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/merge_join.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/exec/CMakeFiles/gamma_exec.dir/predicate.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/predicate.cc.o.d"
+  "/root/repo/src/exec/select.cc" "src/exec/CMakeFiles/gamma_exec.dir/select.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/select.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/exec/CMakeFiles/gamma_exec.dir/sort.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/sort.cc.o.d"
+  "/root/repo/src/exec/split_table.cc" "src/exec/CMakeFiles/gamma_exec.dir/split_table.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/split_table.cc.o.d"
+  "/root/repo/src/exec/store.cc" "src/exec/CMakeFiles/gamma_exec.dir/store.cc.o" "gcc" "src/exec/CMakeFiles/gamma_exec.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gamma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gamma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/gamma_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_exec.dir/aggregate.cc.o"
+  "CMakeFiles/gamma_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/bit_vector_filter.cc.o"
+  "CMakeFiles/gamma_exec.dir/bit_vector_filter.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/hash_join.cc.o"
+  "CMakeFiles/gamma_exec.dir/hash_join.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/hash_table.cc.o"
+  "CMakeFiles/gamma_exec.dir/hash_table.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/hybrid_join.cc.o"
+  "CMakeFiles/gamma_exec.dir/hybrid_join.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/merge_join.cc.o"
+  "CMakeFiles/gamma_exec.dir/merge_join.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/predicate.cc.o"
+  "CMakeFiles/gamma_exec.dir/predicate.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/select.cc.o"
+  "CMakeFiles/gamma_exec.dir/select.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/sort.cc.o"
+  "CMakeFiles/gamma_exec.dir/sort.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/split_table.cc.o"
+  "CMakeFiles/gamma_exec.dir/split_table.cc.o.d"
+  "CMakeFiles/gamma_exec.dir/store.cc.o"
+  "CMakeFiles/gamma_exec.dir/store.cc.o.d"
+  "libgamma_exec.a"
+  "libgamma_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

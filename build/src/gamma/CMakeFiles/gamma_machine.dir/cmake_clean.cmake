@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_machine.dir/machine.cc.o"
+  "CMakeFiles/gamma_machine.dir/machine.cc.o.d"
+  "CMakeFiles/gamma_machine.dir/machine_aggregate.cc.o"
+  "CMakeFiles/gamma_machine.dir/machine_aggregate.cc.o.d"
+  "CMakeFiles/gamma_machine.dir/machine_updates.cc.o"
+  "CMakeFiles/gamma_machine.dir/machine_updates.cc.o.d"
+  "CMakeFiles/gamma_machine.dir/recovery_log.cc.o"
+  "CMakeFiles/gamma_machine.dir/recovery_log.cc.o.d"
+  "libgamma_machine.a"
+  "libgamma_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

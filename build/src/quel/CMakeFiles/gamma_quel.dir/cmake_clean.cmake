@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_quel.dir/quel.cc.o"
+  "CMakeFiles/gamma_quel.dir/quel.cc.o.d"
+  "libgamma_quel.a"
+  "libgamma_quel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_quel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_tracker.cc" "src/sim/CMakeFiles/gamma_sim.dir/cost_tracker.cc.o" "gcc" "src/sim/CMakeFiles/gamma_sim.dir/cost_tracker.cc.o.d"
+  "/root/repo/src/sim/hardware.cc" "src/sim/CMakeFiles/gamma_sim.dir/hardware.cc.o" "gcc" "src/sim/CMakeFiles/gamma_sim.dir/hardware.cc.o.d"
+  "/root/repo/src/sim/multiuser.cc" "src/sim/CMakeFiles/gamma_sim.dir/multiuser.cc.o" "gcc" "src/sim/CMakeFiles/gamma_sim.dir/multiuser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

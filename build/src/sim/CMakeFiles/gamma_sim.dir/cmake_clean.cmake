@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_sim.dir/cost_tracker.cc.o"
+  "CMakeFiles/gamma_sim.dir/cost_tracker.cc.o.d"
+  "CMakeFiles/gamma_sim.dir/hardware.cc.o"
+  "CMakeFiles/gamma_sim.dir/hardware.cc.o.d"
+  "CMakeFiles/gamma_sim.dir/multiuser.cc.o"
+  "CMakeFiles/gamma_sim.dir/multiuser.cc.o.d"
+  "libgamma_sim.a"
+  "libgamma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

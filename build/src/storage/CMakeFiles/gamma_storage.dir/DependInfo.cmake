@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/gamma_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/gamma_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/deferred_update.cc" "src/storage/CMakeFiles/gamma_storage.dir/deferred_update.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/deferred_update.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/gamma_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/gamma_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/lock_manager.cc" "src/storage/CMakeFiles/gamma_storage.dir/lock_manager.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/lock_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/gamma_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "src/storage/CMakeFiles/gamma_storage.dir/storage_manager.cc.o" "gcc" "src/storage/CMakeFiles/gamma_storage.dir/storage_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gamma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

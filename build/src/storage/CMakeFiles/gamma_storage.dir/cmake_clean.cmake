@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_storage.dir/btree.cc.o"
+  "CMakeFiles/gamma_storage.dir/btree.cc.o.d"
+  "CMakeFiles/gamma_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/gamma_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/gamma_storage.dir/deferred_update.cc.o"
+  "CMakeFiles/gamma_storage.dir/deferred_update.cc.o.d"
+  "CMakeFiles/gamma_storage.dir/disk.cc.o"
+  "CMakeFiles/gamma_storage.dir/disk.cc.o.d"
+  "CMakeFiles/gamma_storage.dir/heap_file.cc.o"
+  "CMakeFiles/gamma_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/gamma_storage.dir/lock_manager.cc.o"
+  "CMakeFiles/gamma_storage.dir/lock_manager.cc.o.d"
+  "CMakeFiles/gamma_storage.dir/page.cc.o"
+  "CMakeFiles/gamma_storage.dir/page.cc.o.d"
+  "CMakeFiles/gamma_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/gamma_storage.dir/storage_manager.cc.o.d"
+  "libgamma_storage.a"
+  "libgamma_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_teradata.dir/machine.cc.o"
+  "CMakeFiles/gamma_teradata.dir/machine.cc.o.d"
+  "CMakeFiles/gamma_teradata.dir/machine_updates.cc.o"
+  "CMakeFiles/gamma_teradata.dir/machine_updates.cc.o.d"
+  "libgamma_teradata.a"
+  "libgamma_teradata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_teradata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

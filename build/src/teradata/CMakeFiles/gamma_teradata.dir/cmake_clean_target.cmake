@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgamma_teradata.a"
+)

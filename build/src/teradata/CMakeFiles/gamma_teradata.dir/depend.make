@@ -1,0 +1,2 @@
+# Empty dependencies file for gamma_teradata.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_wisconsin.dir/wisconsin.cc.o"
+  "CMakeFiles/gamma_wisconsin.dir/wisconsin.cc.o.d"
+  "libgamma_wisconsin.a"
+  "libgamma_wisconsin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_wisconsin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

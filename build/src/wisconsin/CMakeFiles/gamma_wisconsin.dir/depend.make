@@ -1,0 +1,2 @@
+# Empty dependencies file for gamma_wisconsin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_tracker_test.dir/cost_tracker_test.cc.o"
+  "CMakeFiles/cost_tracker_test.dir/cost_tracker_test.cc.o.d"
+  "cost_tracker_test"
+  "cost_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

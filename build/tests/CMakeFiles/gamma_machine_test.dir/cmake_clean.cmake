@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_machine_test.dir/gamma_machine_test.cc.o"
+  "CMakeFiles/gamma_machine_test.dir/gamma_machine_test.cc.o.d"
+  "gamma_machine_test"
+  "gamma_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

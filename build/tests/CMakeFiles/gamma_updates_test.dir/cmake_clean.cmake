@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_updates_test.dir/gamma_updates_test.cc.o"
+  "CMakeFiles/gamma_updates_test.dir/gamma_updates_test.cc.o.d"
+  "gamma_updates_test"
+  "gamma_updates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_updates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quel_test.dir/quel_test.cc.o"
+  "CMakeFiles/quel_test.dir/quel_test.cc.o.d"
+  "quel_test"
+  "quel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_log_test.dir/recovery_log_test.cc.o"
+  "CMakeFiles/recovery_log_test.dir/recovery_log_test.cc.o.d"
+  "recovery_log_test"
+  "recovery_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teradata_machine_test.dir/teradata_machine_test.cc.o"
+  "CMakeFiles/teradata_machine_test.dir/teradata_machine_test.cc.o.d"
+  "teradata_machine_test"
+  "teradata_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teradata_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
