@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and run the test suite twice — a plain
+# RelWithDebInfo build, then an ASan+UBSan build (GAMMA_SANITIZE=ON).
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+MODE=${1:-all}
+
+run_suite() {
+  local build_dir=$1
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "$MODE" != "--sanitize-only" ]]; then
+  echo "== plain build =="
+  run_suite build
+fi
+
+if [[ "$MODE" != "--plain-only" ]]; then
+  echo "== sanitized build (ASan + UBSan) =="
+  run_suite build-sanitize -DGAMMA_SANITIZE=ON
+fi
+
+echo "All checks passed."

@@ -12,6 +12,10 @@
 
 namespace gammadb::catalog {
 
+/// Sentinel in per_node_file / per_node_backup_file: this node holds no
+/// fragment (node was dead at creation, or the relation has no backups).
+inline constexpr uint32_t kNoFile = 0xFFFFFFFF;
+
 /// Metadata for one index of a relation, with the per-site physical index
 /// ids (every site indexes its own fragment).
 struct IndexMeta {
@@ -29,8 +33,13 @@ struct RelationMeta {
   std::string name;
   Schema schema;
   PartitionSpec partitioning;
-  /// Physical heap-file id at each site with disks.
+  /// Physical heap-file id at each site with disks (kNoFile = no fragment).
   std::vector<uint32_t> per_node_file;
+  /// Chained declustering [HD90-style]: when backed_up, the backup copy of
+  /// fragment f lives on node (f+1) % n as file per_node_backup_file[f].
+  /// Backups carry no indexes — a backup-served fragment is always scanned.
+  bool backed_up = false;
+  std::vector<uint32_t> per_node_backup_file;
   std::vector<IndexMeta> indices;
   uint64_t num_tuples = 0;
 

@@ -24,6 +24,10 @@ const char* CodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kNotImplemented:
       return "NotImplemented";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

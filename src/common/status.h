@@ -23,6 +23,12 @@ class Status {
     kFailedPrecondition,
     kCorruption,
     kNotImplemented,
+    /// A retryable I/O failure (transient disk fault). Callers with a retry
+    /// budget may re-issue the operation.
+    kIOError,
+    /// A permanently failed component (dead disk node). Queries may fail
+    /// over to a surviving replica but must not retry the same component.
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -57,6 +63,12 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(Code::kNotImplemented, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -67,6 +79,10 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable rendering, e.g. "NotFound: no such relation".
   std::string ToString() const;

@@ -66,18 +66,28 @@ void HashJoinSite::ChargeCpu(double instr) {
 }
 
 void HashJoinSite::SpoolBuild(std::span<const uint8_t> tuple) {
+  if (!status_.ok()) return;
   if (sm_->charge().tracker != nullptr) {
     ChargeCpu(sm_->charge().tracker->hw().cost.instr_per_tuple_copy);
   }
-  sm_->file(build_spool_id_).Append(tuple);
+  const auto rid = sm_->file(build_spool_id_).Append(tuple);
+  if (!rid.ok()) {
+    status_ = rid.status();
+    return;
+  }
   ++stats_.build_spooled;
 }
 
 void HashJoinSite::SpoolProbe(std::span<const uint8_t> tuple) {
+  if (!status_.ok()) return;
   if (sm_->charge().tracker != nullptr) {
     ChargeCpu(sm_->charge().tracker->hw().cost.instr_per_tuple_copy);
   }
-  sm_->file(probe_spool_id_).Append(tuple);
+  const auto rid = sm_->file(probe_spool_id_).Append(tuple);
+  if (!rid.ok()) {
+    status_ = rid.status();
+    return;
+  }
   ++stats_.probe_spooled;
 }
 

@@ -82,6 +82,11 @@ class HashJoinSite {
   const Stats& stats() const { return stats_; }
   const JoinHashTable& table() const { return table_; }
 
+  /// First spool-append error, or OK. Sticky; tuples arriving after an
+  /// error are dropped. The orchestrator checks this after each phase (the
+  /// push-based Add* callbacks cannot return a Status themselves).
+  const Status& status() const { return status_; }
+
  private:
   bool Resident(int32_t key) const;
   /// Adds one residency split and purges newly non-resident tuples from the
@@ -106,6 +111,7 @@ class HashJoinSite {
   storage::FileId prev_probe_spool_id_;
   bool forced_round_ = false;
   Stats stats_;
+  Status status_;
 };
 
 }  // namespace gammadb::exec

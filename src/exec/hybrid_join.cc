@@ -66,10 +66,16 @@ void HybridHashJoinSite::AddBuildTuple(std::span<const uint8_t> tuple) {
     // must then be spooled as well (see AddProbeTuple).
     bucket0_spilled_ = true;
   }
+  if (!status_.ok()) return;
   if (tracker != nullptr) {
     ChargeCpu(tracker->hw().cost.instr_per_tuple_copy);
   }
-  sm_->file(build_buckets_[static_cast<size_t>(bucket)]).Append(tuple);
+  const auto rid =
+      sm_->file(build_buckets_[static_cast<size_t>(bucket)]).Append(tuple);
+  if (!rid.ok()) {
+    status_ = rid.status();
+    return;
+  }
   ++stats_.build_spooled;
 }
 
@@ -103,45 +109,55 @@ void HybridHashJoinSite::AddProbeTuple(std::span<const uint8_t> tuple,
     if (!bucket0_spilled_) return;
     // Partners may sit in the bucket-0 spill file; spool the probe too.
   }
+  if (!status_.ok()) return;
   if (tracker != nullptr) {
     ChargeCpu(tracker->hw().cost.instr_per_tuple_copy);
   }
-  sm_->file(probe_buckets_[static_cast<size_t>(bucket)]).Append(tuple);
+  const auto rid =
+      sm_->file(probe_buckets_[static_cast<size_t>(bucket)]).Append(tuple);
+  if (!rid.ok()) {
+    status_ = rid.status();
+    return;
+  }
   ++stats_.probe_spooled;
 }
 
-void HybridHashJoinSite::FinishSpooledBuckets(const TupleSink& emit) {
+Status HybridHashJoinSite::FinishSpooledBuckets(const TupleSink& emit) {
+  GAMMA_RETURN_NOT_OK(status_);
   const auto* tracker = sm_->charge().tracker;
   for (uint32_t b = 0; b < stats_.num_buckets; ++b) {
     const storage::HeapFile& build = sm_->file(build_buckets_[b]);
     const storage::HeapFile& probe = sm_->file(probe_buckets_[b]);
     if (build.num_tuples() == 0 && probe.num_tuples() == 0) continue;
     table_.Clear();
-    build.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
-      const catalog::TupleView view(build_schema_, tuple);
-      const int32_t key = view.GetInt(static_cast<size_t>(build_attr_));
-      if (tracker != nullptr) {
-        ChargeCpu(tracker->hw().cost.instr_per_tuple_build);
-      }
-      if (!table_.Insert(key, tuple)) {
-        // One level of recursion is enough for any realistic skew here;
-        // over-commit and count it rather than recurse.
-        table_.InsertUnchecked(key, tuple);
-        ++stats_.forced_inserts;
-      }
-      return true;
-    });
-    probe.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
-      const catalog::TupleView view(probe_schema_, tuple);
-      const int32_t key = view.GetInt(static_cast<size_t>(probe_attr_));
-      if (tracker != nullptr) {
-        ChargeCpu(tracker->hw().cost.instr_per_tuple_probe);
-      }
-      ProbeTable(key, tuple, emit);
-      return true;
-    });
+    GAMMA_RETURN_NOT_OK(
+        build.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
+          const catalog::TupleView view(build_schema_, tuple);
+          const int32_t key = view.GetInt(static_cast<size_t>(build_attr_));
+          if (tracker != nullptr) {
+            ChargeCpu(tracker->hw().cost.instr_per_tuple_build);
+          }
+          if (!table_.Insert(key, tuple)) {
+            // One level of recursion is enough for any realistic skew here;
+            // over-commit and count it rather than recurse.
+            table_.InsertUnchecked(key, tuple);
+            ++stats_.forced_inserts;
+          }
+          return true;
+        }));
+    GAMMA_RETURN_NOT_OK(
+        probe.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
+          const catalog::TupleView view(probe_schema_, tuple);
+          const int32_t key = view.GetInt(static_cast<size_t>(probe_attr_));
+          if (tracker != nullptr) {
+            ChargeCpu(tracker->hw().cost.instr_per_tuple_probe);
+          }
+          ProbeTable(key, tuple, emit);
+          return true;
+        }));
   }
   table_.Clear();
+  return Status::OK();
 }
 
 }  // namespace gammadb::exec

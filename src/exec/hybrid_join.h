@@ -55,9 +55,13 @@ class HybridHashJoinSite {
   /// Joins all spooled bucket pairs locally (no redistribution — hybrid's
   /// overflow stays at the site that spooled it). Call after both inputs
   /// are exhausted; emits the remaining matches.
-  void FinishSpooledBuckets(const TupleSink& emit);
+  Status FinishSpooledBuckets(const TupleSink& emit);
 
   const Stats& stats() const { return stats_; }
+
+  /// First spool-append error, or OK. Sticky; tuples arriving after an
+  /// error are dropped. The orchestrator checks this after each phase.
+  const Status& status() const { return status_; }
 
  private:
   int BucketOf(int32_t key) const;
@@ -79,6 +83,7 @@ class HybridHashJoinSite {
   std::vector<storage::FileId> build_buckets_;
   std::vector<storage::FileId> probe_buckets_;
   Stats stats_;
+  Status status_;
 };
 
 }  // namespace gammadb::exec

@@ -14,6 +14,9 @@ namespace gammadb::exec {
 struct QueryResult {
   sim::QueryMetrics metrics;
   uint64_t result_tuples = 0;
+  /// Times the whole query was restarted after a node died mid-flight
+  /// (0 = ran clean; 1 = the single permitted failover retry succeeded).
+  uint32_t failover_retries = 0;
   /// Name of the stored result relation (empty if returned to host).
   std::string result_relation;
   /// Tuples returned to the host (host-bound queries only).

@@ -19,35 +19,38 @@ void ChargeExamine(const storage::ChargeContext& charge,
 
 }  // namespace
 
-ScanStats SelectScan(const storage::HeapFile& file,
-                     const catalog::Schema& schema, const Predicate& pred,
-                     const storage::ChargeContext& charge,
-                     const TupleSink& emit) {
+Result<ScanStats> SelectScan(const storage::HeapFile& file,
+                             const catalog::Schema& schema,
+                             const Predicate& pred,
+                             const storage::ChargeContext& charge,
+                             const TupleSink& emit) {
   ScanStats stats;
-  file.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
-    ++stats.examined;
-    ChargeExamine(charge, pred);
-    if (pred.Eval(tuple, schema)) {
-      ++stats.emitted;
-      emit(tuple);
-    }
-    return true;
-  });
+  GAMMA_RETURN_NOT_OK(
+      file.Scan([&](storage::Rid, std::span<const uint8_t> tuple) {
+        ++stats.examined;
+        ChargeExamine(charge, pred);
+        if (pred.Eval(tuple, schema)) {
+          ++stats.emitted;
+          emit(tuple);
+        }
+        return true;
+      }));
   return stats;
 }
 
-ScanStats ClusteredIndexSelect(const storage::HeapFile& file,
-                               const storage::BTree& index,
-                               const catalog::Schema& schema,
-                               const Predicate& pred,
-                               const storage::ChargeContext& charge,
-                               const TupleSink& emit) {
+Result<ScanStats> ClusteredIndexSelect(const storage::HeapFile& file,
+                                       const storage::BTree& index,
+                                       const catalog::Schema& schema,
+                                       const Predicate& pred,
+                                       const storage::ChargeContext& charge,
+                                       const TupleSink& emit) {
   GAMMA_CHECK_MSG(!pred.is_true(),
                   "index selection requires a keyed predicate");
   ScanStats stats;
   // The leaf walk yields qualifying rids in key order; because the file is
   // sorted on the key, they span a contiguous page range.
-  const std::vector<storage::Rid> rids = index.RangeLookup(pred.lo(), pred.hi());
+  std::vector<storage::Rid> rids;
+  GAMMA_ASSIGN_OR_RETURN(rids, index.RangeLookup(pred.lo(), pred.hi()));
   if (rids.empty()) return stats;
   uint32_t first_page = rids.front().page_index;
   uint32_t last_page = rids.front().page_index;
@@ -55,32 +58,37 @@ ScanStats ClusteredIndexSelect(const storage::HeapFile& file,
     first_page = std::min(first_page, rid.page_index);
     last_page = std::max(last_page, rid.page_index);
   }
-  file.ScanPages(first_page, last_page,
-                 [&](storage::Rid, std::span<const uint8_t> tuple) {
-                   ++stats.examined;
-                   ChargeExamine(charge, pred);
-                   if (pred.Eval(tuple, schema)) {
-                     ++stats.emitted;
-                     emit(tuple);
-                   }
-                   return true;
-                 });
+  GAMMA_RETURN_NOT_OK(
+      file.ScanPages(first_page, last_page,
+                     [&](storage::Rid, std::span<const uint8_t> tuple) {
+                       ++stats.examined;
+                       ChargeExamine(charge, pred);
+                       if (pred.Eval(tuple, schema)) {
+                         ++stats.emitted;
+                         emit(tuple);
+                       }
+                       return true;
+                     }));
   return stats;
 }
 
-ScanStats NonClusteredIndexSelect(const storage::HeapFile& file,
-                                  const storage::BTree& index,
-                                  const catalog::Schema& schema,
-                                  const Predicate& pred,
-                                  const storage::ChargeContext& charge,
-                                  const TupleSink& emit) {
+Result<ScanStats> NonClusteredIndexSelect(const storage::HeapFile& file,
+                                          const storage::BTree& index,
+                                          const catalog::Schema& schema,
+                                          const Predicate& pred,
+                                          const storage::ChargeContext& charge,
+                                          const TupleSink& emit) {
   GAMMA_CHECK_MSG(!pred.is_true(),
                   "index selection requires a keyed predicate");
   ScanStats stats;
-  const std::vector<storage::Rid> rids = index.RangeLookup(pred.lo(), pred.hi());
+  std::vector<storage::Rid> rids;
+  GAMMA_ASSIGN_OR_RETURN(rids, index.RangeLookup(pred.lo(), pred.hi()));
   for (const storage::Rid& rid : rids) {
     auto tuple = file.Fetch(rid, storage::AccessIntent::kRandom);
-    GAMMA_CHECK_MSG(tuple.ok(), "index entry points at a missing record");
+    if (tuple.status().IsNotFound()) {
+      GAMMA_CHECK_MSG(false, "index entry points at a missing record");
+    }
+    GAMMA_RETURN_NOT_OK(tuple.status());
     ++stats.examined;
     ChargeExamine(charge, pred);
     if (pred.Eval(*tuple, schema)) {

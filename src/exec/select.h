@@ -6,6 +6,7 @@
 #include <span>
 
 #include "catalog/schema.h"
+#include "common/result.h"
 #include "exec/predicate.h"
 #include "storage/btree.h"
 #include "storage/heap_file.h"
@@ -22,31 +23,34 @@ struct ScanStats {
 };
 
 /// Sequential (segment) scan: every page of the fragment is read and every
-/// tuple tested.
-ScanStats SelectScan(const storage::HeapFile& file,
-                     const catalog::Schema& schema, const Predicate& pred,
-                     const storage::ChargeContext& charge,
-                     const TupleSink& emit);
+/// tuple tested. Errors (dead node, corrupt page) abort the scan mid-way;
+/// tuples already emitted stay emitted — the machine layer discards the
+/// partial result.
+Result<ScanStats> SelectScan(const storage::HeapFile& file,
+                             const catalog::Schema& schema,
+                             const Predicate& pred,
+                             const storage::ChargeContext& charge,
+                             const TupleSink& emit);
 
 /// Selection through a clustered index: the file is sorted on the predicate
 /// attribute, so after the B-tree descent only the page range holding the
 /// matching key range is scanned (sequentially).
-ScanStats ClusteredIndexSelect(const storage::HeapFile& file,
-                               const storage::BTree& index,
-                               const catalog::Schema& schema,
-                               const Predicate& pred,
-                               const storage::ChargeContext& charge,
-                               const TupleSink& emit);
+Result<ScanStats> ClusteredIndexSelect(const storage::HeapFile& file,
+                                       const storage::BTree& index,
+                                       const catalog::Schema& schema,
+                                       const Predicate& pred,
+                                       const storage::ChargeContext& charge,
+                                       const TupleSink& emit);
 
 /// Selection through a non-clustered index: the leaf entries give the
 /// qualifying rids in key order, but each fetch is a random data-page access
 /// (in the worst case one page fault per tuple — paper §5.1).
-ScanStats NonClusteredIndexSelect(const storage::HeapFile& file,
-                                  const storage::BTree& index,
-                                  const catalog::Schema& schema,
-                                  const Predicate& pred,
-                                  const storage::ChargeContext& charge,
-                                  const TupleSink& emit);
+Result<ScanStats> NonClusteredIndexSelect(const storage::HeapFile& file,
+                                          const storage::BTree& index,
+                                          const catalog::Schema& schema,
+                                          const Predicate& pred,
+                                          const storage::ChargeContext& charge,
+                                          const TupleSink& emit);
 
 }  // namespace gammadb::exec
 

@@ -11,10 +11,15 @@ StoreConsumer::StoreConsumer(storage::HeapFile* file,
 }
 
 void StoreConsumer::Consume(std::span<const uint8_t> tuple) {
+  if (!status_.ok()) return;
   if (charge_->tracker != nullptr) {
     charge_->Cpu(charge_->tracker->hw().cost.instr_per_tuple_store);
   }
-  file_->Append(tuple);
+  const auto rid = file_->Append(tuple);
+  if (!rid.ok()) {
+    status_ = rid.status();
+    return;
+  }
   ++stored_;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/status.h"
 #include "storage/heap_file.h"
 
 namespace gammadb::exec {
@@ -21,14 +22,21 @@ class StoreConsumer {
   StoreConsumer(const StoreConsumer&) = delete;
   StoreConsumer& operator=(const StoreConsumer&) = delete;
 
+  /// Push-based sink: the void signature can't propagate a failed append, so
+  /// the first error latches in status() and later tuples are dropped. The
+  /// machine checks the latch at the end of each phase.
   void Consume(std::span<const uint8_t> tuple);
 
   uint64_t stored() const { return stored_; }
+
+  /// First append error, or OK. Sticky once set.
+  const Status& status() const { return status_; }
 
  private:
   storage::HeapFile* file_;
   const storage::ChargeContext* charge_;
   uint64_t stored_ = 0;
+  Status status_;
 };
 
 }  // namespace gammadb::exec

@@ -45,9 +45,15 @@ constexpr int kMaxOverflowRounds = 64;
 GammaMachine::GammaMachine(GammaConfig config) : config_(config) {
   GAMMA_CHECK(config_.num_disk_nodes > 0);
   GAMMA_CHECK(config_.num_diskless_nodes >= 0);
+  faults_ = std::make_unique<sim::FaultInjector>(config_.fault,
+                                                 config_.num_disk_nodes);
   for (int i = 0; i < config_.total_query_nodes(); ++i) {
+    // Only the disk nodes are subject to the fault schedule; diskless query
+    // processors use their StorageManager solely for join spool files.
+    const bool disk_node = i < config_.num_disk_nodes;
     nodes_.push_back(std::make_unique<storage::StorageManager>(
-        config_.page_size, config_.buffer_pool_bytes));
+        config_.page_size, config_.buffer_pool_bytes,
+        disk_node ? faults_.get() : nullptr, disk_node ? i : -1));
   }
 }
 
@@ -57,8 +63,72 @@ void GammaMachine::BindAll(sim::CostTracker* tracker) {
   }
 }
 
-void GammaMachine::FlushAllPools() {
-  for (auto& node : nodes_) node->pool().FlushAll();
+Status GammaMachine::FlushAllPools() {
+  for (auto& node : nodes_) {
+    GAMMA_RETURN_NOT_OK(node->pool().FlushAll());
+  }
+  return Status::OK();
+}
+
+Result<GammaMachine::FragmentCopy> GammaMachine::ServingCopy(
+    const RelationMeta& meta, int fragment) const {
+  const uint32_t primary = meta.per_node_file[static_cast<size_t>(fragment)];
+  if (!faults_->IsDead(fragment)) {
+    return FragmentCopy{fragment, primary, /*backup=*/false};
+  }
+  if (meta.backed_up) {
+    const int host = (fragment + 1) % config_.num_disk_nodes;
+    const uint32_t file =
+        meta.per_node_backup_file[static_cast<size_t>(fragment)];
+    if (file != catalog::kNoFile && !faults_->IsDead(host)) {
+      return FragmentCopy{host, file, /*backup=*/true};
+    }
+  }
+  return Status::Unavailable("fragment " + std::to_string(fragment) + " of " +
+                             meta.name + " has no surviving copy");
+}
+
+std::vector<int> GammaMachine::LiveDiskNodes() const {
+  std::vector<int> live;
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    if (!faults_->IsDead(i)) live.push_back(i);
+  }
+  return live;
+}
+
+void GammaMachine::AbortQuery(uint64_t txn,
+                              const std::string& partial_result) {
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  // A failed query's dirty pages are not durable state; drop them instead of
+  // flushing (a dead node could not accept them anyway).
+  for (auto& node : nodes_) node->pool().Discard();
+  if (!partial_result.empty() && catalog_.Contains(partial_result)) {
+    auto meta_or = catalog_.Get(partial_result);
+    if (meta_or.ok()) {
+      RelationMeta* meta = *meta_or;
+      for (int i = 0; i < config_.num_disk_nodes; ++i) {
+        const uint32_t fid = meta->per_node_file[static_cast<size_t>(i)];
+        if (fid != catalog::kNoFile) {
+          nodes_[static_cast<size_t>(i)]->DropFile(fid);
+        }
+      }
+    }
+    catalog_.Drop(partial_result);
+  }
+  BindAll(nullptr);
+}
+
+Result<QueryResult> GammaMachine::RunWithFailover(
+    const std::function<Result<QueryResult>()>& attempt) {
+  Result<QueryResult> first = attempt();
+  if (first.ok() || !first.status().IsUnavailable()) return first;
+  // A node died mid-flight: the attempt was aborted cleanly (locks released,
+  // partial result dropped). Retry once — fragment routing now resolves to
+  // the chained backups. A second Unavailable means some fragment truly has
+  // no surviving copy, and is reported to the host.
+  Result<QueryResult> second = attempt();
+  if (second.ok()) second->failover_retries = 1;
+  return second;
 }
 
 std::string GammaMachine::FreshResultName() {
@@ -71,6 +141,13 @@ Status GammaMachine::CreateRelation(const std::string& name,
   if (catalog_.Contains(name)) {
     return Status::AlreadyExists("relation " + name);
   }
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    if (faults_->IsDead(i)) {
+      return Status::Unavailable("cannot create relation " + name +
+                                 " while disk node " + std::to_string(i) +
+                                 " is down");
+    }
+  }
   RelationMeta meta;
   meta.name = name;
   meta.schema = std::move(schema);
@@ -78,28 +155,81 @@ Status GammaMachine::CreateRelation(const std::string& name,
   for (int i = 0; i < config_.num_disk_nodes; ++i) {
     meta.per_node_file.push_back(nodes_[static_cast<size_t>(i)]->CreateFile());
   }
+  if (config_.chained_declustering && config_.num_disk_nodes > 1) {
+    meta.backed_up = true;
+    for (int i = 0; i < config_.num_disk_nodes; ++i) {
+      const int host = (i + 1) % config_.num_disk_nodes;
+      meta.per_node_backup_file.push_back(
+          nodes_[static_cast<size_t>(host)]->CreateFile());
+    }
+  }
   return catalog_.Register(std::move(meta));
 }
 
 Status GammaMachine::LoadTuples(
     const std::string& name, const std::vector<std::vector<uint8_t>>& tuples) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(name));
-  catalog::Partitioner partitioner(&meta->partitioning, &meta->schema,
-                                   config_.num_disk_nodes);
+  // Validate everything before touching any fragment, so the common failure
+  // (malformed input) rejects the whole batch without a single write.
   for (const std::vector<uint8_t>& tuple : tuples) {
     if (tuple.size() != meta->schema.tuple_size()) {
       return Status::InvalidArgument("tuple size does not match schema");
     }
+  }
+  catalog::Partitioner partitioner(&meta->partitioning, &meta->schema,
+                                   config_.num_disk_nodes);
+  struct Undo {
+    int node;
+    uint32_t file;
+    Rid rid;
+  };
+  std::vector<Undo> undo;
+  undo.reserve(tuples.size());
+  Status failed = Status::OK();
+  for (const std::vector<uint8_t>& tuple : tuples) {
     const int target = partitioner.NodeFor(tuple);
-    nodes_[static_cast<size_t>(target)]
-        ->file(meta->per_node_file[static_cast<size_t>(target)])
-        .Append(tuple);
+    const uint32_t fid = meta->per_node_file[static_cast<size_t>(target)];
+    auto rid_or = nodes_[static_cast<size_t>(target)]->file(fid).Append(tuple);
+    if (!rid_or.ok()) {
+      failed = rid_or.status();
+      break;
+    }
+    undo.push_back({target, fid, *rid_or});
+    if (meta->backed_up) {
+      const int host = (target + 1) % config_.num_disk_nodes;
+      const uint32_t bfid =
+          meta->per_node_backup_file[static_cast<size_t>(target)];
+      auto brid_or =
+          nodes_[static_cast<size_t>(host)]->file(bfid).Append(tuple);
+      if (!brid_or.ok()) {
+        failed = brid_or.status();
+        break;
+      }
+      undo.push_back({host, bfid, *brid_or});
+    }
+  }
+  if (failed.ok()) {
+    // Loading is not a measured query: settle the pools now (uncharged) so
+    // no load-time dirty page is written back on a later query's budget,
+    // and so measured queries start cold. A node dying during this settle
+    // fails the load too — the caller must see that the batch didn't land.
+    for (auto& node : nodes_) {
+      if (Status st = node->pool().Invalidate(); !st.ok() && failed.ok()) {
+        failed = st;
+      }
+    }
+  }
+  if (!failed.ok()) {
+    // All-or-nothing: tombstone everything this call appended while the
+    // touched pages are still cached, then settle the pools (best effort on
+    // a node that died mid-load — its data is lost with it regardless).
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      nodes_[static_cast<size_t>(it->node)]->file(it->file).Delete(it->rid);
+    }
+    for (auto& node : nodes_) node->pool().Invalidate();
+    return failed;
   }
   meta->num_tuples += tuples.size();
-  // Loading is not a measured query: settle the pools now (uncharged) so no
-  // load-time dirty page is written back on a later query's budget, and so
-  // measured queries start cold.
-  for (auto& node : nodes_) node->pool().Invalidate();
   return Status::OK();
 }
 
@@ -134,10 +264,11 @@ Status GammaMachine::BuildIndex(const std::string& name, int attr,
       // Physically reorder the fragment into key order, then index it.
       std::vector<std::vector<uint8_t>> tuples;
       tuples.reserve(fragment.num_tuples());
-      fragment.Scan([&](Rid, std::span<const uint8_t> tuple) {
-        tuples.emplace_back(tuple.begin(), tuple.end());
-        return true;
-      });
+      GAMMA_RETURN_NOT_OK(
+          fragment.Scan([&](Rid, std::span<const uint8_t> tuple) {
+            tuples.emplace_back(tuple.begin(), tuple.end());
+            return true;
+          }));
       std::stable_sort(tuples.begin(), tuples.end(),
                        [&](const std::vector<uint8_t>& a,
                            const std::vector<uint8_t>& b) {
@@ -149,7 +280,7 @@ Status GammaMachine::BuildIndex(const std::string& name, int attr,
       const storage::FileId sorted_id = sm.CreateFile();
       storage::HeapFile& sorted = sm.file(sorted_id);
       for (const std::vector<uint8_t>& tuple : tuples) {
-        const Rid rid = sorted.Append(tuple);
+        GAMMA_ASSIGN_OR_RETURN(const Rid rid, sorted.Append(tuple));
         entries.emplace_back(
             TupleView(&meta->schema, tuple).GetInt(static_cast<size_t>(attr)),
             rid);
@@ -157,12 +288,13 @@ Status GammaMachine::BuildIndex(const std::string& name, int attr,
       sm.DropFile(meta->per_node_file[static_cast<size_t>(i)]);
       meta->per_node_file[static_cast<size_t>(i)] = sorted_id;
     } else {
-      fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
-        entries.emplace_back(TupleView(&meta->schema, tuple)
-                                 .GetInt(static_cast<size_t>(attr)),
-                             rid);
-        return true;
-      });
+      GAMMA_RETURN_NOT_OK(
+          fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
+            entries.emplace_back(TupleView(&meta->schema, tuple)
+                                     .GetInt(static_cast<size_t>(attr)),
+                                 rid);
+            return true;
+          }));
       std::sort(entries.begin(), entries.end(),
                 [](const auto& a, const auto& b) {
                   if (a.first != b.first) return a.first < b.first;
@@ -176,7 +308,7 @@ Status GammaMachine::BuildIndex(const std::string& name, int attr,
       btree_entries.push_back(storage::BTree::Entry{key, rid});
     }
     const storage::IndexId index_id = sm.CreateIndex();
-    sm.index(index_id).BulkLoad(btree_entries);
+    GAMMA_RETURN_NOT_OK(sm.index(index_id).BulkLoad(btree_entries));
     index.per_node_index.push_back(index_id);
   }
 
@@ -226,7 +358,11 @@ RelationMeta* GammaMachine::MakeResultRelation(
   meta.schema = std::move(schema);
   meta.partitioning = catalog::PartitionSpec::RoundRobin();
   for (int i = 0; i < config_.num_disk_nodes; ++i) {
-    meta.per_node_file.push_back(nodes_[static_cast<size_t>(i)]->CreateFile());
+    // Results land only on surviving nodes; a dead node's slot keeps the
+    // kNoFile sentinel so later reads skip it.
+    meta.per_node_file.push_back(
+        faults_->IsDead(i) ? catalog::kNoFile
+                           : nodes_[static_cast<size_t>(i)]->CreateFile());
   }
   GAMMA_CHECK(catalog_.Register(std::move(meta)).ok());
   return *catalog_.Get(name);
@@ -268,19 +404,34 @@ std::vector<int> GammaMachine::ParticipatingNodes(
 }
 
 Result<QueryResult> GammaMachine::RunSelect(const SelectQuery& query) {
+  return RunWithFailover([&] { return RunSelectAttempt(query); });
+}
+
+Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  tracker.AttachFaultInjector(faults_.get());
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
                   config_.recovery_node(), config_.page_size);
   const uint64_t txn = next_txn_id_++;
+  QueryGuard guard(this, txn);
 
   const AccessDecision decision = ChooseAccessPath(*meta, query);
-  const std::vector<int> sources =
+  const std::vector<int> fragments =
       ParticipatingNodes(*meta, query.predicate);
+  // Resolve which node serves each participating fragment before any
+  // operator is scheduled (primaries, or chained backups of dead nodes).
+  std::vector<FragmentCopy> sources;
+  sources.reserve(fragments.size());
+  for (int f : fragments) {
+    GAMMA_ASSIGN_OR_RETURN(const FragmentCopy copy, ServingCopy(*meta, f));
+    sources.push_back(copy);
+  }
   // A single-site selection stores its (single-tuple) result at one site;
-  // otherwise results are declustered round-robin over every disk node (§4).
+  // otherwise results are declustered round-robin over every live disk
+  // node (§4).
   const bool single_site = sources.size() == 1;
 
   QueryResult result;
@@ -290,7 +441,9 @@ Result<QueryResult> GammaMachine::RunSelect(const SelectQuery& query) {
   if (query.store_result) {
     result_meta = MakeResultRelation(query.result_name, meta->schema);
     result.result_relation = result_meta->name;
-    store_nodes = single_site ? sources : ParticipatingNodes(*meta, Predicate::True());
+    guard.set_partial_result(result_meta->name);
+    store_nodes =
+        single_site ? std::vector<int>{sources[0].node} : LiveDiskNodes();
     for (int node : store_nodes) {
       stores.push_back(std::make_unique<exec::StoreConsumer>(
           &nodes_[static_cast<size_t>(node)]->file(
@@ -313,13 +466,10 @@ Result<QueryResult> GammaMachine::RunSelect(const SelectQuery& query) {
 
   tracker.BeginPhase("select", sim::PhaseKind::kPipelined);
   for (size_t s = 0; s < sources.size(); ++s) {
-    const int src = sources[s];
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
+    const FragmentCopy& src = sources[s];
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
     GAMMA_CHECK(sm.locks()
-                    .Acquire(txn,
-                             LockName::File(meta->per_node_file
-                                                [static_cast<size_t>(src)]),
-                             LockMode::kShared)
+                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
                     .ok());
 
     // Build this source's split table: store destinations rotated by the
@@ -343,42 +493,55 @@ Result<QueryResult> GammaMachine::RunSelect(const SelectQuery& query) {
             result.returned.emplace_back(t.begin(), t.end());
           }});
     }
-    SplitTable split(src, &meta->schema, exec::RouteSpec::RoundRobin(),
+    SplitTable split(src.node, &meta->schema, exec::RouteSpec::RoundRobin(),
                      std::move(dests), &tracker);
     const exec::TupleSink emit = [&split](std::span<const uint8_t> t) {
       split.Send(t);
     };
 
-    const storage::HeapFile& fragment =
-        sm.file(meta->per_node_file[static_cast<size_t>(src)]);
-    switch (decision.path) {
+    const storage::HeapFile& fragment = sm.file(src.file);
+    // Backups carry no indexes: a backup-served fragment is always scanned.
+    const AccessPath path =
+        src.backup ? AccessPath::kFileScan : decision.path;
+    switch (path) {
       case AccessPath::kFileScan:
-        exec::SelectScan(fragment, meta->schema, query.predicate,
-                         sm.charge(), emit);
+        GAMMA_RETURN_NOT_OK(exec::SelectScan(fragment, meta->schema,
+                                             query.predicate, sm.charge(),
+                                             emit)
+                                .status());
         break;
       case AccessPath::kClusteredIndex:
-        exec::ClusteredIndexSelect(
-            fragment,
-            sm.index(decision.index->per_node_index[static_cast<size_t>(src)]),
-            meta->schema, query.predicate, sm.charge(), emit);
+        GAMMA_RETURN_NOT_OK(
+            exec::ClusteredIndexSelect(
+                fragment,
+                sm.index(decision.index
+                             ->per_node_index[static_cast<size_t>(src.node)]),
+                meta->schema, query.predicate, sm.charge(), emit)
+                .status());
         break;
       case AccessPath::kNonClusteredIndex:
-        exec::NonClusteredIndexSelect(
-            fragment,
-            sm.index(decision.index->per_node_index[static_cast<size_t>(src)]),
-            meta->schema, query.predicate, sm.charge(), emit);
+        GAMMA_RETURN_NOT_OK(
+            exec::NonClusteredIndexSelect(
+                fragment,
+                sm.index(decision.index
+                             ->per_node_index[static_cast<size_t>(src.node)]),
+                meta->schema, query.predicate, sm.charge(), emit)
+                .status());
         break;
       case AccessPath::kAuto:
         GAMMA_CHECK_MSG(false, "unresolved access path");
     }
     split.Close();
-    tracker.ChargeControlMessage(src, config_.scheduler_node(),
+    tracker.ChargeControlMessage(src.node, config_.scheduler_node(),
                                  /*blocking=*/false);
+  }
+  for (const auto& store : stores) {
+    GAMMA_RETURN_NOT_OK(store->status());
   }
   if (query.store_result && config_.enable_logging) {
     for (int node : store_nodes) log.Commit(node);
   }
-  FlushAllPools();
+  GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
 
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
@@ -391,12 +554,19 @@ Result<QueryResult> GammaMachine::RunSelect(const SelectQuery& query) {
   } else {
     result.result_tuples = result.returned.size();
   }
+  guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();
+  result.metrics.log_records = log.stats().records;
+  result.metrics.log_forced_flushes = log.stats().forced_flushes;
   return result;
 }
 
 Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
+  return RunWithFailover([&] { return RunJoinAttempt(query); });
+}
+
+Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * outer, catalog_.Get(query.outer));
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * inner, catalog_.Get(query.inner));
   if (query.outer_attr < 0 ||
@@ -406,11 +576,11 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
     return Status::InvalidArgument("join attribute out of range");
   }
 
-  // Join sites per execution mode (§6).
+  // Join sites per execution mode (§6); dead disk nodes host no operators.
   std::vector<int> join_nodes;
   switch (query.mode) {
     case JoinMode::kLocal:
-      for (int i = 0; i < config_.num_disk_nodes; ++i) join_nodes.push_back(i);
+      join_nodes = LiveDiskNodes();
       break;
     case JoinMode::kRemote:
       if (config_.num_diskless_nodes == 0) {
@@ -421,30 +591,49 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
       }
       break;
     case JoinMode::kAllnodes:
-      for (int i = 0; i < config_.total_query_nodes(); ++i) {
-        join_nodes.push_back(i);
+      join_nodes = LiveDiskNodes();
+      for (int i = 0; i < config_.num_diskless_nodes; ++i) {
+        join_nodes.push_back(config_.num_disk_nodes + i);
       }
       break;
+  }
+  if (join_nodes.empty()) {
+    return Status::Unavailable("no surviving join sites");
   }
   const size_t nsites = join_nodes.size();
   const uint64_t site_capacity = config_.join_memory_total / nsites;
 
   sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  tracker.AttachFaultInjector(faults_.get());
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
                   config_.recovery_node(), config_.page_size);
   const uint64_t txn = next_txn_id_++;
+  QueryGuard guard(this, txn);
+
+  // Resolve the serving copy of every fragment of both inputs up front.
+  std::vector<FragmentCopy> inner_sources;
+  std::vector<FragmentCopy> outer_sources;
+  for (int f = 0; f < config_.num_disk_nodes; ++f) {
+    GAMMA_ASSIGN_OR_RETURN(const FragmentCopy ic, ServingCopy(*inner, f));
+    GAMMA_ASSIGN_OR_RETURN(const FragmentCopy oc, ServingCopy(*outer, f));
+    inner_sources.push_back(ic);
+    outer_sources.push_back(oc);
+  }
 
   const Schema result_schema =
       Schema::Concat(inner->schema, outer->schema);
   QueryResult result;
   RelationMeta* result_meta = nullptr;
   std::vector<std::unique_ptr<exec::StoreConsumer>> stores;
+  std::vector<int> store_nodes;
   if (query.store_result) {
     result_meta = MakeResultRelation(query.result_name, result_schema);
     result.result_relation = result_meta->name;
-    for (int node = 0; node < config_.num_disk_nodes; ++node) {
+    guard.set_partial_result(result_meta->name);
+    store_nodes = LiveDiskNodes();
+    for (int node : store_nodes) {
       stores.push_back(std::make_unique<exec::StoreConsumer>(
           &nodes_[static_cast<size_t>(node)]->file(
               result_meta->per_node_file[static_cast<size_t>(node)]),
@@ -462,8 +651,7 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
   tracker.ChargeScheduling(2, static_cast<uint32_t>(config_.num_disk_nodes));
   tracker.ChargeScheduling(2, static_cast<uint32_t>(nsites));
   if (query.store_result) {
-    tracker.ChargeScheduling(1,
-                             static_cast<uint32_t>(config_.num_disk_nodes));
+    tracker.ChargeScheduling(1, static_cast<uint32_t>(store_nodes.size()));
   }
 
   // Per-site result split tables (join output is declustered round-robin to
@@ -475,13 +663,12 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
     if (query.store_result) {
       for (size_t d = 0; d < stores.size(); ++d) {
         const size_t rotated = (d + j) % stores.size();
+        const int store_node = store_nodes[rotated];
         dests.push_back(SplitTable::Destination{
-            static_cast<int>(rotated),
-            [consumer = stores[rotated].get(), &log,
-             rotated](std::span<const uint8_t> t) {
+            store_node, [consumer = stores[rotated].get(), &log,
+                         store_node](std::span<const uint8_t> t) {
               consumer->Consume(t);
-              log.Append(static_cast<int>(rotated),
-                         static_cast<uint32_t>(t.size()));
+              log.Append(store_node, static_cast<uint32_t>(t.size()));
             }});
       }
     } else {
@@ -565,77 +752,94 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
       }
     };
   };
+  // Push-based operators latch their first error; surface it between phases.
+  auto check_sites = [&]() -> Status {
+    for (const auto& site : simple_sites) {
+      GAMMA_RETURN_NOT_OK(site->status());
+    }
+    for (const auto& site : hybrid_sites) {
+      GAMMA_RETURN_NOT_OK(site->status());
+    }
+    for (const auto& store : stores) {
+      GAMMA_RETURN_NOT_OK(store->status());
+    }
+    return Status::OK();
+  };
 
-  // --- Build phase: select inner on every disk node, split on the join
+  // --- Build phase: select inner at every serving site, split on the join
   // attribute to the join sites. ---
   tracker.BeginPhase("build", sim::PhaseKind::kPipelined);
-  for (int src = 0; src < config_.num_disk_nodes; ++src) {
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
-    GAMMA_CHECK(
-        sm.locks()
-            .Acquire(txn,
-                     LockName::File(
-                         inner->per_node_file[static_cast<size_t>(src)]),
-                     LockMode::kShared)
-            .ok());
+  for (int f = 0; f < config_.num_disk_nodes; ++f) {
+    const FragmentCopy& src = inner_sources[static_cast<size_t>(f)];
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
+    GAMMA_CHECK(sm.locks()
+                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
+                    .ok());
     std::vector<SplitTable::Destination> dests;
     for (size_t j = 0; j < nsites; ++j) {
       dests.push_back(SplitTable::Destination{join_nodes[j], build_deliver(j)});
     }
-    SplitTable split(src, &inner->schema,
+    SplitTable split(src.node, &inner->schema,
                      exec::RouteSpec::HashAttr(query.inner_attr, routing_salt),
                      std::move(dests), &tracker);
-    exec::SelectScan(
-        sm.file(inner->per_node_file[static_cast<size_t>(src)]),
-        inner->schema, query.inner_pred, sm.charge(),
-        [&](std::span<const uint8_t> t) {
-          if (filter != nullptr) {
-            filter->Insert(TupleView(&inner->schema, t)
-                               .GetInt(static_cast<size_t>(query.inner_attr)));
-          }
-          split.Send(t);
-        });
+    GAMMA_RETURN_NOT_OK(
+        exec::SelectScan(
+            sm.file(src.file), inner->schema, query.inner_pred, sm.charge(),
+            [&](std::span<const uint8_t> t) {
+              if (filter != nullptr) {
+                filter->Insert(
+                    TupleView(&inner->schema, t)
+                        .GetInt(static_cast<size_t>(query.inner_attr)));
+              }
+              split.Send(t);
+            })
+            .status());
     split.Close();
-    tracker.ChargeControlMessage(src, config_.scheduler_node(), false);
+    tracker.ChargeControlMessage(src.node, config_.scheduler_node(), false);
   }
-  FlushAllPools();
+  GAMMA_RETURN_NOT_OK(check_sites());
+  GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
 
   // --- Probe phase: select outer, split with the same hash, probe. ---
   tracker.BeginPhase("probe", sim::PhaseKind::kPipelined);
-  for (int src = 0; src < config_.num_disk_nodes; ++src) {
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
-    GAMMA_CHECK(
-        sm.locks()
-            .Acquire(txn,
-                     LockName::File(
-                         outer->per_node_file[static_cast<size_t>(src)]),
-                     LockMode::kShared)
-            .ok());
+  for (int f = 0; f < config_.num_disk_nodes; ++f) {
+    const FragmentCopy& src = outer_sources[static_cast<size_t>(f)];
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
+    GAMMA_CHECK(sm.locks()
+                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
+                    .ok());
     std::vector<SplitTable::Destination> dests;
     for (size_t j = 0; j < nsites; ++j) {
       dests.push_back(SplitTable::Destination{join_nodes[j], probe_deliver(j)});
     }
-    SplitTable split(src, &outer->schema,
+    SplitTable split(src.node, &outer->schema,
                      exec::RouteSpec::HashAttr(query.outer_attr, routing_salt),
                      std::move(dests), &tracker, filter.get(),
                      query.outer_attr);
-    exec::SelectScan(sm.file(outer->per_node_file[static_cast<size_t>(src)]),
-                     outer->schema, query.outer_pred, sm.charge(),
-                     [&split](std::span<const uint8_t> t) { split.Send(t); });
+    GAMMA_RETURN_NOT_OK(
+        exec::SelectScan(sm.file(src.file), outer->schema, query.outer_pred,
+                         sm.charge(),
+                         [&split](std::span<const uint8_t> t) {
+                           split.Send(t);
+                         })
+            .status());
     split.Close();
-    tracker.ChargeControlMessage(src, config_.scheduler_node(), false);
+    tracker.ChargeControlMessage(src.node, config_.scheduler_node(), false);
   }
-  FlushAllPools();
+  GAMMA_RETURN_NOT_OK(check_sites());
+  GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
 
   if (query.use_hybrid) {
     // Hybrid: spooled buckets are joined locally, one extra read each.
     tracker.BeginPhase("hybrid_buckets", sim::PhaseKind::kPipelined);
     for (size_t j = 0; j < nsites; ++j) {
-      hybrid_sites[j]->FinishSpooledBuckets(result_sinks[j]);
+      GAMMA_RETURN_NOT_OK(
+          hybrid_sites[j]->FinishSpooledBuckets(result_sinks[j]));
     }
-    FlushAllPools();
+    GAMMA_RETURN_NOT_OK(check_sites());
+    GAMMA_RETURN_NOT_OK(FlushAllPools());
     tracker.EndPhase();
   } else {
     // Simple hash join: recursively redistribute and re-join the overflow
@@ -681,15 +885,16 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
             join_nodes[j], &inner->schema,
             exec::RouteSpec::HashAttr(query.inner_attr, round_salt),
             std::move(dests), &tracker);
-        simple_sites[j]->prev_build_spool().Scan(
+        GAMMA_RETURN_NOT_OK(simple_sites[j]->prev_build_spool().Scan(
             [&](Rid, std::span<const uint8_t> t) {
               sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
               split.Send(t);
               return true;
-            });
+            }));
         split.Close();
       }
-      FlushAllPools();
+      GAMMA_RETURN_NOT_OK(check_sites());
+      GAMMA_RETURN_NOT_OK(FlushAllPools());
       tracker.EndPhase();
 
       tracker.BeginPhase("overflow_probe_" + std::to_string(round),
@@ -706,15 +911,16 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
             join_nodes[j], &outer->schema,
             exec::RouteSpec::HashAttr(query.outer_attr, round_salt),
             std::move(dests), &tracker);
-        simple_sites[j]->prev_probe_spool().Scan(
+        GAMMA_RETURN_NOT_OK(simple_sites[j]->prev_probe_spool().Scan(
             [&](Rid, std::span<const uint8_t> t) {
               sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
               split.Send(t);
               return true;
-            });
+            }));
         split.Close();
       }
-      FlushAllPools();
+      GAMMA_RETURN_NOT_OK(check_sites());
+      GAMMA_RETURN_NOT_OK(FlushAllPools());
       tracker.EndPhase();
     }
   }
@@ -722,12 +928,11 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
   // Final packets / end-of-stream from the join operators to the stores.
   tracker.BeginPhase("finalize", sim::PhaseKind::kPipelined);
   for (auto& split : result_splits) split->Close();
+  GAMMA_RETURN_NOT_OK(check_sites());
   if (query.store_result && config_.enable_logging) {
-    for (int node = 0; node < config_.num_disk_nodes; ++node) {
-      log.Commit(node);
-    }
+    for (int node : store_nodes) log.Commit(node);
   }
-  FlushAllPools();
+  GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
 
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
@@ -743,8 +948,11 @@ Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
   // Site teardown drops the spool files before the tracker unbinds.
   simple_sites.clear();
   hybrid_sites.clear();
+  guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();
+  result.metrics.log_records = log.stats().records;
+  result.metrics.log_forced_flushes = log.stats().forced_flushes;
   return result;
 }
 

@@ -2,7 +2,9 @@
 #define GAMMA_GAMMA_MACHINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "common/result.h"
 #include "common/units.h"
 #include "gamma/query.h"
+#include "sim/fault_injector.h"
 #include "sim/hardware.h"
 #include "storage/storage_manager.h"
 
@@ -37,6 +40,14 @@ struct GammaConfig {
   /// Ship log records for every stored/updated tuple to a dedicated
   /// recovery server (the §8 plan; the evaluated Gamma ran without it).
   bool enable_logging = false;
+  /// Seeded fault schedule (transient I/O errors, page corruption, dropped
+  /// packets, node deaths) consulted by every disk node and data packet.
+  /// The default config injects nothing.
+  sim::FaultConfig fault;
+  /// Keep a backup copy of fragment f on disk node (f+1) % n so a single
+  /// node death leaves every fragment readable (chained declustering; the
+  /// availability design Gamma adopted after the paper).
+  bool chained_declustering = false;
   sim::MachineParams hw = sim::MachineParams::GammaDefaults();
 
   int total_query_nodes() const {
@@ -56,6 +67,15 @@ struct GammaConfig {
 /// Queries execute for real (correct answers over real pages and indices);
 /// `QueryResult::metrics` carries the simulated elapsed time and per-phase,
 /// per-resource breakdown.
+///
+/// Failure model: disk nodes may suffer transient I/O faults (retried by the
+/// buffer pool at simulated cost), page corruption (caught by per-page
+/// checksums) and permanent death. With chained declustering enabled a read
+/// query whose node dies mid-flight is aborted, its locks and partial result
+/// dropped, and retried exactly once against the surviving configuration —
+/// backup fragments stand in for dead primaries. When no copy of a fragment
+/// survives (two adjacent dead nodes), queries return a descriptive
+/// Unavailable status and the machine stays usable.
 class GammaMachine {
  public:
   explicit GammaMachine(GammaConfig config);
@@ -67,18 +87,36 @@ class GammaMachine {
   catalog::Catalog& catalog() { return catalog_; }
   storage::StorageManager& node(int i) { return *nodes_.at(static_cast<size_t>(i)); }
 
+  // --- Fault control (test / bench hooks) ---
+
+  sim::FaultInjector& faults() { return *faults_; }
+  /// Permanently kills disk node `node` right now.
+  void KillNode(int node) { faults_->KillNode(node); }
+  /// Kills disk node `node` after its next `disk_ops` disk operations —
+  /// lands the death in the middle of a running query.
+  void KillNodeAfterOps(int node, uint64_t disk_ops) {
+    faults_->KillNodeAfterOps(node, disk_ops);
+  }
+  void ReviveNode(int node) { faults_->ReviveNode(node); }
+  bool NodeAlive(int node) const { return !faults_->IsDead(node); }
+
   // --- Loading (not part of any measured query) ---
 
-  /// Creates an empty relation declustered per `spec` over the disk nodes.
+  /// Creates an empty relation declustered per `spec` over the disk nodes
+  /// (all of which must be alive), plus chained backup fragments when
+  /// `chained_declustering` is on.
   Status CreateRelation(const std::string& name, catalog::Schema schema,
                         catalog::PartitionSpec spec);
 
-  /// Loads tuples (routing each to its home site). Call once per relation.
+  /// Loads tuples (routing each to its home site and, when backed up, to
+  /// the backup site). All-or-nothing: a failed load rolls back every tuple
+  /// it appended. Call once per relation.
   Status LoadTuples(const std::string& name,
                     const std::vector<std::vector<uint8_t>>& tuples);
 
   /// Builds an index on `attr`. A clustered index physically reorders every
   /// fragment into key order first (the paper's clustered organization).
+  /// Backup fragments carry no indexes.
   Status BuildIndex(const std::string& name, int attr, bool clustered);
 
   // --- Queries (measured) ---
@@ -92,7 +130,8 @@ class GammaMachine {
 
   // --- Test / verification hooks (uncharged) ---
 
-  /// Every tuple of the relation, gathered from all fragments.
+  /// Every tuple of the relation, gathered from all fragments (backups
+  /// standing in for dead primaries).
   Result<std::vector<std::vector<uint8_t>>> ReadRelation(
       const std::string& name);
 
@@ -105,20 +144,92 @@ class GammaMachine {
     const catalog::IndexMeta* index;  // null for file scan
   };
 
+  /// The node and heap file serving fragment `fragment` of a relation: the
+  /// primary when its node is alive, else the chained backup.
+  struct FragmentCopy {
+    int node;
+    uint32_t file;
+    /// Served from the backup chain; such fragments are always file-scanned
+    /// (backups carry no indexes).
+    bool backup;
+  };
+
+  /// RAII abort: unless dismissed, releases the query's locks, discards
+  /// un-flushed pages, drops the partial result relation and unbinds the
+  /// tracker. Declared after the CostTracker so it runs first.
+  class QueryGuard {
+   public:
+    QueryGuard(GammaMachine* machine, uint64_t txn)
+        : machine_(machine), txn_(txn) {}
+    QueryGuard(const QueryGuard&) = delete;
+    QueryGuard& operator=(const QueryGuard&) = delete;
+    ~QueryGuard() {
+      if (!dismissed_) machine_->AbortQuery(txn_, partial_result_);
+    }
+
+    /// Registers the result relation to drop if the query aborts.
+    void set_partial_result(const std::string& name) {
+      partial_result_ = name;
+    }
+    void Dismiss() { dismissed_ = true; }
+
+   private:
+    GammaMachine* machine_;
+    uint64_t txn_;
+    std::string partial_result_;
+    bool dismissed_ = false;
+  };
+
   /// Binds every node's ChargeContext to `tracker` (or clears with null).
   void BindAll(sim::CostTracker* tracker);
-  void FlushAllPools();
+  Status FlushAllPools();
+
+  /// Resolves which copy serves `fragment`, or Unavailable when neither the
+  /// primary nor its chained backup survives.
+  Result<FragmentCopy> ServingCopy(const catalog::RelationMeta& meta,
+                                   int fragment) const;
+
+  /// Disk nodes currently alive, in index order.
+  std::vector<int> LiveDiskNodes() const;
+
+  /// Backout path shared by the failed-query guards: release `txn`'s locks,
+  /// drop un-flushed pages, delete the partial result relation, unbind.
+  void AbortQuery(uint64_t txn, const std::string& partial_result);
+
+  /// Runs `attempt`; if it reports Unavailable (a node died mid-flight),
+  /// re-runs it exactly once against the surviving configuration.
+  Result<QueryResult> RunWithFailover(
+      const std::function<Result<QueryResult>()>& attempt);
+
+  Result<QueryResult> RunSelectAttempt(const SelectQuery& query);
+  Result<QueryResult> RunJoinAttempt(const JoinQuery& query);
+  Result<QueryResult> RunAggregateAttempt(const AggregateQuery& query);
+
+  /// Removes the backup copy of a tuple deleted from `fragment` (located by
+  /// content match — backups have no indexes), charging the shipping packet
+  /// and the scan.
+  Status DeleteFromBackup(const catalog::RelationMeta& meta, int fragment,
+                          std::span<const uint8_t> tuple,
+                          sim::CostTracker* tracker);
+
+  /// In-place rewrite of the backup copy of a modified tuple.
+  Status UpdateInBackup(const catalog::RelationMeta& meta, int fragment,
+                        std::span<const uint8_t> old_tuple,
+                        std::span<const uint8_t> new_tuple,
+                        sim::CostTracker* tracker);
 
   /// §5.1 optimizer: clustered index when the predicate is on its attribute;
   /// non-clustered only when selectivity is low enough to beat a scan.
   AccessDecision ChooseAccessPath(const catalog::RelationMeta& meta,
                                   const SelectQuery& query) const;
 
-  /// Registers a round-robin result relation and creates its fragments.
+  /// Registers a round-robin result relation and creates its fragments on
+  /// the live disk nodes (kNoFile on dead ones; results are never backed
+  /// up — a failed query is simply re-run).
   catalog::RelationMeta* MakeResultRelation(const std::string& requested_name,
                                             catalog::Schema schema);
 
-  /// Disk nodes participating in a selection: a single site for an
+  /// Disk fragments participating in a selection: a single site for an
   /// exact-match predicate on the partitioning attribute, else all of them.
   std::vector<int> ParticipatingNodes(const catalog::RelationMeta& meta,
                                       const exec::Predicate& pred) const;
@@ -126,6 +237,7 @@ class GammaMachine {
   std::string FreshResultName();
 
   GammaConfig config_;
+  std::unique_ptr<sim::FaultInjector> faults_;
   catalog::Catalog catalog_;
   std::vector<std::unique_ptr<storage::StorageManager>> nodes_;
   uint64_t next_result_id_ = 1;

@@ -36,6 +36,11 @@ Schema PartialSchema() {
 }  // namespace
 
 Result<QueryResult> GammaMachine::RunAggregate(const AggregateQuery& query) {
+  return RunWithFailover([&] { return RunAggregateAttempt(query); });
+}
+
+Result<QueryResult> GammaMachine::RunAggregateAttempt(
+    const AggregateQuery& query) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.value_attr < 0 ||
       static_cast<size_t>(query.value_attr) >= meta->schema.num_attrs()) {
@@ -47,69 +52,86 @@ Result<QueryResult> GammaMachine::RunAggregate(const AggregateQuery& query) {
   }
 
   sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  tracker.AttachFaultInjector(faults_.get());
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   const uint64_t txn = next_txn_id_++;
+  QueryGuard guard(this, txn);
   const int ndisk = config_.num_disk_nodes;
 
-  // Scheduling: scan+local-aggregate operators, then global-merge operators.
-  tracker.ChargeScheduling(1, static_cast<uint32_t>(ndisk));
-  tracker.ChargeScheduling(1, static_cast<uint32_t>(ndisk));
+  // Which copy serves each fragment, and which sites can merge. With a dead
+  // node the merge work redistributes over the survivors.
+  std::vector<FragmentCopy> sources;
+  sources.reserve(static_cast<size_t>(ndisk));
+  for (int f = 0; f < ndisk; ++f) {
+    GAMMA_ASSIGN_OR_RETURN(const FragmentCopy src, ServingCopy(*meta, f));
+    sources.push_back(src);
+  }
+  const std::vector<int> merge_sites = LiveDiskNodes();
+  if (merge_sites.empty()) {
+    return Status::Unavailable("no surviving aggregation sites");
+  }
 
-  // --- Phase 1: local aggregation at each disk site. ---
+  // Scheduling: scan+local-aggregate operators, then global-merge operators.
+  tracker.ChargeScheduling(1, static_cast<uint32_t>(sources.size()));
+  tracker.ChargeScheduling(1, static_cast<uint32_t>(merge_sites.size()));
+
+  // --- Phase 1: local aggregation wherever each fragment is served. ---
   std::vector<std::unique_ptr<GroupedAggregator>> locals;
   tracker.BeginPhase("local_agg", sim::PhaseKind::kPipelined);
-  for (int src = 0; src < ndisk; ++src) {
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src)];
+  for (int f = 0; f < ndisk; ++f) {
+    const FragmentCopy& src = sources[static_cast<size_t>(f)];
+    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
     GAMMA_CHECK(sm.locks()
-                    .Acquire(txn,
-                             LockName::File(meta->per_node_file
-                                                [static_cast<size_t>(src)]),
-                             LockMode::kShared)
+                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
                     .ok());
     locals.push_back(std::make_unique<GroupedAggregator>(
         query.group_attr, query.value_attr, query.func, &meta->schema,
         &sm.charge()));
-    exec::SelectScan(sm.file(meta->per_node_file[static_cast<size_t>(src)]),
-                     meta->schema, query.predicate, sm.charge(),
-                     [&](std::span<const uint8_t> t) {
-                       locals.back()->Consume(t);
-                     });
-    tracker.ChargeControlMessage(src, config_.scheduler_node(), false);
+    GAMMA_RETURN_NOT_OK(
+        exec::SelectScan(sm.file(src.file), meta->schema, query.predicate,
+                         sm.charge(),
+                         [&](std::span<const uint8_t> t) {
+                           locals.back()->Consume(t);
+                         })
+            .status());
+    tracker.ChargeControlMessage(src.node, config_.scheduler_node(), false);
   }
+  GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
 
   // --- Phase 2: split partials on the group key and merge. ---
   const Schema partial_schema = PartialSchema();
   const Schema result_schema = GroupedAggregator::ResultSchema();
   std::vector<std::unique_ptr<GroupedAggregator>> globals;
-  for (int node = 0; node < ndisk; ++node) {
+  for (const int site : merge_sites) {
     globals.push_back(std::make_unique<GroupedAggregator>(
         /*group_attr=*/0, /*value_attr=*/0, query.func, &result_schema,
-        &nodes_[static_cast<size_t>(node)]->charge()));
+        &nodes_[static_cast<size_t>(site)]->charge()));
   }
   const uint64_t salt = next_salt_++;
   tracker.BeginPhase("global_agg", sim::PhaseKind::kPipelined);
-  for (int src = 0; src < ndisk; ++src) {
+  for (int f = 0; f < ndisk; ++f) {
+    const FragmentCopy& src = sources[static_cast<size_t>(f)];
     std::vector<SplitTable::Destination> dests;
-    for (int dst = 0; dst < ndisk; ++dst) {
+    for (size_t d = 0; d < merge_sites.size(); ++d) {
       dests.push_back(SplitTable::Destination{
-          dst, [&, dst](std::span<const uint8_t> partial) {
+          merge_sites[d], [&, d](std::span<const uint8_t> partial) {
             int32_t group;
             AggState state;
             std::memcpy(&group, partial.data(), sizeof(group));
             std::memcpy(&state, partial.data() + sizeof(group),
                         sizeof(state));
-            globals[static_cast<size_t>(dst)]->MergeGroup(group, state);
+            globals[d]->MergeGroup(group, state);
           }});
     }
-    SplitTable split(src, &partial_schema,
+    SplitTable split(src.node, &partial_schema,
                      query.group_attr < 0
                          ? exec::RouteSpec::Single(0)
                          : exec::RouteSpec::HashAttr(0, salt),
                      std::move(dests), &tracker);
     catalog::TupleBuilder builder(&partial_schema);
-    for (const auto& [group, state] : locals[static_cast<size_t>(src)]->groups()) {
+    for (const auto& [group, state] : locals[static_cast<size_t>(f)]->groups()) {
       builder.SetInt(0, group);
       builder.SetChar(1, std::string_view(
                              reinterpret_cast<const char*>(&state),
@@ -123,24 +145,26 @@ Result<QueryResult> GammaMachine::RunAggregate(const AggregateQuery& query) {
   // --- Phase 3: return final values to the host. ---
   QueryResult result;
   tracker.BeginPhase("return", sim::PhaseKind::kPipelined);
-  for (int node = 0; node < ndisk; ++node) {
-    if (globals[static_cast<size_t>(node)]->num_groups() == 0) continue;
+  for (size_t d = 0; d < merge_sites.size(); ++d) {
+    if (globals[d]->num_groups() == 0) continue;
     std::vector<SplitTable::Destination> dests;
     dests.push_back(SplitTable::Destination{
         config_.host_node(), [&result](std::span<const uint8_t> t) {
           result.returned.emplace_back(t.begin(), t.end());
         }});
-    SplitTable split(node, &result_schema, exec::RouteSpec::Single(0),
+    SplitTable split(merge_sites[d], &result_schema, exec::RouteSpec::Single(0),
                      std::move(dests), &tracker);
-    globals[static_cast<size_t>(node)]->EmitResults(
+    globals[d]->EmitResults(
         [&split](std::span<const uint8_t> t) { split.Send(t); });
     split.Close();
-    tracker.ChargeControlMessage(node, config_.scheduler_node(), false);
+    tracker.ChargeControlMessage(merge_sites[d], config_.scheduler_node(),
+                                 false);
   }
   tracker.EndPhase();
 
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
   result.result_tuples = result.returned.size();
+  guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();
   return result;

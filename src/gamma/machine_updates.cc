@@ -1,6 +1,10 @@
 // Update-query execution of GammaMachine (paper §7, Table 3): single-tuple
 // appends, deletes, and modifies, with partial recovery through deferred
 // update files for the index structures and full concurrency control.
+//
+// Updates always run against the primary copy and mirror into the chained
+// backup when one exists; they never fail over (a dead primary makes the
+// write Unavailable). A failed append rolls its tuple back before reporting.
 
 #include <cstring>
 
@@ -32,21 +36,80 @@ int32_t AttrOf(const catalog::Schema& schema,
 
 }  // namespace
 
+Status GammaMachine::DeleteFromBackup(const RelationMeta& meta, int fragment,
+                                      std::span<const uint8_t> tuple,
+                                      sim::CostTracker* tracker) {
+  const int host = (fragment + 1) % config_.num_disk_nodes;
+  if (faults_->IsDead(host)) {
+    return Status::Unavailable("backup site " + std::to_string(host) +
+                               " of fragment " + std::to_string(fragment) +
+                               " of " + meta.name + " is down");
+  }
+  storage::StorageManager& sm = *nodes_[static_cast<size_t>(host)];
+  storage::HeapFile& backup =
+      sm.file(meta.per_node_backup_file[static_cast<size_t>(fragment)]);
+  // Ship the pre-image over, then locate the copy by content: backups carry
+  // no indexes. The primary's record lock already covers the logical tuple.
+  tracker->ChargeDataPacket(fragment, host, tuple.size());
+  Rid match{};
+  bool found = false;
+  GAMMA_RETURN_NOT_OK(backup.Scan([&](Rid rid, std::span<const uint8_t> t) {
+    sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
+    if (t.size() == tuple.size() &&
+        std::memcmp(t.data(), tuple.data(), t.size()) == 0) {
+      match = rid;
+      found = true;
+      return false;
+    }
+    return true;
+  }));
+  if (!found) {
+    return Status::Corruption("backup of fragment " +
+                              std::to_string(fragment) + " of " + meta.name +
+                              " is missing a tuple");
+  }
+  return backup.Delete(match);
+}
+
+Status GammaMachine::UpdateInBackup(const RelationMeta& meta, int fragment,
+                                    std::span<const uint8_t> old_tuple,
+                                    std::span<const uint8_t> new_tuple,
+                                    sim::CostTracker* tracker) {
+  const int host = (fragment + 1) % config_.num_disk_nodes;
+  if (faults_->IsDead(host)) {
+    return Status::Unavailable("backup site " + std::to_string(host) +
+                               " of fragment " + std::to_string(fragment) +
+                               " of " + meta.name + " is down");
+  }
+  storage::StorageManager& sm = *nodes_[static_cast<size_t>(host)];
+  storage::HeapFile& backup =
+      sm.file(meta.per_node_backup_file[static_cast<size_t>(fragment)]);
+  tracker->ChargeDataPacket(fragment, host, new_tuple.size());
+  Rid match{};
+  bool found = false;
+  GAMMA_RETURN_NOT_OK(backup.Scan([&](Rid rid, std::span<const uint8_t> t) {
+    sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
+    if (t.size() == old_tuple.size() &&
+        std::memcmp(t.data(), old_tuple.data(), t.size()) == 0) {
+      match = rid;
+      found = true;
+      return false;
+    }
+    return true;
+  }));
+  if (!found) {
+    return Status::Corruption("backup of fragment " +
+                              std::to_string(fragment) + " of " + meta.name +
+                              " is missing a tuple");
+  }
+  return backup.Update(match, new_tuple);
+}
+
 Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.tuple.size() != meta->schema.tuple_size()) {
     return Status::InvalidArgument("tuple size does not match schema");
   }
-  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
-  BindAll(&tracker);
-  tracker.ChargeHostSetup(config_.host_setup_sec);
-  const uint64_t txn = next_txn_id_++;
-
-  // Host submits to the scheduler, which initiates one update operator at
-  // the tuple's home site.
-  tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
-                               /*blocking=*/true);
-  tracker.ChargeScheduling(1, 1);
 
   int target;
   if (meta->partitioning.strategy == PartitionStrategy::kRoundRobin) {
@@ -57,35 +120,87 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
                                      config_.num_disk_nodes);
     target = partitioner.NodeFor(query.tuple);
   }
+  // Writes always go to the primary copy; no failover for updates.
+  if (faults_->IsDead(target)) {
+    return Status::Unavailable("append to " + query.relation +
+                               ": home site " + std::to_string(target) +
+                               " is down");
+  }
+  const int backup_host = (target + 1) % config_.num_disk_nodes;
+  if (meta->backed_up && faults_->IsDead(backup_host)) {
+    return Status::Unavailable("append to " + query.relation +
+                               ": backup site " + std::to_string(backup_host) +
+                               " is down");
+  }
+
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  tracker.AttachFaultInjector(faults_.get());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
+                  config_.recovery_node(), config_.page_size);
+  const uint64_t txn = next_txn_id_++;
+  QueryGuard guard(this, txn);
+
+  // Host submits to the scheduler, which initiates one update operator at
+  // the tuple's home site.
+  tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
+                               /*blocking=*/true);
+  tracker.ChargeScheduling(1, 1);
 
   tracker.BeginPhase("append", sim::PhaseKind::kSequential);
   storage::StorageManager& sm = *nodes_[static_cast<size_t>(target)];
+  const uint32_t fid = meta->per_node_file[static_cast<size_t>(target)];
+  storage::HeapFile& fragment = sm.file(fid);
   // The tuple itself travels host -> home site.
   tracker.ChargeDataPacket(config_.host_node(), target, query.tuple.size());
-  GAMMA_CHECK(
-      sm.locks()
-          .Acquire(txn,
-                   LockName::File(
-                       meta->per_node_file[static_cast<size_t>(target)]),
-                   LockMode::kExclusive)
-          .ok());
+  GAMMA_CHECK(sm.locks()
+                  .Acquire(txn, LockName::File(fid), LockMode::kExclusive)
+                  .ok());
   sm.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
-  const Rid rid =
-      sm.file(meta->per_node_file[static_cast<size_t>(target)])
-          .Append(query.tuple);
+  GAMMA_ASSIGN_OR_RETURN(const Rid rid, fragment.Append(query.tuple));
   DeferredUpdateFile deferred(&sm.charge(), config_.page_size);
   for (const IndexMeta& index : meta->indices) {
     deferred.LogInsert(
         &sm.index(index.per_node_index[static_cast<size_t>(target)]),
         AttrOf(meta->schema, query.tuple, index.attr), rid);
   }
-  deferred.Commit();
+  if (Status st = deferred.Commit(); !st.ok()) {
+    // Atomicity: take the appended tuple back out before reporting.
+    fragment.Delete(rid);
+    return st;
+  }
+  storage::HeapFile* backup_file = nullptr;
+  Rid backup_rid{};
+  if (meta->backed_up) {
+    // Mirror into the chained backup at (target + 1) % n.
+    storage::StorageManager& bsm = *nodes_[static_cast<size_t>(backup_host)];
+    const uint32_t bfid =
+        meta->per_node_backup_file[static_cast<size_t>(target)];
+    tracker.ChargeDataPacket(target, backup_host, query.tuple.size());
+    GAMMA_CHECK(bsm.locks()
+                    .Acquire(txn, LockName::File(bfid), LockMode::kExclusive)
+                    .ok());
+    bsm.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
+    auto brid_or = bsm.file(bfid).Append(query.tuple);
+    if (!brid_or.ok()) {
+      fragment.Delete(rid);
+      return brid_or.status();
+    }
+    backup_file = &bsm.file(bfid);
+    backup_rid = *brid_or;
+  }
   if (config_.enable_logging) {
-    RecoveryLog log(&tracker, config_.recovery_node(), config_.page_size);
     log.Append(target, static_cast<uint32_t>(query.tuple.size()));
     log.Commit(target);
   }
-  FlushAllPools();  // force the data page at commit
+  if (Status st = FlushAllPools(); !st.ok()) {
+    // The commit-time force failed: tombstone this append (both copies)
+    // while its pages are still cached so nothing partial survives.
+    if (backup_file != nullptr) backup_file->Delete(backup_rid);
+    fragment.Delete(rid);
+    return st;
+  }
   tracker.ChargeControlMessage(target, config_.scheduler_node(), true);
   tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
                                true);
@@ -95,8 +210,11 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
   meta->num_tuples += 1;
   QueryResult result;
   result.result_tuples = 1;
+  guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();
+  result.metrics.log_records = log.stats().records;
+  result.metrics.log_forced_flushes = log.stats().forced_flushes;
   return result;
 }
 
@@ -106,14 +224,26 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
       static_cast<size_t>(query.key_attr) >= meta->schema.num_attrs()) {
     return Status::InvalidArgument("delete key attribute out of range");
   }
-  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
-  BindAll(&tracker);
-  tracker.ChargeHostSetup(config_.host_setup_sec);
-  const uint64_t txn = next_txn_id_++;
 
   const Predicate pred = Predicate::Eq(query.key_attr, query.key);
   const std::vector<int> parts = ParticipatingNodes(*meta, pred);
   const IndexMeta* index = meta->FindIndex(query.key_attr);
+  for (int node : parts) {
+    if (faults_->IsDead(node)) {
+      return Status::Unavailable("delete from " + query.relation +
+                                 ": primary site " + std::to_string(node) +
+                                 " is down");
+    }
+  }
+
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  tracker.AttachFaultInjector(faults_.get());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
+                  config_.recovery_node(), config_.page_size);
+  const uint64_t txn = next_txn_id_++;
+  QueryGuard guard(this, txn);
 
   tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
                                true);
@@ -128,20 +258,22 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
 
     std::vector<Rid> rids;
     if (index != nullptr) {
-      rids = sm.index(index->per_node_index[static_cast<size_t>(node)])
-                 .RangeLookup(query.key, query.key);
+      GAMMA_ASSIGN_OR_RETURN(
+          rids, sm.index(index->per_node_index[static_cast<size_t>(node)])
+                    .RangeLookup(query.key, query.key));
     } else {
-      fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
-        sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan +
-                        config_.hw.cost.instr_per_attr_compare);
-        if (pred.Eval(tuple, meta->schema)) rids.push_back(rid);
-        return true;
-      });
+      GAMMA_RETURN_NOT_OK(
+          fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
+            sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan +
+                            config_.hw.cost.instr_per_attr_compare);
+            if (pred.Eval(tuple, meta->schema)) rids.push_back(rid);
+            return true;
+          }));
     }
     DeferredUpdateFile deferred(&sm.charge(), config_.page_size);
     for (const Rid rid : rids) {
-      auto tuple = fragment.Fetch(rid, AccessIntent::kRandom);
-      GAMMA_CHECK(tuple.ok());
+      GAMMA_ASSIGN_OR_RETURN(const std::vector<uint8_t> tuple,
+                             fragment.Fetch(rid, AccessIntent::kRandom));
       GAMMA_CHECK(sm.locks()
                       .Acquire(txn,
                                LockName::Record(
@@ -150,24 +282,25 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
                                    rid.page_index, rid.slot),
                                LockMode::kExclusive)
                       .ok());
-      GAMMA_CHECK(fragment.Delete(rid).ok());
+      GAMMA_RETURN_NOT_OK(fragment.Delete(rid));
       for (const IndexMeta& idx : meta->indices) {
         deferred.LogDelete(
             &sm.index(idx.per_node_index[static_cast<size_t>(node)]),
-            AttrOf(meta->schema, *tuple, idx.attr), rid);
+            AttrOf(meta->schema, tuple, idx.attr), rid);
+      }
+      if (meta->backed_up) {
+        GAMMA_RETURN_NOT_OK(DeleteFromBackup(*meta, node, tuple, &tracker));
       }
       if (config_.enable_logging) {
-        RecoveryLog log(&tracker, config_.recovery_node(),
-                        config_.page_size);
-        log.Append(node, static_cast<uint32_t>(tuple->size()));
+        log.Append(node, static_cast<uint32_t>(tuple.size()));
         log.Commit(node);
       }
       ++deleted;
     }
-    deferred.Commit();
+    GAMMA_RETURN_NOT_OK(deferred.Commit());
     tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
   }
-  FlushAllPools();
+  GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
                                true);
   tracker.EndPhase();
@@ -176,8 +309,11 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
   meta->num_tuples -= deleted;
   QueryResult result;
   result.result_tuples = deleted;
+  guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();
+  result.metrics.log_records = log.stats().records;
+  result.metrics.log_forced_flushes = log.stats().forced_flushes;
   return result;
 }
 
@@ -193,10 +329,6 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
       catalog::AttrType::kInt32) {
     return Status::InvalidArgument("modify supports integer attributes");
   }
-  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
-  BindAll(&tracker);
-  tracker.ChargeHostSetup(config_.host_setup_sec);
-  const uint64_t txn = next_txn_id_++;
 
   const Predicate pred = Predicate::Eq(query.locate_attr, query.locate_key);
   const std::vector<int> parts = ParticipatingNodes(*meta, pred);
@@ -204,6 +336,22 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
   const bool relocates =
       meta->partitioning.strategy != PartitionStrategy::kRoundRobin &&
       meta->partitioning.key_attr == query.target_attr;
+  for (int node : parts) {
+    if (faults_->IsDead(node)) {
+      return Status::Unavailable("modify of " + query.relation +
+                                 ": primary site " + std::to_string(node) +
+                                 " is down");
+    }
+  }
+
+  sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
+  tracker.AttachFaultInjector(faults_.get());
+  BindAll(&tracker);
+  tracker.ChargeHostSetup(config_.host_setup_sec);
+  RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
+                  config_.recovery_node(), config_.page_size);
+  const uint64_t txn = next_txn_id_++;
+  QueryGuard guard(this, txn);
 
   tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
                                true);
@@ -218,21 +366,24 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
 
     std::vector<Rid> rids;
     if (locate_index != nullptr) {
-      rids = sm.index(locate_index->per_node_index[static_cast<size_t>(node)])
-                 .RangeLookup(query.locate_key, query.locate_key);
+      GAMMA_ASSIGN_OR_RETURN(
+          rids,
+          sm.index(locate_index->per_node_index[static_cast<size_t>(node)])
+              .RangeLookup(query.locate_key, query.locate_key));
     } else {
-      fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
-        sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan +
-                        config_.hw.cost.instr_per_attr_compare);
-        if (pred.Eval(tuple, meta->schema)) rids.push_back(rid);
-        return true;
-      });
+      GAMMA_RETURN_NOT_OK(
+          fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
+            sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan +
+                            config_.hw.cost.instr_per_attr_compare);
+            if (pred.Eval(tuple, meta->schema)) rids.push_back(rid);
+            return true;
+          }));
     }
 
     for (const Rid rid : rids) {
-      auto old_tuple = fragment.Fetch(rid, AccessIntent::kRandom);
-      GAMMA_CHECK(old_tuple.ok());
-      std::vector<uint8_t> new_tuple = *old_tuple;
+      GAMMA_ASSIGN_OR_RETURN(const std::vector<uint8_t> old_tuple,
+                             fragment.Fetch(rid, AccessIntent::kRandom));
+      std::vector<uint8_t> new_tuple = old_tuple;
       const int32_t new_value = query.new_value;
       std::memcpy(new_tuple.data() +
                       meta->schema.offset(static_cast<size_t>(query.target_attr)),
@@ -256,17 +407,22 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
         tracker.ChargeControlMessage(config_.scheduler_node(), node, true);
         tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
         DeferredUpdateFile deferred_old(&sm.charge(), config_.page_size);
-        GAMMA_CHECK(fragment.Delete(rid).ok());
+        GAMMA_RETURN_NOT_OK(fragment.Delete(rid));
         for (const IndexMeta& idx : meta->indices) {
           deferred_old.LogDelete(
               &sm.index(idx.per_node_index[static_cast<size_t>(node)]),
-              AttrOf(meta->schema, *old_tuple, idx.attr), rid);
+              AttrOf(meta->schema, old_tuple, idx.attr), rid);
         }
-        deferred_old.Commit();
+        GAMMA_RETURN_NOT_OK(deferred_old.Commit());
 
         catalog::Partitioner partitioner(&meta->partitioning, &meta->schema,
                                          config_.num_disk_nodes);
         const int new_home = partitioner.NodeFor(new_tuple);
+        if (faults_->IsDead(new_home)) {
+          return Status::Unavailable("modify of " + query.relation +
+                                     ": relocation target site " +
+                                     std::to_string(new_home) + " is down");
+        }
         storage::StorageManager& dst = *nodes_[static_cast<size_t>(new_home)];
         if (new_home != node) {
           tracker.ChargeDataPacket(node, new_home, new_tuple.size());
@@ -279,18 +435,42 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
                                  LockMode::kExclusive)
                         .ok());
         dst.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
-        const Rid new_rid =
+        GAMMA_ASSIGN_OR_RETURN(
+            const Rid new_rid,
             dst.file(meta->per_node_file[static_cast<size_t>(new_home)])
-                .Append(new_tuple);
+                .Append(new_tuple));
         DeferredUpdateFile deferred_new(&dst.charge(), config_.page_size);
         for (const IndexMeta& idx : meta->indices) {
           deferred_new.LogInsert(
               &dst.index(idx.per_node_index[static_cast<size_t>(new_home)]),
               AttrOf(meta->schema, new_tuple, idx.attr), new_rid);
         }
-        deferred_new.Commit();
+        GAMMA_RETURN_NOT_OK(deferred_new.Commit());
+        if (meta->backed_up) {
+          // The backup copy moves with the tuple: out of this fragment's
+          // chain, into the new home fragment's chain.
+          GAMMA_RETURN_NOT_OK(
+              DeleteFromBackup(*meta, node, old_tuple, &tracker));
+          const int new_backup_host =
+              (new_home + 1) % config_.num_disk_nodes;
+          if (faults_->IsDead(new_backup_host)) {
+            return Status::Unavailable(
+                "modify of " + query.relation + ": backup site " +
+                std::to_string(new_backup_host) + " is down");
+          }
+          storage::StorageManager& bsm =
+              *nodes_[static_cast<size_t>(new_backup_host)];
+          tracker.ChargeDataPacket(new_home, new_backup_host,
+                                   new_tuple.size());
+          bsm.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
+          auto brid_or =
+              bsm.file(
+                     meta->per_node_backup_file[static_cast<size_t>(new_home)])
+                  .Append(new_tuple);
+          GAMMA_RETURN_NOT_OK(brid_or.status());
+        }
       } else {
-        GAMMA_CHECK(fragment.Update(rid, new_tuple).ok());
+        GAMMA_RETURN_NOT_OK(fragment.Update(rid, new_tuple));
         // Pre-image record for the statement, forced at commit (Gamma's
         // partial recovery covers in-place modifies too).
         sm.charge().DiskWrite(config_.page_size, AccessIntent::kRandom);
@@ -300,16 +480,18 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
           storage::BTree& tree =
               sm.index(idx.per_node_index[static_cast<size_t>(node)]);
           deferred.LogDelete(&tree,
-                             AttrOf(meta->schema, *old_tuple, idx.attr), rid);
+                             AttrOf(meta->schema, old_tuple, idx.attr), rid);
           deferred.LogInsert(&tree,
                              AttrOf(meta->schema, new_tuple, idx.attr), rid);
         }
-        deferred.Commit();
+        GAMMA_RETURN_NOT_OK(deferred.Commit());
+        if (meta->backed_up) {
+          GAMMA_RETURN_NOT_OK(
+              UpdateInBackup(*meta, node, old_tuple, new_tuple, &tracker));
+        }
       }
       if (config_.enable_logging) {
         // Before and after images.
-        RecoveryLog log(&tracker, config_.recovery_node(),
-                        config_.page_size);
         log.Append(node, static_cast<uint32_t>(2 * new_tuple.size()));
         log.Commit(node);
       }
@@ -317,7 +499,7 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
     }
     tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
   }
-  FlushAllPools();
+  GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
                                true);
   tracker.EndPhase();
@@ -325,8 +507,11 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
   QueryResult result;
   result.result_tuples = modified;
+  guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();
+  result.metrics.log_records = log.stats().records;
+  result.metrics.log_forced_flushes = log.stats().forced_flushes;
   return result;
 }
 
@@ -335,13 +520,20 @@ Result<std::vector<std::vector<uint8_t>>> GammaMachine::ReadRelation(
   GAMMA_ASSIGN_OR_RETURN(const RelationMeta* meta, catalog_.Get(name));
   std::vector<std::vector<uint8_t>> out;
   out.reserve(meta->num_tuples);
-  for (int i = 0; i < config_.num_disk_nodes; ++i) {
-    nodes_[static_cast<size_t>(i)]
-        ->file(meta->per_node_file[static_cast<size_t>(i)])
-        .Scan([&](Rid, std::span<const uint8_t> tuple) {
-          out.emplace_back(tuple.begin(), tuple.end());
-          return true;
-        });
+  for (int f = 0; f < config_.num_disk_nodes; ++f) {
+    // kNoFile: a result relation created while this node was dead holds no
+    // fragment here at all (nothing was ever routed to it).
+    if (meta->per_node_file[static_cast<size_t>(f)] == catalog::kNoFile) {
+      continue;
+    }
+    GAMMA_ASSIGN_OR_RETURN(const FragmentCopy copy, ServingCopy(*meta, f));
+    GAMMA_RETURN_NOT_OK(
+        nodes_[static_cast<size_t>(copy.node)]
+            ->file(copy.file)
+            .Scan([&](Rid, std::span<const uint8_t> tuple) {
+              out.emplace_back(tuple.begin(), tuple.end());
+              return true;
+            }));
   }
   return out;
 }
@@ -349,9 +541,13 @@ Result<std::vector<std::vector<uint8_t>>> GammaMachine::ReadRelation(
 Result<uint64_t> GammaMachine::CountTuples(const std::string& name) {
   GAMMA_ASSIGN_OR_RETURN(const RelationMeta* meta, catalog_.Get(name));
   uint64_t count = 0;
-  for (int i = 0; i < config_.num_disk_nodes; ++i) {
-    count += nodes_[static_cast<size_t>(i)]
-                 ->file(meta->per_node_file[static_cast<size_t>(i)])
+  for (int f = 0; f < config_.num_disk_nodes; ++f) {
+    if (meta->per_node_file[static_cast<size_t>(f)] == catalog::kNoFile) {
+      continue;
+    }
+    GAMMA_ASSIGN_OR_RETURN(const FragmentCopy copy, ServingCopy(*meta, f));
+    count += nodes_[static_cast<size_t>(copy.node)]
+                 ->file(copy.file)
                  .num_tuples();
   }
   return count;

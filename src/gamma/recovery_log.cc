@@ -59,6 +59,7 @@ void RecoveryLog::Commit(int src_node) {
                               /*sequential=*/true);
     server_pending_ = 0;
     ++stats_.log_pages_written;
+    ++stats_.forced_flushes;
   }
   // Commit acknowledgement round trip.
   tracker_->ChargeControlMessage(src_node, recovery_node_, /*blocking=*/true);

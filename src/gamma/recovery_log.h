@@ -27,6 +27,8 @@ class RecoveryLog {
     uint64_t records = 0;
     uint64_t bytes = 0;
     uint64_t log_pages_written = 0;
+    /// Commit points that forced the log tail (partial page) to disk.
+    uint64_t forced_flushes = 0;
   };
 
   /// Per-record header (txn id, kind, file id, rid, lengths).

@@ -34,6 +34,7 @@ void NodeUsage::Add(const NodeUsage& other) {
   buffer_hits += other.buffer_hits;
   packets_sent += other.packets_sent;
   packets_short_circuited += other.packets_short_circuited;
+  packets_retransmitted += other.packets_retransmitted;
   bytes_sent += other.bytes_sent;
   bytes_short_circuited += other.bytes_short_circuited;
   control_msgs += other.control_msgs;
@@ -157,36 +158,42 @@ void CostTracker::ChargeSerialSec(int node, double sec) {
 void CostTracker::ChargeDataPacket(int src, int dst, uint64_t bytes,
                                    bool force_network) {
   NodeUsage& sender = nodes_.at(static_cast<size_t>(src));
-  if (src == dst && force_network) {
-    // Out through the NIC and back in at the same node.
-    const double nic_sec =
-        2.0 * static_cast<double>(bytes) / hw_.net.nic_bytes_per_sec;
-    sender.cpu_sec +=
-        2.0 * hw_.cpu.InstrSec(hw_.cost.instr_per_packet_protocol);
-    sender.net_sec += nic_sec;
-    sender.packets_sent += 1;
-    sender.bytes_sent += bytes;
-    phase_ring_bytes_ += bytes;
-    return;
-  }
-  if (src == dst) {
+  if (src == dst && !force_network) {
     // Short-circuited by the communications software (§2): never touches
-    // the NIC or the ring.
+    // the NIC or the ring — and can never be dropped.
     sender.cpu_sec +=
         hw_.cpu.InstrSec(hw_.cost.instr_per_packet_shortcircuit);
     sender.packets_short_circuited += 1;
     sender.bytes_short_circuited += bytes;
     return;
   }
+  // A dropped packet is detected and re-sent by the link-level protocol:
+  // same data arrives, the wire and protocol work is paid twice.
+  const bool dropped = faults_ != nullptr && faults_->OnPacket(src);
+  const double sends = dropped ? 2.0 : 1.0;
+  if (dropped) sender.packets_retransmitted += 1;
+  if (src == dst) {
+    // force_network: out through the NIC and back in at the same node.
+    const double nic_sec =
+        2.0 * static_cast<double>(bytes) / hw_.net.nic_bytes_per_sec;
+    sender.cpu_sec +=
+        sends * 2.0 * hw_.cpu.InstrSec(hw_.cost.instr_per_packet_protocol);
+    sender.net_sec += sends * nic_sec;
+    sender.packets_sent += 1;
+    sender.bytes_sent += bytes;
+    phase_ring_bytes_ += static_cast<uint64_t>(sends) * bytes;
+    return;
+  }
   NodeUsage& receiver = nodes_.at(static_cast<size_t>(dst));
   const double nic_sec = static_cast<double>(bytes) / hw_.net.nic_bytes_per_sec;
-  sender.cpu_sec += hw_.cpu.InstrSec(hw_.cost.instr_per_packet_protocol);
-  sender.net_sec += nic_sec;
+  sender.cpu_sec +=
+      sends * hw_.cpu.InstrSec(hw_.cost.instr_per_packet_protocol);
+  sender.net_sec += sends * nic_sec;
   sender.packets_sent += 1;
   sender.bytes_sent += bytes;
   receiver.cpu_sec += hw_.cpu.InstrSec(hw_.cost.instr_per_packet_protocol);
-  receiver.net_sec += nic_sec;
-  phase_ring_bytes_ += bytes;
+  receiver.net_sec += sends * nic_sec;
+  phase_ring_bytes_ += static_cast<uint64_t>(sends) * bytes;
 }
 
 void CostTracker::ChargeControlMessage(int src, int dst, bool blocking) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_injector.h"
 #include "sim/hardware.h"
 
 namespace gammadb::sim {
@@ -38,6 +39,8 @@ struct NodeUsage {
   uint64_t buffer_hits = 0;
   uint64_t packets_sent = 0;
   uint64_t packets_short_circuited = 0;
+  /// Packets the fault injector dropped; each was re-sent at full cost.
+  uint64_t packets_retransmitted = 0;
   uint64_t bytes_sent = 0;
   uint64_t bytes_short_circuited = 0;
   uint64_t control_msgs = 0;
@@ -67,6 +70,11 @@ struct QueryMetrics {
   double scheduling_sec = 0;
   uint32_t scheduling_msgs = 0;
   uint32_t overflow_rounds = 0;
+  /// Recovery-log records written on behalf of this query (0 when logging
+  /// is off).
+  uint64_t log_records = 0;
+  /// Commit-time forced flushes of the recovery log for this query.
+  uint64_t log_forced_flushes = 0;
   std::vector<PhaseMetrics> phases;
 
   double TotalSec() const;
@@ -95,6 +103,11 @@ class CostTracker {
 
   const MachineParams& hw() const { return hw_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Attaches the machine's fault injector so data packets consult the drop
+  /// schedule (dropped packets are charged a full retransmission). Null
+  /// detaches.
+  void AttachFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
   void BeginPhase(std::string name, PhaseKind kind);
   void EndPhase();
@@ -143,6 +156,7 @@ class CostTracker {
 
  private:
   MachineParams hw_;
+  FaultInjector* faults_ = nullptr;
   std::vector<NodeUsage> nodes_;
   uint64_t phase_ring_bytes_ = 0;
   std::string phase_name_;

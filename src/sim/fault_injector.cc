@@ -1,0 +1,106 @@
+#include "sim/fault_injector.h"
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace gammadb::sim {
+
+namespace {
+
+/// Stream seed for node i: hash the master seed with the node id so nearby
+/// seeds do not produce correlated schedules.
+uint64_t NodeSeed(uint64_t master, uint64_t node) {
+  const uint64_t key[2] = {master, node};
+  return HashBytes(key, sizeof(key), 0xFA017);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, int num_disk_nodes)
+    : config_(config), packet_rng_(NodeSeed(config.seed, 0xFFFF)) {
+  GAMMA_CHECK(num_disk_nodes > 0);
+  GAMMA_CHECK(config.transient_read_prob >= 0 &&
+              config.transient_read_prob < 1);
+  GAMMA_CHECK(config.transient_write_prob >= 0 &&
+              config.transient_write_prob < 1);
+  GAMMA_CHECK(config.corrupt_read_prob >= 0 && config.corrupt_read_prob < 1);
+  GAMMA_CHECK(config.drop_packet_prob >= 0 && config.drop_packet_prob < 1);
+  nodes_.reserve(static_cast<size_t>(num_disk_nodes));
+  for (int i = 0; i < num_disk_nodes; ++i) {
+    nodes_.emplace_back(NodeSeed(config.seed, static_cast<uint64_t>(i)));
+  }
+}
+
+FaultInjector::NodeState& FaultInjector::node(int i) {
+  GAMMA_CHECK_MSG(i >= 0 && static_cast<size_t>(i) < nodes_.size(),
+                  "fault injector: node out of range");
+  return nodes_[static_cast<size_t>(i)];
+}
+
+void FaultInjector::KillNode(int i) { node(i).dead = true; }
+
+void FaultInjector::KillNodeAfterOps(int i, uint64_t disk_ops) {
+  NodeState& state = node(i);
+  state.death_at_ops = state.ops + disk_ops;
+}
+
+void FaultInjector::ReviveNode(int i) {
+  NodeState& state = node(i);
+  state.dead = false;
+  state.death_at_ops = UINT64_MAX;
+}
+
+bool FaultInjector::IsDead(int i) const {
+  return const_cast<FaultInjector*>(this)->node(i).dead;
+}
+
+int FaultInjector::num_live() const {
+  int live = 0;
+  for (const NodeState& state : nodes_) {
+    if (!state.dead) ++live;
+  }
+  return live;
+}
+
+void FaultInjector::TickOps(NodeState& state) {
+  ++state.ops;
+  if (state.ops >= state.death_at_ops) state.dead = true;
+}
+
+DiskFault FaultInjector::OnRead(int i) {
+  NodeState& state = node(i);
+  TickOps(state);
+  if (config_.transient_read_prob > 0 &&
+      state.rng.NextDouble() < config_.transient_read_prob) {
+    ++stats_.transient_read_faults;
+    return DiskFault::kTransient;
+  }
+  if (config_.corrupt_read_prob > 0 &&
+      state.rng.NextDouble() < config_.corrupt_read_prob) {
+    ++stats_.corrupted_reads;
+    return DiskFault::kCorrupt;
+  }
+  return DiskFault::kNone;
+}
+
+DiskFault FaultInjector::OnWrite(int i) {
+  NodeState& state = node(i);
+  TickOps(state);
+  if (config_.transient_write_prob > 0 &&
+      state.rng.NextDouble() < config_.transient_write_prob) {
+    ++stats_.transient_write_faults;
+    return DiskFault::kTransient;
+  }
+  return DiskFault::kNone;
+}
+
+bool FaultInjector::OnPacket(int /*src_node*/) {
+  if (config_.drop_packet_prob <= 0) return false;
+  if (packet_rng_.NextDouble() < config_.drop_packet_prob) {
+    ++stats_.packets_dropped;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gammadb::sim

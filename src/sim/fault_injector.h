@@ -1,0 +1,124 @@
+#ifndef GAMMA_SIM_FAULT_INJECTOR_H_
+#define GAMMA_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gammadb::sim {
+
+/// Probabilistic fault rates plus the master seed. All rates default to 0,
+/// so a default-constructed config injects nothing (the fault-free machine).
+struct FaultConfig {
+  uint64_t seed = 0x5EED;
+  /// Probability that one disk page read fails transiently (succeeds when
+  /// the buffer pool retries it).
+  double transient_read_prob = 0;
+  /// Probability that one disk page write fails transiently.
+  double transient_write_prob = 0;
+  /// Probability that one disk page read silently rots a byte of the stored
+  /// page (detected by the checksum verified at BufferPool::Pin).
+  double corrupt_read_prob = 0;
+  /// Probability that one network data packet is dropped and must be
+  /// retransmitted (link-level recovery: costs time, never loses data).
+  double drop_packet_prob = 0;
+};
+
+/// What the injector decided for one disk access.
+enum class DiskFault {
+  kNone,
+  /// The access fails but an immediate retry may succeed.
+  kTransient,
+  /// The stored page was silently corrupted (reads only).
+  kCorrupt,
+};
+
+/// \brief Deterministic, seeded fault schedule for one machine's disk nodes
+/// and interconnect.
+///
+/// Each disk node owns an independent splitmix64 stream seeded from
+/// (config.seed, node), so a node's fault schedule depends only on the
+/// sequence of operations *on that node* — replays are bit-for-bit
+/// reproducible regardless of how operations interleave across nodes.
+/// Storage charging points (SimulatedDisk) consult OnRead/OnWrite; the cost
+/// tracker's packet path consults OnPacket.
+///
+/// Permanent disk-node death is either immediate (KillNode) or scheduled
+/// after a node-local disk-operation count (KillNodeAfterOps), which is how
+/// tests fail a node deterministically *mid-query*.
+class FaultInjector {
+ public:
+  struct Stats {
+    uint64_t transient_read_faults = 0;
+    uint64_t transient_write_faults = 0;
+    uint64_t corrupted_reads = 0;
+    uint64_t packets_dropped = 0;
+  };
+
+  FaultInjector(const FaultConfig& config, int num_disk_nodes);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  int num_disk_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // --- Liveness schedule ---
+
+  /// Declares the node permanently dead, effective immediately.
+  void KillNode(int node);
+
+  /// Declares the node dead after `disk_ops` more read/write operations on
+  /// it — the deterministic mid-query failure.
+  void KillNodeAfterOps(int node, uint64_t disk_ops);
+
+  /// Test hook: brings a dead node back (its simulated disk contents were
+  /// never discarded, matching a repaired node rejoining with stale data —
+  /// callers are responsible for not reading stale fragments).
+  void ReviveNode(int node);
+
+  bool IsDead(int node) const;
+  int num_live() const;
+
+  // --- Draws (each consumes from the node's deterministic stream) ---
+
+  /// Decides the fate of one page read on `node`. Counts one disk op
+  /// against the node's scheduled death. Dead nodes are the caller's
+  /// responsibility (check IsDead first).
+  DiskFault OnRead(int node);
+
+  /// Decides the fate of one page write on `node`.
+  DiskFault OnWrite(int node);
+
+  /// True when one data packet sent by `node` should be charged a
+  /// retransmission.
+  bool OnPacket(int node);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct NodeState {
+    Rng rng;
+    bool dead = false;
+    uint64_t ops = 0;
+    /// Node dies when ops reaches this count. UINT64_MAX = never.
+    uint64_t death_at_ops = UINT64_MAX;
+
+    explicit NodeState(uint64_t seed) : rng(seed) {}
+  };
+
+  NodeState& node(int i);
+  /// Counts one disk op and applies a scheduled death when it comes due.
+  void TickOps(NodeState& state);
+
+  FaultConfig config_;
+  std::vector<NodeState> nodes_;
+  /// Packet drops draw from their own stream so disk and network schedules
+  /// stay independent.
+  Rng packet_rng_;
+  Stats stats_;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_FAULT_INJECTOR_H_

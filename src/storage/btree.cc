@@ -33,9 +33,10 @@ uint32_t* LeftmostChild(uint8_t* frame) {
 
 }  // namespace
 
-uint32_t BTree::NewNode(bool is_leaf, uint8_t** frame_out) {
+Result<uint32_t> BTree::NewNode(bool is_leaf, uint8_t** frame_out) {
   uint8_t* frame = nullptr;
-  const uint32_t page_no = pool_->NewPage(&frame);
+  uint32_t page_no = 0;
+  GAMMA_ASSIGN_OR_RETURN(page_no, pool_->NewPage(&frame));
   auto* header = Header(frame);
   header->count = 0;
   header->is_leaf = is_leaf ? 1 : 0;
@@ -49,11 +50,12 @@ uint32_t BTree::NewNode(bool is_leaf, uint8_t** frame_out) {
 // Internal entries area starts after header + leftmost child pointer.
 static constexpr uint32_t kInternalEntriesOffset = 8 + 4;
 
-uint32_t BTree::FindLeafForScan(int32_t key) const {
+Result<uint32_t> BTree::FindLeafForScan(int32_t key) const {
   GAMMA_CHECK(root_ != kNoPage);
   uint32_t page_no = root_;
   for (;;) {
-    uint8_t* frame = pool_->Pin(page_no, AccessIntent::kRandom);
+    uint8_t* frame = nullptr;
+    GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(page_no, AccessIntent::kRandom));
     charge_->BtreeNodeVisit();
     const auto* header = Header(frame);
     if (header->is_leaf) {
@@ -80,12 +82,13 @@ uint32_t BTree::FindLeafForScan(int32_t key) const {
   }
 }
 
-uint32_t BTree::FindLeafForInsert(int32_t key, Rid /*rid*/,
-                                  std::vector<uint32_t>* path) const {
+Result<uint32_t> BTree::FindLeafForInsert(int32_t key, Rid /*rid*/,
+                                          std::vector<uint32_t>* path) const {
   GAMMA_CHECK(root_ != kNoPage);
   uint32_t page_no = root_;
   for (;;) {
-    uint8_t* frame = pool_->Pin(page_no, AccessIntent::kRandom);
+    uint8_t* frame = nullptr;
+    GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(page_no, AccessIntent::kRandom));
     charge_->BtreeNodeVisit();
     const auto* header = Header(frame);
     if (header->is_leaf) {
@@ -112,7 +115,7 @@ uint32_t BTree::FindLeafForInsert(int32_t key, Rid /*rid*/,
   }
 }
 
-void BTree::BulkLoad(std::span<const Entry> sorted_entries) {
+Status BTree::BulkLoad(std::span<const Entry> sorted_entries) {
   GAMMA_CHECK_MSG(root_ == kNoPage, "BulkLoad on a non-empty tree");
 #ifndef NDEBUG
   for (size_t i = 1; i < sorted_entries.size(); ++i) {
@@ -121,10 +124,10 @@ void BTree::BulkLoad(std::span<const Entry> sorted_entries) {
 #endif
   if (sorted_entries.empty()) {
     uint8_t* frame = nullptr;
-    root_ = NewNode(/*is_leaf=*/true, &frame);
+    GAMMA_ASSIGN_OR_RETURN(root_, NewNode(/*is_leaf=*/true, &frame));
     pool_->Unpin(root_);
     height_ = 1;
-    return;
+    return Status::OK();
   }
 
   // Level 0: pack leaves full, remembering each leaf's minimum key.
@@ -133,7 +136,8 @@ void BTree::BulkLoad(std::span<const Entry> sorted_entries) {
   size_t i = 0;
   while (i < sorted_entries.size()) {
     uint8_t* frame = nullptr;
-    const uint32_t page_no = NewNode(/*is_leaf=*/true, &frame);
+    uint32_t page_no = 0;
+    GAMMA_ASSIGN_OR_RETURN(page_no, NewNode(/*is_leaf=*/true, &frame));
     auto* header = Header(frame);
     auto* leaves = Leaves(frame);
     const size_t take =
@@ -145,7 +149,9 @@ void BTree::BulkLoad(std::span<const Entry> sorted_entries) {
     header->count = static_cast<uint16_t>(take);
     pool_->Unpin(page_no);
     if (prev_leaf != kNoPage) {
-      uint8_t* prev = pool_->Pin(prev_leaf, AccessIntent::kSequential);
+      uint8_t* prev = nullptr;
+      GAMMA_ASSIGN_OR_RETURN(prev,
+                             pool_->Pin(prev_leaf, AccessIntent::kSequential));
       Header(prev)->next_leaf = page_no;
       pool_->MarkDirty(prev_leaf, AccessIntent::kSequential);
       pool_->Unpin(prev_leaf);
@@ -162,7 +168,8 @@ void BTree::BulkLoad(std::span<const Entry> sorted_entries) {
     size_t j = 0;
     while (j < level.size()) {
       uint8_t* frame = nullptr;
-      const uint32_t page_no = NewNode(/*is_leaf=*/false, &frame);
+      uint32_t page_no = 0;
+      GAMMA_ASSIGN_OR_RETURN(page_no, NewNode(/*is_leaf=*/false, &frame));
       auto* header = Header(frame);
       const size_t take =
           std::min<size_t>(internal_capacity_ + 1, level.size() - j);
@@ -180,19 +187,22 @@ void BTree::BulkLoad(std::span<const Entry> sorted_entries) {
   }
   root_ = level.front().child;
   num_entries_ = sorted_entries.size();
+  return Status::OK();
 }
 
-void BTree::Insert(int32_t key, Rid rid) {
+Status BTree::Insert(int32_t key, Rid rid) {
   if (root_ == kNoPage) {
     uint8_t* frame = nullptr;
-    root_ = NewNode(/*is_leaf=*/true, &frame);
+    GAMMA_ASSIGN_OR_RETURN(root_, NewNode(/*is_leaf=*/true, &frame));
     pool_->Unpin(root_);
     height_ = 1;
   }
   std::vector<uint32_t> path;
-  const uint32_t leaf_no = FindLeafForInsert(key, rid, &path);
+  uint32_t leaf_no = 0;
+  GAMMA_ASSIGN_OR_RETURN(leaf_no, FindLeafForInsert(key, rid, &path));
 
-  uint8_t* frame = pool_->Pin(leaf_no, AccessIntent::kRandom);
+  uint8_t* frame = nullptr;
+  GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(leaf_no, AccessIntent::kRandom));
   auto* header = Header(frame);
   auto* leaves = Leaves(frame);
   const uint16_t count = header->count;
@@ -207,7 +217,7 @@ void BTree::Insert(int32_t key, Rid rid) {
     pool_->MarkDirty(leaf_no, AccessIntent::kRandom);
     pool_->Unpin(leaf_no);
     ++num_entries_;
-    return;
+    return Status::OK();
   }
 
   // Leaf split: gather count+1 entries, divide in half.
@@ -222,7 +232,12 @@ void BTree::Insert(int32_t key, Rid rid) {
   const size_t mid = all.size() / 2;
 
   uint8_t* right_frame = nullptr;
-  const uint32_t right_no = NewNode(/*is_leaf=*/true, &right_frame);
+  const Result<uint32_t> right_or = NewNode(/*is_leaf=*/true, &right_frame);
+  if (!right_or.ok()) {
+    pool_->Unpin(leaf_no);
+    return right_or.status();
+  }
+  const uint32_t right_no = *right_or;
   auto* right_header = Header(right_frame);
   auto* right_leaves = Leaves(right_frame);
   std::copy(all.begin() + static_cast<long>(mid), all.end(), right_leaves);
@@ -239,16 +254,17 @@ void BTree::Insert(int32_t key, Rid rid) {
   pool_->Unpin(right_no);
   pool_->Unpin(leaf_no);
   ++num_entries_;
-  InsertIntoParent(&path, sep_key, right_no);
+  return InsertIntoParent(&path, sep_key, right_no);
 }
 
-void BTree::InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
-                             uint32_t new_child) {
+Status BTree::InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
+                               uint32_t new_child) {
   if (path->empty()) {
     // The split node was the root: grow the tree by one level.
     const uint32_t old_root = root_;
     uint8_t* frame = nullptr;
-    const uint32_t new_root = NewNode(/*is_leaf=*/false, &frame);
+    uint32_t new_root = 0;
+    GAMMA_ASSIGN_OR_RETURN(new_root, NewNode(/*is_leaf=*/false, &frame));
     auto* header = Header(frame);
     *LeftmostChild(frame) = old_root;
     auto* entries =
@@ -259,7 +275,7 @@ void BTree::InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
     pool_->Unpin(new_root);
     root_ = new_root;
     ++height_;
-    return;
+    return Status::OK();
   }
 
   const uint32_t parent_no = path->back();
@@ -268,7 +284,8 @@ void BTree::InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
   // the sibling is where the descent went; locating the insertion point by
   // separator key handles duplicate separators correctly because the
   // descent routed right among equals.
-  uint8_t* frame = pool_->Pin(parent_no, AccessIntent::kRandom);
+  uint8_t* frame = nullptr;
+  GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(parent_no, AccessIntent::kRandom));
   auto* header = Header(frame);
   auto* entries =
       reinterpret_cast<InternalEntry*>(frame + kInternalEntriesOffset);
@@ -284,7 +301,7 @@ void BTree::InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
     header->count = count + 1;
     pool_->MarkDirty(parent_no, AccessIntent::kRandom);
     pool_->Unpin(parent_no);
-    return;
+    return Status::OK();
   }
 
   // Internal split: middle separator moves up.
@@ -294,7 +311,12 @@ void BTree::InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
   const InternalEntry promoted = all[mid];
 
   uint8_t* right_frame = nullptr;
-  const uint32_t right_no = NewNode(/*is_leaf=*/false, &right_frame);
+  const Result<uint32_t> right_or = NewNode(/*is_leaf=*/false, &right_frame);
+  if (!right_or.ok()) {
+    pool_->Unpin(parent_no);
+    return right_or.status();
+  }
+  const uint32_t right_no = *right_or;
   auto* right_header = Header(right_frame);
   *LeftmostChild(right_frame) = promoted.child;
   auto* right_entries = reinterpret_cast<InternalEntry*>(right_frame +
@@ -310,14 +332,16 @@ void BTree::InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
   pool_->MarkDirty(parent_no, AccessIntent::kRandom);
   pool_->Unpin(parent_no);
 
-  InsertIntoParent(path, promoted.key, right_no);
+  return InsertIntoParent(path, promoted.key, right_no);
 }
 
-bool BTree::Delete(int32_t key, Rid rid) {
+Result<bool> BTree::Delete(int32_t key, Rid rid) {
   if (root_ == kNoPage) return false;
-  uint32_t page_no = FindLeafForScan(key);
+  uint32_t page_no = 0;
+  GAMMA_ASSIGN_OR_RETURN(page_no, FindLeafForScan(key));
   while (page_no != kNoPage) {
-    uint8_t* frame = pool_->Pin(page_no, AccessIntent::kRandom);
+    uint8_t* frame = nullptr;
+    GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(page_no, AccessIntent::kRandom));
     auto* header = Header(frame);
     auto* leaves = Leaves(frame);
     const uint16_t count = header->count;
@@ -346,13 +370,17 @@ bool BTree::Delete(int32_t key, Rid rid) {
   return false;
 }
 
-void BTree::ScanFrom(int32_t key, const ScanCallback& callback) const {
-  if (root_ == kNoPage) return;
-  uint32_t page_no = FindLeafForScan(key);
+Status BTree::ScanFrom(int32_t key, const ScanCallback& callback) const {
+  if (root_ == kNoPage) return Status::OK();
+  uint32_t page_no = 0;
+  GAMMA_ASSIGN_OR_RETURN(page_no, FindLeafForScan(key));
   bool first_leaf = true;
   while (page_no != kNoPage) {
-    uint8_t* frame = pool_->Pin(
-        page_no, first_leaf ? AccessIntent::kRandom : AccessIntent::kSequential);
+    uint8_t* frame = nullptr;
+    GAMMA_ASSIGN_OR_RETURN(
+        frame,
+        pool_->Pin(page_no, first_leaf ? AccessIntent::kRandom
+                                       : AccessIntent::kSequential));
     const auto* header = Header(frame);
     const auto* leaves = Leaves(frame);
     for (uint16_t i = 0; i < header->count; ++i) {
@@ -360,7 +388,7 @@ void BTree::ScanFrom(int32_t key, const ScanCallback& callback) const {
       Entry entry{leaves[i].key, Rid{leaves[i].page_index, leaves[i].slot}};
       if (!callback(entry)) {
         pool_->Unpin(page_no);
-        return;
+        return Status::OK();
       }
     }
     const uint32_t next = header->next_leaf;
@@ -368,15 +396,16 @@ void BTree::ScanFrom(int32_t key, const ScanCallback& callback) const {
     page_no = next;
     first_leaf = false;
   }
+  return Status::OK();
 }
 
-std::vector<Rid> BTree::RangeLookup(int32_t lo, int32_t hi) const {
+Result<std::vector<Rid>> BTree::RangeLookup(int32_t lo, int32_t hi) const {
   std::vector<Rid> rids;
-  ScanFrom(lo, [&](const Entry& entry) {
+  GAMMA_RETURN_NOT_OK(ScanFrom(lo, [&](const Entry& entry) {
     if (entry.key > hi) return false;
     rids.push_back(entry.rid);
     return true;
-  });
+  }));
   return rids;
 }
 

@@ -40,18 +40,18 @@ class BTree {
   BTree& operator=(const BTree&) = delete;
 
   /// Builds the tree from entries sorted by (key, rid). Must be empty.
-  void BulkLoad(std::span<const Entry> sorted_entries);
+  Status BulkLoad(std::span<const Entry> sorted_entries);
 
-  void Insert(int32_t key, Rid rid);
+  Status Insert(int32_t key, Rid rid);
 
   /// Removes the exact (key, rid) entry. Returns false if absent.
-  bool Delete(int32_t key, Rid rid);
+  Result<bool> Delete(int32_t key, Rid rid);
 
   /// Visits all entries with entry.key >= key in (key, rid) order.
-  void ScanFrom(int32_t key, const ScanCallback& callback) const;
+  Status ScanFrom(int32_t key, const ScanCallback& callback) const;
 
   /// Collects the rids of all entries with lo <= key <= hi.
-  std::vector<Rid> RangeLookup(int32_t lo, int32_t hi) const;
+  Result<std::vector<Rid>> RangeLookup(int32_t lo, int32_t hi) const;
 
   uint32_t height() const { return height_; }
   uint64_t num_entries() const { return num_entries_; }
@@ -97,19 +97,19 @@ class BTree {
 
   static bool EntryLess(const LeafEntry& a, int32_t key, Rid rid);
 
-  uint32_t NewNode(bool is_leaf, uint8_t** frame_out);
+  Result<uint32_t> NewNode(bool is_leaf, uint8_t** frame_out);
 
   /// Descends to the leaf that may contain the first entry >= key
   /// (strict-less routing so duplicates split across leaves are not missed).
-  uint32_t FindLeafForScan(int32_t key) const;
+  Result<uint32_t> FindLeafForScan(int32_t key) const;
 
   /// Descends for insertion of (key, rid), recording the path of
   /// (page_no, child_slot_in_parent) pairs.
-  uint32_t FindLeafForInsert(int32_t key, Rid rid,
-                             std::vector<uint32_t>* path) const;
+  Result<uint32_t> FindLeafForInsert(int32_t key, Rid rid,
+                                     std::vector<uint32_t>* path) const;
 
-  void InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
-                        uint32_t new_child);
+  Status InsertIntoParent(std::vector<uint32_t>* path, int32_t sep_key,
+                          uint32_t new_child);
 
   BufferPool* pool_;
   const ChargeContext* charge_;

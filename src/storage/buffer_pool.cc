@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -21,25 +23,74 @@ BufferPool::~BufferPool() {
   // phase; destruction outside a query would charge to nothing anyway.
 }
 
-void BufferPool::WriteBack(uint32_t page_no, Frame& frame) {
-  disk_->Write(page_no, frame.data.data());
-  charge_->DiskWrite(disk_->page_size(), frame.write_intent);
-  frame.dirty = false;
+Status BufferPool::ReadWithRetry(uint32_t page_no, uint8_t* out,
+                                 AccessIntent intent) {
+  Status status;
+  for (int attempt = 0; attempt <= kMaxIoRetries; ++attempt) {
+    if (attempt > 0) {
+      ++io_retries_;
+      charge_->SerialSec(kRetryBackoffSec);
+      // A retry re-seeks from scratch no matter how the first pass streamed.
+      intent = AccessIntent::kRandom;
+    }
+    status = disk_->Read(page_no, out);
+    if (status.ok() || status.IsIOError()) {
+      // The platters spun either way; a transient failure costs the same
+      // access time as a success.
+      charge_->DiskRead(disk_->page_size(), intent);
+    }
+    if (!status.IsIOError()) return status;
+  }
+  return Status::Unavailable("node " + std::to_string(disk_->node()) +
+                             ", page " + std::to_string(page_no) + ": " +
+                             std::to_string(kMaxIoRetries) +
+                             " read retries exhausted (" + status.message() +
+                             ")");
 }
 
-void BufferPool::MakeRoom() {
-  if (frames_.size() < capacity_frames_) return;
+Status BufferPool::WriteWithRetry(uint32_t page_no, const uint8_t* data,
+                                  AccessIntent intent) {
+  Status status;
+  for (int attempt = 0; attempt <= kMaxIoRetries; ++attempt) {
+    if (attempt > 0) {
+      ++io_retries_;
+      charge_->SerialSec(kRetryBackoffSec);
+      intent = AccessIntent::kRandom;
+    }
+    status = disk_->Write(page_no, data);
+    if (status.ok() || status.IsIOError()) {
+      charge_->DiskWrite(disk_->page_size(), intent);
+    }
+    if (!status.IsIOError()) return status;
+  }
+  return Status::Unavailable("node " + std::to_string(disk_->node()) +
+                             ", page " + std::to_string(page_no) + ": " +
+                             std::to_string(kMaxIoRetries) +
+                             " write retries exhausted (" + status.message() +
+                             ")");
+}
+
+Status BufferPool::WriteBack(uint32_t page_no, Frame& frame) {
+  GAMMA_RETURN_NOT_OK(
+      WriteWithRetry(page_no, frame.data.data(), frame.write_intent));
+  frame.dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::MakeRoom() {
+  if (frames_.size() < capacity_frames_) return Status::OK();
   GAMMA_CHECK_MSG(!lru_.empty(), "buffer pool: all frames pinned");
   const uint32_t victim_no = lru_.front();
-  lru_.pop_front();
   auto it = frames_.find(victim_no);
   GAMMA_DCHECK(it != frames_.end());
-  if (it->second.dirty) WriteBack(victim_no, it->second);
+  if (it->second.dirty) GAMMA_RETURN_NOT_OK(WriteBack(victim_no, it->second));
+  lru_.pop_front();
   frames_.erase(it);
   ++evictions_;
+  return Status::OK();
 }
 
-uint8_t* BufferPool::Pin(uint32_t page_no, AccessIntent intent) {
+Result<uint8_t*> BufferPool::Pin(uint32_t page_no, AccessIntent intent) {
   auto it = frames_.find(page_no);
   if (it != frames_.end()) {
     Frame& frame = it->second;
@@ -52,19 +103,28 @@ uint8_t* BufferPool::Pin(uint32_t page_no, AccessIntent intent) {
     charge_->BufferHit();
     return frame.data.data();
   }
-  MakeRoom();
+  GAMMA_RETURN_NOT_OK(MakeRoom());
+  // Read into a scratch buffer first; a failed or corrupt read must not
+  // leave a frame cached.
+  std::vector<uint8_t> buf(disk_->page_size());
+  GAMMA_RETURN_NOT_OK(ReadWithRetry(page_no, buf.data(), intent));
+  if (SimulatedDisk::ComputeChecksum(buf.data(), buf.size()) !=
+      disk_->StoredChecksum(page_no)) {
+    return Status::Corruption("checksum mismatch on node " +
+                              std::to_string(disk_->node()) + ", page " +
+                              std::to_string(page_no));
+  }
   Frame& frame = frames_[page_no];
-  frame.data.resize(disk_->page_size());
-  disk_->Read(page_no, frame.data.data());
+  frame.data = std::move(buf);
   frame.pin_count = 1;
   ++misses_;
-  charge_->DiskRead(disk_->page_size(), intent);
   return frame.data.data();
 }
 
-uint32_t BufferPool::NewPage(uint8_t** frame_out) {
-  MakeRoom();
-  const uint32_t page_no = disk_->Allocate();
+Result<uint32_t> BufferPool::NewPage(uint8_t** frame_out) {
+  GAMMA_RETURN_NOT_OK(MakeRoom());
+  uint32_t page_no = 0;
+  GAMMA_ASSIGN_OR_RETURN(page_no, disk_->Allocate());
   Frame& frame = frames_[page_no];
   frame.data.assign(disk_->page_size(), 0);
   frame.pin_count = 1;
@@ -94,14 +154,27 @@ void BufferPool::Unpin(uint32_t page_no) {
   }
 }
 
-void BufferPool::FlushAll() {
+Status BufferPool::FlushAll() {
   for (auto& [page_no, frame] : frames_) {
-    if (frame.dirty) WriteBack(page_no, frame);
+    if (frame.dirty) GAMMA_RETURN_NOT_OK(WriteBack(page_no, frame));
   }
+  return Status::OK();
 }
 
-void BufferPool::Invalidate() {
-  FlushAll();
+Status BufferPool::Invalidate() {
+  GAMMA_RETURN_NOT_OK(FlushAll());
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pin_count == 0) {
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Discard() {
   for (auto it = frames_.begin(); it != frames_.end();) {
     if (it->second.pin_count == 0) {
       if (it->second.in_lru) lru_.erase(it->second.lru_pos);

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "storage/disk.h"
 
 namespace gammadb::storage {
@@ -16,8 +18,21 @@ namespace gammadb::storage {
 /// frame count — exactly the trade the paper's page-size experiments make.
 /// Misses charge a disk read with the caller's access intent; hits charge
 /// only the buffer-manager CPU path; dirty evictions charge the write.
+///
+/// The pool is the fault-recovery boundary for transient disk errors: a
+/// kIOError from the disk is retried up to kMaxIoRetries times, each retry
+/// charging a full (random) disk access plus a serial backoff stall, so
+/// injected transients show up as degraded response time rather than query
+/// failure. Retry exhaustion and dead-node errors surface as kUnavailable
+/// for the machine layer to fail over; checksum mismatches surface as
+/// kCorruption (bit rot is not retryable — the stored bytes are wrong).
 class BufferPool {
  public:
+  /// Transient-fault retry budget per logical disk access.
+  static constexpr int kMaxIoRetries = 3;
+  /// Stall before each retry (controller re-seek + settle on 1988 drives).
+  static constexpr double kRetryBackoffSec = 0.005;
+
   BufferPool(SimulatedDisk* disk, const ChargeContext* charge,
              uint64_t capacity_bytes);
 
@@ -29,13 +44,14 @@ class BufferPool {
   uint32_t page_size() const { return disk_->page_size(); }
   uint32_t capacity_frames() const { return capacity_frames_; }
 
-  /// Pins `page_no`, reading it from disk if absent. The pointer stays valid
-  /// until the matching Unpin.
-  uint8_t* Pin(uint32_t page_no, AccessIntent intent);
+  /// Pins `page_no`, reading it from disk if absent and verifying its
+  /// checksum. The pointer stays valid until the matching Unpin. On any
+  /// error no frame is installed and nothing is pinned.
+  Result<uint8_t*> Pin(uint32_t page_no, AccessIntent intent);
 
   /// Allocates a fresh disk page, pins it dirty (its eventual write-back is
   /// sequential: new pages are appended). Returns the page number.
-  uint32_t NewPage(uint8_t** frame_out);
+  Result<uint32_t> NewPage(uint8_t** frame_out);
 
   /// Marks a pinned page dirty; `intent` classifies the eventual write-back
   /// (in-place updates of old pages are random, appends sequential).
@@ -44,16 +60,24 @@ class BufferPool {
   void Unpin(uint32_t page_no);
 
   /// Writes back every dirty frame (used at phase boundaries so write costs
-  /// land in the phase that produced them).
-  void FlushAll();
+  /// land in the phase that produced them). Stops at the first unrecoverable
+  /// write error, leaving the remaining dirty frames dirty.
+  Status FlushAll();
 
   /// Drops every unpinned frame (flushing dirty ones first). Test hook for
   /// forcing cold-cache behaviour.
-  void Invalidate();
+  Status Invalidate();
+
+  /// Drops every unpinned frame WITHOUT flushing, abandoning dirty data.
+  /// Cleanup path for a failed query: its partial result pages must not be
+  /// written to (or charged against) anything.
+  void Discard();
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
+  /// Transient-fault retries performed (reads and writes).
+  uint64_t io_retries() const { return io_retries_; }
   uint32_t frames_in_use() const {
     return static_cast<uint32_t>(frames_.size());
   }
@@ -69,10 +93,16 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  /// One logical read/write as the cost model sees it: every attempt the
+  /// disk actually performed is charged; retries add backoff stalls.
+  Status ReadWithRetry(uint32_t page_no, uint8_t* out, AccessIntent intent);
+  Status WriteWithRetry(uint32_t page_no, const uint8_t* data,
+                        AccessIntent intent);
+
   /// Evicts one unpinned frame if at capacity. Checked failure if every
   /// frame is pinned (operators pin O(1) pages at a time).
-  void MakeRoom();
-  void WriteBack(uint32_t page_no, Frame& frame);
+  Status MakeRoom();
+  Status WriteBack(uint32_t page_no, Frame& frame);
 
   SimulatedDisk* disk_;
   const ChargeContext* charge_;
@@ -83,6 +113,7 @@ class BufferPool {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t io_retries_ = 0;
 };
 
 }  // namespace gammadb::storage

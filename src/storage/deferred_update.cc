@@ -20,8 +20,8 @@ void DeferredUpdateFile::LogDelete(BTree* index, int32_t key, Rid rid) {
   records_.push_back(Record{index, /*is_insert=*/false, key, rid});
 }
 
-void DeferredUpdateFile::Commit() {
-  if (records_.empty()) return;
+Status DeferredUpdateFile::Commit() {
+  if (records_.empty()) return Status::OK();
   // The deferred-update file itself is forced to disk before the index
   // changes are applied (one page suffices for single-tuple statements),
   // and each applied change forces the modified index page back out — the
@@ -38,12 +38,13 @@ void DeferredUpdateFile::Commit() {
   }
   for (const Record& record : records_) {
     if (record.is_insert) {
-      record.index->Insert(record.key, record.rid);
+      GAMMA_RETURN_NOT_OK(record.index->Insert(record.key, record.rid));
     } else {
-      record.index->Delete(record.key, record.rid);
+      GAMMA_RETURN_NOT_OK(record.index->Delete(record.key, record.rid).status());
     }
   }
   records_.clear();
+  return Status::OK();
 }
 
 }  // namespace gammadb::storage

@@ -30,8 +30,9 @@ class DeferredUpdateFile {
   size_t pending() const { return records_.size(); }
 
   /// Applies all queued index changes (statement commit). Charges one forced
-  /// page write for the deferred file plus the per-record apply path.
-  void Commit();
+  /// page write for the deferred file plus the per-record apply path. On
+  /// error the remaining records stay queued (re-commit or Abort).
+  Status Commit();
 
   /// Drops all queued changes (statement abort).
   void Abort() { records_.clear(); }

@@ -1,28 +1,103 @@
 #include "storage/disk.h"
 
 #include <cstring>
+#include <string>
 
+#include "common/hash.h"
 #include "common/macros.h"
 
 namespace gammadb::storage {
 
-SimulatedDisk::SimulatedDisk(uint32_t page_size) : page_size_(page_size) {
+namespace {
+constexpr uint64_t kChecksumSalt = 0xC4EC;
+}  // namespace
+
+SimulatedDisk::SimulatedDisk(uint32_t page_size, sim::FaultInjector* faults,
+                             int node)
+    : page_size_(page_size), faults_(faults), node_(node) {
   GAMMA_CHECK(page_size >= 64);
 }
 
-uint32_t SimulatedDisk::Allocate() {
+uint32_t SimulatedDisk::ComputeChecksum(const uint8_t* data, size_t len) {
+  return static_cast<uint32_t>(HashBytes(data, len, kChecksumSalt));
+}
+
+Status SimulatedDisk::CheckBounds(uint32_t page_no, const char* op) const {
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange(std::string(op) + " of page " +
+                              std::to_string(page_no) + " on node " +
+                              std::to_string(node_) + ": disk has " +
+                              std::to_string(pages_.size()) + " pages");
+  }
+  return Status::OK();
+}
+
+Status SimulatedDisk::ConsultFaults(uint32_t page_no, bool writing) {
+  if (faults_ == nullptr) return Status::OK();
+  if (faults_->IsDead(node_)) {
+    return Status::Unavailable("disk node " + std::to_string(node_) +
+                               " is dead");
+  }
+  const sim::DiskFault fault =
+      writing ? faults_->OnWrite(node_) : faults_->OnRead(node_);
+  if (faults_->IsDead(node_)) {
+    // This very operation was the scheduled point of death.
+    return Status::Unavailable("disk node " + std::to_string(node_) +
+                               " died mid-operation");
+  }
+  switch (fault) {
+    case sim::DiskFault::kNone:
+      break;
+    case sim::DiskFault::kTransient:
+      return Status::IOError(std::string("transient ") +
+                             (writing ? "write" : "read") +
+                             " fault on node " + std::to_string(node_) +
+                             ", page " + std::to_string(page_no));
+    case sim::DiskFault::kCorrupt:
+      CorruptStoredPage(page_no);
+      break;
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> SimulatedDisk::Allocate() {
+  if (faults_ != nullptr && faults_->IsDead(node_)) {
+    return Status::Unavailable("disk node " + std::to_string(node_) +
+                               " is dead");
+  }
+  if (pages_.size() >= kMaxPages) {
+    return Status::ResourceExhausted(
+        "disk on node " + std::to_string(node_) + " is full (" +
+        std::to_string(kMaxPages) + " pages)");
+  }
   pages_.emplace_back(page_size_, uint8_t{0});
+  checksums_.push_back(ComputeChecksum(pages_.back().data(), page_size_));
   return static_cast<uint32_t>(pages_.size() - 1);
 }
 
-void SimulatedDisk::Read(uint32_t page_no, uint8_t* out) const {
-  GAMMA_CHECK(page_no < pages_.size());
+Status SimulatedDisk::Read(uint32_t page_no, uint8_t* out) {
+  GAMMA_RETURN_NOT_OK(CheckBounds(page_no, "read"));
+  GAMMA_RETURN_NOT_OK(ConsultFaults(page_no, /*writing=*/false));
   std::memcpy(out, pages_[page_no].data(), page_size_);
+  return Status::OK();
 }
 
-void SimulatedDisk::Write(uint32_t page_no, const uint8_t* data) {
-  GAMMA_CHECK(page_no < pages_.size());
+Status SimulatedDisk::Write(uint32_t page_no, const uint8_t* data) {
+  GAMMA_RETURN_NOT_OK(CheckBounds(page_no, "write"));
+  GAMMA_RETURN_NOT_OK(ConsultFaults(page_no, /*writing=*/true));
   std::memcpy(pages_[page_no].data(), data, page_size_);
+  checksums_[page_no] = ComputeChecksum(data, page_size_);
+  return Status::OK();
+}
+
+uint32_t SimulatedDisk::StoredChecksum(uint32_t page_no) const {
+  GAMMA_CHECK(page_no < checksums_.size());
+  return checksums_[page_no];
+}
+
+void SimulatedDisk::CorruptStoredPage(uint32_t page_no) {
+  GAMMA_CHECK(page_no < pages_.size());
+  pages_[page_no][page_no % page_size_] ^= 0xFF;
 }
 
 }  // namespace gammadb::storage

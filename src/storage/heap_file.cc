@@ -9,12 +9,14 @@ HeapFile::HeapFile(BufferPool* pool, const ChargeContext* charge)
   GAMMA_CHECK(pool != nullptr && charge != nullptr);
 }
 
-Rid HeapFile::Append(std::span<const uint8_t> record) {
+Result<Rid> HeapFile::Append(std::span<const uint8_t> record) {
   GAMMA_CHECK_MSG(record.size() + 16 <= pool_->page_size(),
                   "record larger than a page");
   if (!pages_.empty()) {
     const uint32_t page_no = pages_.back();
-    uint8_t* frame = pool_->Pin(page_no, AccessIntent::kSequential);
+    uint8_t* frame = nullptr;
+    GAMMA_ASSIGN_OR_RETURN(frame,
+                           pool_->Pin(page_no, AccessIntent::kSequential));
     SlottedPage page(frame, pool_->page_size());
     if (auto slot = page.Insert(record)) {
       pool_->MarkDirty(page_no, AccessIntent::kSequential);
@@ -25,7 +27,8 @@ Rid HeapFile::Append(std::span<const uint8_t> record) {
     pool_->Unpin(page_no);
   }
   uint8_t* frame = nullptr;
-  const uint32_t page_no = pool_->NewPage(&frame);
+  uint32_t page_no = 0;
+  GAMMA_ASSIGN_OR_RETURN(page_no, pool_->NewPage(&frame));
   SlottedPage::Initialize(frame, pool_->page_size());
   SlottedPage page(frame, pool_->page_size());
   auto slot = page.Insert(record);
@@ -36,17 +39,19 @@ Rid HeapFile::Append(std::span<const uint8_t> record) {
   return Rid{static_cast<uint32_t>(pages_.size() - 1), *slot};
 }
 
-void HeapFile::Scan(const ScanCallback& callback) const {
-  if (pages_.empty()) return;
-  ScanPages(0, num_pages() - 1, callback);
+Status HeapFile::Scan(const ScanCallback& callback) const {
+  if (pages_.empty()) return Status::OK();
+  return ScanPages(0, num_pages() - 1, callback);
 }
 
-void HeapFile::ScanPages(uint32_t first_page, uint32_t last_page,
-                         const ScanCallback& callback) const {
+Status HeapFile::ScanPages(uint32_t first_page, uint32_t last_page,
+                           const ScanCallback& callback) const {
   GAMMA_CHECK(first_page <= last_page && last_page < pages_.size());
   for (uint32_t i = first_page; i <= last_page; ++i) {
     const uint32_t page_no = pages_[i];
-    uint8_t* frame = pool_->Pin(page_no, AccessIntent::kSequential);
+    uint8_t* frame = nullptr;
+    GAMMA_ASSIGN_OR_RETURN(frame,
+                           pool_->Pin(page_no, AccessIntent::kSequential));
     SlottedPage page(frame, pool_->page_size());
     bool keep_going = true;
     for (uint16_t slot = 0; keep_going && slot < page.slot_count(); ++slot) {
@@ -55,8 +60,9 @@ void HeapFile::ScanPages(uint32_t first_page, uint32_t last_page,
       keep_going = callback(Rid{i, slot}, record);
     }
     pool_->Unpin(page_no);
-    if (!keep_going) return;
+    if (!keep_going) return Status::OK();
   }
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> HeapFile::Fetch(Rid rid,
@@ -65,7 +71,8 @@ Result<std::vector<uint8_t>> HeapFile::Fetch(Rid rid,
     return Status::NotFound("rid page out of range");
   }
   const uint32_t page_no = pages_[rid.page_index];
-  uint8_t* frame = pool_->Pin(page_no, intent);
+  uint8_t* frame = nullptr;
+  GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(page_no, intent));
   SlottedPage page(frame, pool_->page_size());
   auto record = page.Get(rid.slot);
   if (record.empty()) {
@@ -82,7 +89,8 @@ Status HeapFile::Delete(Rid rid) {
     return Status::NotFound("rid page out of range");
   }
   const uint32_t page_no = pages_[rid.page_index];
-  uint8_t* frame = pool_->Pin(page_no, AccessIntent::kRandom);
+  uint8_t* frame = nullptr;
+  GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(page_no, AccessIntent::kRandom));
   SlottedPage page(frame, pool_->page_size());
   const bool deleted = page.Delete(rid.slot);
   if (deleted) {
@@ -98,7 +106,8 @@ Status HeapFile::Update(Rid rid, std::span<const uint8_t> record) {
     return Status::NotFound("rid page out of range");
   }
   const uint32_t page_no = pages_[rid.page_index];
-  uint8_t* frame = pool_->Pin(page_no, AccessIntent::kRandom);
+  uint8_t* frame = nullptr;
+  GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(page_no, AccessIntent::kRandom));
   SlottedPage page(frame, pool_->page_size());
   const bool updated = page.Update(rid.slot, record);
   if (updated) pool_->MarkDirty(page_no, AccessIntent::kRandom);

@@ -49,14 +49,14 @@ class HeapFile {
   uint64_t num_tuples() const { return num_tuples_; }
 
   /// Appends a record, growing the file as needed.
-  Rid Append(std::span<const uint8_t> record);
+  Result<Rid> Append(std::span<const uint8_t> record);
 
   /// Full sequential scan.
-  void Scan(const ScanCallback& callback) const;
+  Status Scan(const ScanCallback& callback) const;
 
   /// Sequential scan of the page range [first_page, last_page].
-  void ScanPages(uint32_t first_page, uint32_t last_page,
-                 const ScanCallback& callback) const;
+  Status ScanPages(uint32_t first_page, uint32_t last_page,
+                   const ScanCallback& callback) const;
 
   /// Random fetch of one record (copied out).
   Result<std::vector<uint8_t>> Fetch(

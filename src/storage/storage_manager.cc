@@ -4,8 +4,9 @@
 
 namespace gammadb::storage {
 
-StorageManager::StorageManager(uint32_t page_size, uint64_t buffer_bytes)
-    : disk_(page_size),
+StorageManager::StorageManager(uint32_t page_size, uint64_t buffer_bytes,
+                               sim::FaultInjector* faults, int fault_node)
+    : disk_(page_size, faults, fault_node),
       pool_(&disk_, &charge_, buffer_bytes),
       locks_(&charge_) {}
 

@@ -24,7 +24,10 @@ using IndexId = uint32_t;
 /// current query's CostTracker before running operators on the node.
 class StorageManager {
  public:
-  StorageManager(uint32_t page_size, uint64_t buffer_bytes);
+  /// `faults`/`fault_node` optionally attach the machine's fault injector so
+  /// this node's disk consults its schedule (null = fault-free node).
+  StorageManager(uint32_t page_size, uint64_t buffer_bytes,
+                 sim::FaultInjector* faults = nullptr, int fault_node = -1);
 
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
@@ -37,6 +40,7 @@ class StorageManager {
 
   BufferPool& pool() { return pool_; }
   LockManager& locks() { return locks_; }
+  SimulatedDisk& disk() { return disk_; }
 
   FileId CreateFile();
   HeapFile& file(FileId id);

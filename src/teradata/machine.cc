@@ -207,7 +207,7 @@ Status TeradataMachine::LoadTuples(
         amps_[static_cast<size_t>(i)]->file(
             meta->per_node_file[static_cast<size_t>(i)]);
     for (const std::vector<uint8_t>* tuple : bucket) {
-      const Rid rid = fragment.Append(*tuple);
+      const Rid rid = fragment.Append(*tuple).value();
       state.key_dir[static_cast<size_t>(i)].emplace(
           AttrOf(meta->schema, *tuple, state.pk_attr), rid);
     }
@@ -288,7 +288,8 @@ storage::Rid TeradataMachine::InsertWithRecovery(
   charge.Cpu(config_.instr_per_insert_logging);
   const Rid rid =
       sm.file(meta->per_node_file[static_cast<size_t>(amp_index)])
-          .Append(tuple);
+          .Append(tuple)
+          .value();
   state->key_dir[static_cast<size_t>(amp_index)].emplace(
       AttrOf(meta->schema, tuple, state->pk_attr), rid);
   for (SecondaryIndex& index : state->indices) {
@@ -573,7 +574,8 @@ Result<QueryResult> TeradataMachine::RunJoin(const TdJoinQuery& query) {
                 const Rid rid =
                     dst_sm.file(result_meta->per_node_file
                                     [static_cast<size_t>(dst)])
-                        .Append(t);
+                        .Append(t)
+                        .value();
                 result_state->key_dir[static_cast<size_t>(dst)].emplace(
                     AttrOf(result_meta->schema, t, result_state->pk_attr),
                     rid);

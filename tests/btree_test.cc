@@ -46,7 +46,7 @@ TEST_F(BTreeTest, BulkLoadAndLookup) {
   EXPECT_EQ(tree().num_entries(), 10000u);
   EXPECT_GE(tree().height(), 2u);
 
-  const auto rids = tree().RangeLookup(500, 509);
+  const auto rids = tree().RangeLookup(500, 509).value();
   ASSERT_EQ(rids.size(), 10u);
   EXPECT_EQ(rids[0], MakeRid(500));
   EXPECT_EQ(rids[9], MakeRid(509));
@@ -56,11 +56,11 @@ TEST_F(BTreeTest, RangeLookupBoundaries) {
   std::vector<BTree::Entry> entries;
   for (int32_t key = 0; key < 100; ++key) entries.push_back({key * 2, MakeRid(static_cast<uint32_t>(key))});
   tree().BulkLoad(entries);
-  EXPECT_EQ(tree().RangeLookup(-10, -1).size(), 0u);
-  EXPECT_EQ(tree().RangeLookup(200, 300).size(), 0u);
-  EXPECT_EQ(tree().RangeLookup(0, 198).size(), 100u);
-  EXPECT_EQ(tree().RangeLookup(1, 1).size(), 0u);  // odd keys absent
-  EXPECT_EQ(tree().RangeLookup(2, 2).size(), 1u);
+  EXPECT_EQ(tree().RangeLookup(-10, -1).value().size(), 0u);
+  EXPECT_EQ(tree().RangeLookup(200, 300).value().size(), 0u);
+  EXPECT_EQ(tree().RangeLookup(0, 198).value().size(), 100u);
+  EXPECT_EQ(tree().RangeLookup(1, 1).value().size(), 0u);  // odd keys absent
+  EXPECT_EQ(tree().RangeLookup(2, 2).value().size(), 1u);
 }
 
 TEST_F(BTreeTest, IncrementalInsertWithSplits) {
@@ -88,7 +88,7 @@ TEST_F(BTreeTest, DuplicateKeysAllFound) {
   for (uint32_t i = 0; i < 3000; ++i) {
     tree().Insert(static_cast<int32_t>(i % 10), MakeRid(i));
   }
-  const auto rids = tree().RangeLookup(3, 3);
+  const auto rids = tree().RangeLookup(3, 3).value();
   EXPECT_EQ(rids.size(), 300u);
   std::set<Rid> unique(rids.begin(), rids.end());
   EXPECT_EQ(unique.size(), 300u);
@@ -98,18 +98,18 @@ TEST_F(BTreeTest, DeleteExactEntry) {
   for (uint32_t i = 0; i < 1000; ++i) {
     tree().Insert(static_cast<int32_t>(i), MakeRid(i));
   }
-  EXPECT_TRUE(tree().Delete(500, MakeRid(500)));
-  EXPECT_FALSE(tree().Delete(500, MakeRid(500)));  // already gone
-  EXPECT_FALSE(tree().Delete(500, MakeRid(501)));  // wrong rid
+  EXPECT_TRUE(tree().Delete(500, MakeRid(500)).value());
+  EXPECT_FALSE(tree().Delete(500, MakeRid(500)).value());  // already gone
+  EXPECT_FALSE(tree().Delete(500, MakeRid(501)).value());  // wrong rid
   EXPECT_EQ(tree().num_entries(), 999u);
-  EXPECT_EQ(tree().RangeLookup(500, 500).size(), 0u);
-  EXPECT_EQ(tree().RangeLookup(499, 501).size(), 2u);
+  EXPECT_EQ(tree().RangeLookup(500, 500).value().size(), 0u);
+  EXPECT_EQ(tree().RangeLookup(499, 501).value().size(), 2u);
 }
 
 TEST_F(BTreeTest, DeleteAmongDuplicates) {
   for (uint32_t i = 0; i < 100; ++i) tree().Insert(7, MakeRid(i));
-  EXPECT_TRUE(tree().Delete(7, MakeRid(42)));
-  const auto rids = tree().RangeLookup(7, 7);
+  EXPECT_TRUE(tree().Delete(7, MakeRid(42)).value());
+  const auto rids = tree().RangeLookup(7, 7).value();
   EXPECT_EQ(rids.size(), 99u);
   for (const Rid& rid : rids) EXPECT_FALSE(rid == MakeRid(42));
 }
@@ -186,7 +186,7 @@ TEST_P(BTreePropertyTest, MatchesMultimapOracle) {
     } else {
       auto it = oracle.begin();
       std::advance(it, static_cast<long>(rng.Uniform(oracle.size())));
-      EXPECT_TRUE(tree.Delete(it->first, it->second));
+      EXPECT_TRUE(tree.Delete(it->first, it->second).value());
       oracle.erase(it);
     }
   }
@@ -196,7 +196,7 @@ TEST_P(BTreePropertyTest, MatchesMultimapOracle) {
   for (int trial = 0; trial < 50; ++trial) {
     const int32_t lo = static_cast<int32_t>(rng.Uniform(500));
     const int32_t hi = lo + static_cast<int32_t>(rng.Uniform(100));
-    auto rids = tree.RangeLookup(lo, hi);
+    auto rids = tree.RangeLookup(lo, hi).value();
     std::multiset<uint64_t> got;
     for (const Rid& rid : rids) {
       got.insert((static_cast<uint64_t>(rid.page_index) << 16) | rid.slot);

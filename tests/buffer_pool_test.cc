@@ -31,7 +31,7 @@ class BufferPoolTest : public ::testing::Test {
 
 TEST_F(BufferPoolTest, NewPageIsZeroed) {
   uint8_t* frame = nullptr;
-  const uint32_t page_no = pool_.NewPage(&frame);
+  const uint32_t page_no = pool_.NewPage(&frame).value();
   ASSERT_NE(frame, nullptr);
   for (int i = 0; i < 4096; ++i) EXPECT_EQ(frame[i], 0);
   pool_.Unpin(page_no);
@@ -39,14 +39,14 @@ TEST_F(BufferPoolTest, NewPageIsZeroed) {
 
 TEST_F(BufferPoolTest, WriteBackAndReload) {
   uint8_t* frame = nullptr;
-  const uint32_t page_no = pool_.NewPage(&frame);
+  const uint32_t page_no = pool_.NewPage(&frame).value();
   std::memset(frame, 0x5A, 4096);
   pool_.MarkDirty(page_no, AccessIntent::kSequential);
   pool_.Unpin(page_no);
   pool_.FlushAll();
   pool_.Invalidate();
 
-  frame = pool_.Pin(page_no, AccessIntent::kRandom);
+  frame = pool_.Pin(page_no, AccessIntent::kRandom).value();
   EXPECT_EQ(frame[0], 0x5A);
   EXPECT_EQ(frame[4095], 0x5A);
   pool_.Unpin(page_no);
@@ -54,15 +54,15 @@ TEST_F(BufferPoolTest, WriteBackAndReload) {
 
 TEST_F(BufferPoolTest, HitAvoidsDiskCharge) {
   uint8_t* frame = nullptr;
-  const uint32_t page_no = pool_.NewPage(&frame);
+  const uint32_t page_no = pool_.NewPage(&frame).value();
   pool_.Unpin(page_no);
   pool_.FlushAll();
   pool_.Invalidate();
 
-  pool_.Pin(page_no, AccessIntent::kRandom);
+  pool_.Pin(page_no, AccessIntent::kRandom).value();
   pool_.Unpin(page_no);
   const uint64_t reads_after_miss = tracker_.current(0).pages_read;
-  pool_.Pin(page_no, AccessIntent::kRandom);
+  pool_.Pin(page_no, AccessIntent::kRandom).value();
   pool_.Unpin(page_no);
   EXPECT_EQ(tracker_.current(0).pages_read, reads_after_miss);
   EXPECT_GE(tracker_.current(0).buffer_hits, 1u);
@@ -73,7 +73,7 @@ TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
   std::vector<uint32_t> pages;
   for (int i = 0; i < 20; ++i) {
     uint8_t* frame = nullptr;
-    const uint32_t page_no = pool_.NewPage(&frame);
+    const uint32_t page_no = pool_.NewPage(&frame).value();
     frame[0] = static_cast<uint8_t>(i);
     pool_.MarkDirty(page_no, AccessIntent::kSequential);
     pool_.Unpin(page_no);
@@ -82,25 +82,25 @@ TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
   EXPECT_GT(pool_.evictions(), 0u);
   EXPECT_LE(pool_.frames_in_use(), pool_.capacity_frames());
   // Evicted dirty pages were written back; reloading sees the data.
-  uint8_t* frame = pool_.Pin(pages[0], AccessIntent::kRandom);
+  uint8_t* frame = pool_.Pin(pages[0], AccessIntent::kRandom).value();
   EXPECT_EQ(frame[0], 0);
   pool_.Unpin(frame != nullptr ? pages[0] : pages[0]);
 }
 
 TEST_F(BufferPoolTest, SequentialVersusRandomCharging) {
   uint8_t* frame = nullptr;
-  const uint32_t a = pool_.NewPage(&frame);
+  const uint32_t a = pool_.NewPage(&frame).value();
   pool_.Unpin(a);
-  const uint32_t b = pool_.NewPage(&frame);
+  const uint32_t b = pool_.NewPage(&frame).value();
   pool_.Unpin(b);
   pool_.FlushAll();
   pool_.Invalidate();
 
   const double disk_before_seq = tracker_.current(0).disk_sec;
-  pool_.Pin(a, AccessIntent::kSequential);
+  pool_.Pin(a, AccessIntent::kSequential).value();
   pool_.Unpin(a);
   const double seq_cost = tracker_.current(0).disk_sec - disk_before_seq;
-  pool_.Pin(b, AccessIntent::kRandom);
+  pool_.Pin(b, AccessIntent::kRandom).value();
   pool_.Unpin(b);
   const double random_cost =
       tracker_.current(0).disk_sec - disk_before_seq - seq_cost;
@@ -117,7 +117,7 @@ TEST_F(BufferPoolTest, CapacityInBytesScalesWithPageSize) {
 
 TEST(DiskTest, ReadWriteRoundTrip) {
   SimulatedDisk disk(1024);
-  const uint32_t page_no = disk.Allocate();
+  const uint32_t page_no = disk.Allocate().value();
   std::vector<uint8_t> out(1024, 0xCC);
   disk.Write(page_no, out.data());
   std::vector<uint8_t> in(1024, 0);

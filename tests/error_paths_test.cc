@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "gamma/machine.h"
+#include "storage/disk.h"
 #include "teradata/machine.h"
 #include "test_util.h"
 #include "wisconsin/wisconsin.h"
@@ -178,6 +179,35 @@ TEST(TeradataErrorTest, ValidationMirrorsGamma) {
   const auto result = machine.RunSelect(select);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->result_tuples, 50u);
+}
+
+TEST(DiskBoundsTest, OutOfRangeAccessIsDescriptive) {
+  storage::SimulatedDisk disk(64);
+  std::vector<uint8_t> buf(64, 0);
+  const uint32_t page = disk.Allocate().value();
+  ASSERT_TRUE(disk.Read(page, buf.data()).ok());
+
+  const Status read = disk.Read(page + 1, buf.data());
+  EXPECT_TRUE(read.IsOutOfRange());
+  EXPECT_NE(read.message().find("read"), std::string::npos);
+  const Status write = disk.Write(page + 1, buf.data());
+  EXPECT_TRUE(write.IsOutOfRange());
+  EXPECT_NE(write.message().find("write"), std::string::npos);
+  EXPECT_TRUE(disk.Read(0xFFFFFFFF, buf.data()).IsOutOfRange());
+
+  // The failures left the disk usable.
+  EXPECT_TRUE(disk.Write(page, buf.data()).ok());
+}
+
+TEST(DiskBoundsTest, AllocateStopsAtCapacity) {
+  storage::SimulatedDisk disk(64);  // smallest pages: capacity is page count
+  for (uint32_t i = 0; i < storage::SimulatedDisk::kMaxPages; ++i) {
+    ASSERT_TRUE(disk.Allocate().ok());
+  }
+  const auto overflow = disk.Allocate();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsResourceExhausted());
+  EXPECT_EQ(disk.num_pages(), storage::SimulatedDisk::kMaxPages);
 }
 
 TEST(TeradataErrorTest, DeleteMissingKeyIsNoOp) {

@@ -49,8 +49,8 @@ TEST_F(HeapFileTest, TuplesPerPageMatchesPaperArithmetic) {
 TEST_F(HeapFileTest, FetchByRid) {
   const auto t0 = gammadb::testing::MiniTuple(7, 14);
   const auto t1 = gammadb::testing::MiniTuple(8, 16);
-  const Rid rid0 = file().Append(t0);
-  const Rid rid1 = file().Append(t1);
+  const Rid rid0 = file().Append(t0).value();
+  const Rid rid1 = file().Append(t1).value();
   EXPECT_EQ(*file().Fetch(rid0), t0);
   EXPECT_EQ(*file().Fetch(rid1), t1);
 }
@@ -62,7 +62,7 @@ TEST_F(HeapFileTest, FetchMissingRidFails) {
 }
 
 TEST_F(HeapFileTest, DeleteRemovesFromScan) {
-  const Rid rid0 = file().Append(gammadb::testing::MiniTuple(1, 2));
+  const Rid rid0 = file().Append(gammadb::testing::MiniTuple(1, 2)).value();
   file().Append(gammadb::testing::MiniTuple(3, 6));
   ASSERT_TRUE(file().Delete(rid0).ok());
   EXPECT_EQ(file().num_tuples(), 1u);
@@ -78,7 +78,7 @@ TEST_F(HeapFileTest, DeleteRemovesFromScan) {
 }
 
 TEST_F(HeapFileTest, UpdateInPlace) {
-  const Rid rid = file().Append(gammadb::testing::MiniTuple(1, 2));
+  const Rid rid = file().Append(gammadb::testing::MiniTuple(1, 2)).value();
   ASSERT_TRUE(file().Update(rid, gammadb::testing::MiniTuple(1, 99)).ok());
   const auto fetched = file().Fetch(rid);
   ASSERT_TRUE(fetched.ok());

@@ -151,11 +151,11 @@ TEST(BufferPoolEdgeTest, InvalidateKeepsPinnedFrames) {
   storage::StorageManager sm(4096, 64 * 1024);
   storage::BufferPool& pool = sm.pool();
   uint8_t* frame = nullptr;
-  const uint32_t pinned = pool.NewPage(&frame);
+  const uint32_t pinned = pool.NewPage(&frame).value();
   frame[0] = 0x77;
   pool.MarkDirty(pinned, storage::AccessIntent::kSequential);
   uint8_t* other_frame = nullptr;
-  const uint32_t unpinned = pool.NewPage(&other_frame);
+  const uint32_t unpinned = pool.NewPage(&other_frame).value();
   pool.Unpin(unpinned);
 
   pool.Invalidate();

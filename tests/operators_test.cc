@@ -38,7 +38,7 @@ class SelectTest : public ::testing::Test {
     file_id_ = sm_.CreateFile();
     // Load in key order so a clustered index is legitimate.
     for (int32_t id = 0; id < 2000; ++id) {
-      rids_.push_back(sm_.file(file_id_).Append(MiniTuple(id, id * 2)));
+      rids_.push_back(sm_.file(file_id_).Append(MiniTuple(id, id * 2)).value());
     }
     clustered_id_ = sm_.CreateIndex();
     std::vector<storage::BTree::Entry> entries;
@@ -78,7 +78,7 @@ TEST_F(SelectTest, FileScanMatchesPredicate) {
   const auto stats = SelectScan(
       sm_.file(file_id_), MiniSchema(), Predicate::Range(0, 100, 119),
       sm_.charge(),
-      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); }).value();
   EXPECT_EQ(stats.examined, 2000u);
   EXPECT_EQ(stats.emitted, 20u);
   EXPECT_EQ(out.size(), 20u);
@@ -89,7 +89,7 @@ TEST_F(SelectTest, ClusteredIndexSelectReadsOnlyRange) {
   const auto stats = ClusteredIndexSelect(
       sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
       Predicate::Range(0, 100, 119), sm_.charge(),
-      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); }).value();
   EXPECT_EQ(stats.emitted, 20u);
   // Only the page range holding keys 100..119 is examined, far fewer than
   // a full scan.
@@ -104,7 +104,7 @@ TEST_F(SelectTest, ClusteredIndexEmptyRange) {
   const auto stats = ClusteredIndexSelect(
       sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
       Predicate::Range(0, 5000, 6000), sm_.charge(),
-      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); }).value();
   EXPECT_EQ(stats.examined, 0u);
   EXPECT_EQ(stats.emitted, 0u);
 }
@@ -115,7 +115,7 @@ TEST_F(SelectTest, NonClusteredIndexSelect) {
       sm_.file(file_id_), sm_.index(nc_id_), MiniSchema(),
       Predicate::Range(1, 200, 238),  // val in [200,238] -> ids 100..119
       sm_.charge(),
-      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
+      [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); }).value();
   EXPECT_EQ(stats.emitted, 20u);
   EXPECT_EQ(stats.examined, 20u);  // exactly the qualifying tuples fetched
   const auto ids = Collect(stats, &out);

@@ -114,5 +114,32 @@ TEST_F(RecoveryLogMachine, UpdatesPayLoggingOverhead) {
             plain.RunModify(modify)->seconds());
 }
 
+TEST_F(RecoveryLogMachine, LogAccountingLandsInQueryMetrics) {
+  auto plain_ptr = MakeMachine(false);
+  auto logged_ptr = MakeMachine(true);
+  catalog::TupleBuilder builder(&wis::WisconsinSchema());
+  builder.SetInt(wis::kUnique1, 6000).SetInt(wis::kUnique2, 6000);
+  AppendQuery append{"A", {builder.bytes().begin(), builder.bytes().end()}};
+
+  const auto logged = logged_ptr->RunAppend(append);
+  ASSERT_TRUE(logged.ok());
+  EXPECT_EQ(logged->metrics.log_records, 1u);
+  EXPECT_GE(logged->metrics.log_forced_flushes, 1u);  // commit forces the tail
+
+  const auto plain = plain_ptr->RunAppend(append);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->metrics.log_records, 0u);
+  EXPECT_EQ(plain->metrics.log_forced_flushes, 0u);
+
+  // A stored selection logs one record per stored tuple.
+  SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 99);
+  const auto select = logged_ptr->RunSelect(query);
+  ASSERT_TRUE(select.ok());
+  EXPECT_EQ(select->metrics.log_records, select->result_tuples);
+  EXPECT_GE(select->metrics.log_forced_flushes, 1u);
+}
+
 }  // namespace
 }  // namespace gammadb::gamma

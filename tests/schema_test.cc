@@ -202,7 +202,7 @@ TEST(DeferredUpdateTest, CommitAppliesQueuedChanges) {
   deferred.Commit();
   EXPECT_EQ(deferred.pending(), 0u);
   EXPECT_EQ(tree.num_entries(), 1u);
-  EXPECT_EQ(tree.RangeLookup(20, 20).size(), 1u);
+  EXPECT_EQ(tree.RangeLookup(20, 20).value().size(), 1u);
 }
 
 TEST(DeferredUpdateTest, AbortDropsQueuedChanges) {
