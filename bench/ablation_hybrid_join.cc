@@ -40,7 +40,8 @@ Sample RunJoin(double memory_ratio, bool hybrid) {
   query.outer_attr = wis::kUnique2;
   query.inner_attr = wis::kUnique2;
   query.mode = gamma::JoinMode::kRemote;
-  query.use_hybrid = hybrid;
+  query.algorithm = hybrid ? gamma::JoinAlgorithm::kHybridHash
+                           : gamma::JoinAlgorithm::kSimpleHash;
   query.expected_build_tuples = kN / 10;
   const auto result = machine.RunJoin(query);
   GAMMA_CHECK(result.ok());

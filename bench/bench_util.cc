@@ -167,6 +167,44 @@ void FigureSeries::Print() const {
   std::printf("\n");
 }
 
+JsonReport::JsonReport(std::string name) : name_(std::move(name)) {}
+
+void JsonReport::Add(const std::string& label,
+                     const exec::QueryResult& result) {
+  const sim::NodeUsage totals = result.metrics.Totals();
+  entries_.push_back(Entry{
+      label, result.seconds(), totals.pages_read + totals.pages_written,
+      totals.packets_sent + totals.packets_short_circuited});
+}
+
+void JsonReport::Write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    // Labels are bench-internal ASCII; escape the JSON specials anyway.
+    std::string escaped;
+    for (const char c : e.label) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    std::fprintf(f,
+                 "  {\"query\": \"%s\", \"seconds\": %.6f, "
+                 "\"page_ios\": %llu, \"packets\": %llu}%s\n",
+                 escaped.c_str(), e.seconds,
+                 static_cast<unsigned long long>(e.page_ios),
+                 static_cast<unsigned long long>(e.packets),
+                 i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 std::vector<uint32_t> BenchSizes() {
   const char* env = std::getenv("GAMMA_BENCH_SIZES");
   if (env == nullptr || *env == '\0') {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/query_result.h"
 #include "gamma/machine.h"
 #include "teradata/machine.h"
 #include "wisconsin/wisconsin.h"
@@ -74,6 +75,33 @@ class FigureSeries {
   std::string x_label_;
   std::vector<std::string> series_names_;
   std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+/// Machine-readable companion to the printed tables: collects one record
+/// per query (label, simulated seconds, total page I/Os, total packets) and
+/// writes them as a JSON array to `BENCH_<name>.json` in the working
+/// directory, so sweeps over configurations can be diffed and plotted
+/// without scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+
+  /// Records one executed query's label and measured totals.
+  void Add(const std::string& label, const exec::QueryResult& result);
+
+  /// Writes BENCH_<name>.json (warns on stderr if the file can't be
+  /// written; benches still exit 0 on report I/O failure).
+  void Write() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    double seconds;
+    uint64_t page_ios;
+    uint64_t packets;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
 };
 
 /// Relation sizes to run, from the GAMMA_BENCH_SIZES environment variable

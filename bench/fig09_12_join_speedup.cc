@@ -20,7 +20,8 @@ namespace {
 namespace wis = gammadb::wisconsin;
 constexpr uint32_t kN = 100000;
 
-double RunJoin(int procs, gamma::JoinMode mode, int attr) {
+double RunJoin(int procs, gamma::JoinMode mode, int attr,
+               JsonReport& report) {
   gamma::GammaConfig config = PaperGammaConfig();
   config.num_disk_nodes = procs;
   config.num_diskless_nodes = procs;
@@ -38,6 +39,13 @@ double RunJoin(int procs, gamma::JoinMode mode, int attr) {
   GAMMA_CHECK(result.ok());
   GAMMA_CHECK(result->result_tuples == kN / 10);
   GAMMA_CHECK(result->metrics.overflow_rounds == 0);
+  const char* mode_name = mode == gamma::JoinMode::kLocal    ? "Local"
+                          : mode == gamma::JoinMode::kRemote ? "Remote"
+                                                             : "Allnodes";
+  report.Add("joinABprime/" + std::string(mode_name) + "/attr=" +
+                 (attr == wis::kUnique1 ? "unique1" : "unique2") +
+                 "/procs=" + std::to_string(procs),
+             *result);
   return result->seconds();
 }
 
@@ -67,6 +75,7 @@ int main() {
        gammadb::wisconsin::kUnique2},
   };
 
+  JsonReport report("fig09_12_join_speedup");
   for (const auto& variant : variants) {
     FigureSeries resp(variant.fig_resp, "processors",
                       {"Local", "Remote", "Allnodes"});
@@ -76,7 +85,7 @@ int main() {
     for (int procs = 1; procs <= 8; ++procs) {
       double response[3];
       for (int m = 0; m < 3; ++m) {
-        response[m] = RunJoin(procs, modes[m], variant.attr);
+        response[m] = RunJoin(procs, modes[m], variant.attr, report);
         if (procs == 2) base[m] = response[m];
       }
       resp.AddPoint(procs, {response[0], response[1], response[2]});
@@ -94,5 +103,6 @@ int main() {
       "Paper shapes: partitioning-attribute joins: Local < Allnodes < "
       "Remote; non-partitioning: Remote < Allnodes < Local (mirrored); "
       "near-linear speedups from the 2-processor reference.\n");
+  report.Write();
   return 0;
 }

@@ -50,7 +50,8 @@ const char* kRowNames[] = {
     "single tuple select",
 };
 
-double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n) {
+double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n,
+                   JsonReport& report) {
   using gamma::AccessPath;
   gamma::SelectQuery query;
   const int32_t pct1 = static_cast<int32_t>(n / 100) - 1;
@@ -100,11 +101,14 @@ double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n) {
                  result.status().ToString().c_str());
     return -1;
   }
+  report.Add("gamma/" + std::string(kRowNames[row]) + "/n=" +
+                 std::to_string(n),
+             *result);
   return result->seconds();
 }
 
 double RunTeradataRow(teradata::TeradataMachine& machine, int row,
-                      uint32_t n) {
+                      uint32_t n, JsonReport& report) {
   teradata::TdSelectQuery query;
   query.relation = IndexedName(n);
   const int32_t pct1 = static_cast<int32_t>(n / 100) - 1;
@@ -135,6 +139,9 @@ double RunTeradataRow(teradata::TeradataMachine& machine, int row,
                  result.status().ToString().c_str());
     return -1;
   }
+  report.Add("teradata/" + std::string(kRowNames[row]) + "/n=" +
+                 std::to_string(n),
+             *result);
   return result->seconds();
 }
 
@@ -144,6 +151,7 @@ double RunTeradataRow(teradata::TeradataMachine& machine, int row,
 int main() {
   using namespace gammadb::bench;
   std::printf("Reproduction of Table 1: Selection Queries\n");
+  JsonReport report("table1_selection");
   for (const uint32_t n : BenchSizes()) {
     gammadb::gamma::GammaMachine gamma_machine(PaperGammaConfig());
     LoadGammaDatabase(gamma_machine, n, /*with_indices=*/true,
@@ -159,11 +167,12 @@ int main() {
       const auto paper_it = kPaper.find({row, n});
       const PaperCell paper =
           paper_it != kPaper.end() ? paper_it->second : PaperCell{-1, -1};
-      const double td = RunTeradataRow(td_machine, row, n);
-      const double gm = RunGammaRow(gamma_machine, row, n);
+      const double td = RunTeradataRow(td_machine, row, n, report);
+      const double gm = RunGammaRow(gamma_machine, row, n, report);
       table.AddRow(kRowNames[row], {paper.teradata, td, paper.gamma, gm});
     }
     table.Print();
   }
+  report.Write();
   return 0;
 }

@@ -49,7 +49,8 @@ const char* kRowNames[] = {
 };
 
 /// Gamma rows. `attr` is unique2 (non-key rows) or unique1 (key rows).
-double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n) {
+double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n,
+                   JsonReport& report) {
   const int attr = row < 3 ? wis::kUnique2 : wis::kUnique1;
   const int32_t tenth = static_cast<int32_t>(n / 10) - 1;
   const int variant = row % 3;
@@ -86,7 +87,12 @@ double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n) {
                  first.status().ToString().c_str());
     return -1;
   }
-  if (variant != 2) return first->seconds();
+  if (variant != 2) {
+    report.Add("gamma/" + std::string(kRowNames[row]) + "/n=" +
+                   std::to_string(n),
+               *first);
+    return first->seconds();
+  }
 
   // Second join: the intermediate (schema B ++ A; B's attributes first)
   // with C. C is the smaller relation and builds.
@@ -103,6 +109,12 @@ double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n) {
                  final_join.status().ToString().c_str());
     return -1;
   }
+  report.Add("gamma/" + std::string(kRowNames[row]) + "/join1/n=" +
+                 std::to_string(n),
+             *first);
+  report.Add("gamma/" + std::string(kRowNames[row]) + "/join2/n=" +
+                 std::to_string(n),
+             *final_join);
   return first->seconds() + final_join->seconds();
 }
 
@@ -163,6 +175,7 @@ int main() {
   using namespace gammadb::bench;
   std::printf("Reproduction of Table 2: Join Queries\n");
   std::printf("(Gamma: Remote mode, 4.8 MB aggregate hash-table memory)\n");
+  JsonReport report("table2_join");
   for (const uint32_t n : BenchSizes()) {
     gammadb::gamma::GammaConfig config = PaperGammaConfig();
     config.join_memory_total = 4800 * 1024;  // §6.1: 4.8 MB total
@@ -181,10 +194,11 @@ int main() {
       const PaperCell paper =
           paper_it != kPaper.end() ? paper_it->second : PaperCell{-1, -1};
       const double td = RunTeradataRow(td_machine, row, n);
-      const double gm = RunGammaRow(gamma_machine, row, n);
+      const double gm = RunGammaRow(gamma_machine, row, n, report);
       table.AddRow(kRowNames[row], {paper.teradata, td, paper.gamma, gm});
     }
     table.Print();
   }
+  report.Write();
   return 0;
 }

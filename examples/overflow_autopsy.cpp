@@ -47,7 +47,8 @@ gammadb::gamma::QueryResult RunWithMemory(double memory_ratio, bool hybrid) {
   query.outer_attr = wis::kUnique2;
   query.inner_attr = wis::kUnique2;
   query.mode = gammadb::gamma::JoinMode::kRemote;
-  query.use_hybrid = hybrid;
+  query.algorithm = hybrid ? gammadb::gamma::JoinAlgorithm::kHybridHash
+                           : gammadb::gamma::JoinAlgorithm::kSimpleHash;
   query.expected_build_tuples = kN / 10;
   auto result = machine.RunJoin(query);
   GAMMA_CHECK(result.ok());

@@ -1,5 +1,7 @@
 #include "exec/predicate.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace gammadb::exec {
@@ -18,9 +20,52 @@ Predicate Predicate::Range(int attr, int32_t lo, int32_t hi) {
   return Predicate(Kind::kRange, attr, lo, hi);
 }
 
+Predicate Predicate::And(std::vector<Predicate> terms) {
+  // Flatten nested conjunctions and drop always-true terms.
+  std::vector<Predicate> flat;
+  for (Predicate& term : terms) {
+    if (term.is_true()) continue;
+    if (term.is_and()) {
+      for (Predicate& sub : term.terms_) flat.push_back(std::move(sub));
+    } else {
+      flat.push_back(std::move(term));
+    }
+  }
+  // Intersect terms over the same attribute. A contradictory pair leaves
+  // an empty window (lo > hi), which Eval rejects and RangeLookup returns
+  // no entries for.
+  std::vector<Predicate> merged;
+  for (Predicate& term : flat) {
+    bool absorbed = false;
+    for (Predicate& existing : merged) {
+      if (existing.attr_ == term.attr_) {
+        const int32_t lo = std::max(existing.lo_, term.lo_);
+        const int32_t hi = std::min(existing.hi_, term.hi_);
+        existing = Predicate(lo == hi ? Kind::kEq : Kind::kRange,
+                             existing.attr_, lo, hi);
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) merged.push_back(std::move(term));
+  }
+  if (merged.empty()) return True();
+  if (merged.size() == 1) return merged[0];
+  Predicate result(Kind::kAnd, -1, std::numeric_limits<int32_t>::min(),
+                   std::numeric_limits<int32_t>::max());
+  result.terms_ = std::move(merged);
+  return result;
+}
+
 bool Predicate::Eval(std::span<const uint8_t> tuple,
                      const catalog::Schema& schema) const {
   if (kind_ == Kind::kTrue) return true;
+  if (kind_ == Kind::kAnd) {
+    for (const Predicate& term : terms_) {
+      if (!term.Eval(tuple, schema)) return false;
+    }
+    return true;
+  }
   const catalog::TupleView view(&schema, tuple);
   const int32_t value = view.GetInt(static_cast<size_t>(attr_));
   if (kind_ == Kind::kEq) return value == lo_;
@@ -35,8 +80,31 @@ double Predicate::compare_count() const {
       return 1;
     case Kind::kRange:
       return 2;
+    case Kind::kAnd: {
+      double total = 0;
+      for (const Predicate& term : terms_) total += term.compare_count();
+      return total;
+    }
   }
   return 0;
+}
+
+std::optional<std::pair<int32_t, int32_t>> Predicate::BoundsOn(
+    int attr) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return std::nullopt;
+    case Kind::kEq:
+    case Kind::kRange:
+      if (attr_ == attr) return std::make_pair(lo_, hi_);
+      return std::nullopt;
+    case Kind::kAnd:
+      for (const Predicate& term : terms_) {
+        if (term.attr_ == attr) return std::make_pair(term.lo_, term.hi_);
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 }  // namespace gammadb::exec

@@ -3,19 +3,23 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "catalog/schema.h"
 
 namespace gammadb::exec {
 
-/// \brief Selection predicate over one integer attribute.
+/// \brief Selection predicate over integer attributes.
 ///
 /// Gamma compiled predicates to machine code; the cost model charges
 /// `compare_count()` attribute comparisons per evaluation, which is the
 /// compiled-code cost the paper's numbers reflect. The supported forms
-/// (true / equality / inclusive range) cover every Wisconsin benchmark
-/// query in the paper.
+/// (true / equality / inclusive range / conjunction of those) cover every
+/// Wisconsin benchmark query in the paper plus arbitrary and-combined
+/// QUEL where-clauses.
 class Predicate {
  public:
   /// Matches everything (0% rejection; used by 100% selections and stores).
@@ -23,22 +27,42 @@ class Predicate {
   static Predicate Eq(int attr, int32_t value);
   /// Inclusive range lo <= attr <= hi.
   static Predicate Range(int attr, int32_t lo, int32_t hi);
+  /// Conjunction of `terms`. Nested conjunctions are flattened and terms
+  /// over the same attribute are intersected, so the result is in one of
+  /// three normal forms: True (no constraints), a single eq/range term, or
+  /// a conjunction of single-attribute terms over distinct attributes. A
+  /// contradiction (e.g. `a = 1 and a = 2`) yields a predicate whose Eval
+  /// is always false.
+  static Predicate And(std::vector<Predicate> terms);
 
   bool Eval(std::span<const uint8_t> tuple,
             const catalog::Schema& schema) const;
 
-  /// Attribute comparisons per evaluation (CPU charging).
+  /// Attribute comparisons per evaluation (CPU charging). For a
+  /// conjunction this is the sum over its terms: the compiled predicate
+  /// short-circuits in practice, but charging the full conjunction keeps
+  /// the model conservative and deterministic.
   double compare_count() const;
+
+  /// The [lo, hi] window this predicate imposes on `attr`, if any. For a
+  /// conjunction, the window of the term constraining `attr`. Returns
+  /// nullopt when `attr` is unconstrained. An empty window (lo > hi, from
+  /// a contradictory conjunction) is returned as-is; BTree::RangeLookup
+  /// treats it as an empty result set.
+  std::optional<std::pair<int32_t, int32_t>> BoundsOn(int attr) const;
 
   bool is_true() const { return kind_ == Kind::kTrue; }
   bool is_range() const { return kind_ == Kind::kRange; }
   bool is_eq() const { return kind_ == Kind::kEq; }
+  bool is_and() const { return kind_ == Kind::kAnd; }
   int attr() const { return attr_; }
   int32_t lo() const { return lo_; }
   int32_t hi() const { return hi_; }
+  /// Conjunction terms (empty unless is_and()).
+  const std::vector<Predicate>& terms() const { return terms_; }
 
  private:
-  enum class Kind { kTrue, kEq, kRange };
+  enum class Kind { kTrue, kEq, kRange, kAnd };
 
   Predicate(Kind kind, int attr, int32_t lo, int32_t hi)
       : kind_(kind), attr_(attr), lo_(lo), hi_(hi) {}
@@ -47,6 +71,7 @@ class Predicate {
   int attr_;
   int32_t lo_;
   int32_t hi_;
+  std::vector<Predicate> terms_;
 };
 
 }  // namespace gammadb::exec

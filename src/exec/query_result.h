@@ -19,6 +19,9 @@ struct QueryResult {
   uint32_t failover_retries = 0;
   /// Name of the stored result relation (empty if returned to host).
   std::string result_relation;
+  /// Rendered plan tree with estimated and actual costs; filled only when
+  /// the statement carried an `explain` prefix (quel front end).
+  std::string explain;
   /// Tuples returned to the host (host-bound queries only).
   std::vector<std::vector<uint8_t>> returned;
 

@@ -40,17 +40,20 @@ Result<ScanStats> SelectScan(const storage::HeapFile& file,
 
 Result<ScanStats> ClusteredIndexSelect(const storage::HeapFile& file,
                                        const storage::BTree& index,
+                                       int key_attr,
                                        const catalog::Schema& schema,
                                        const Predicate& pred,
                                        const storage::ChargeContext& charge,
                                        const TupleSink& emit) {
-  GAMMA_CHECK_MSG(!pred.is_true(),
-                  "index selection requires a keyed predicate");
+  const auto bounds = pred.BoundsOn(key_attr);
+  GAMMA_CHECK_MSG(bounds.has_value(),
+                  "index selection requires a predicate on the key attr");
   ScanStats stats;
   // The leaf walk yields qualifying rids in key order; because the file is
   // sorted on the key, they span a contiguous page range.
   std::vector<storage::Rid> rids;
-  GAMMA_ASSIGN_OR_RETURN(rids, index.RangeLookup(pred.lo(), pred.hi()));
+  GAMMA_ASSIGN_OR_RETURN(rids,
+                         index.RangeLookup(bounds->first, bounds->second));
   if (rids.empty()) return stats;
   uint32_t first_page = rids.front().page_index;
   uint32_t last_page = rids.front().page_index;
@@ -74,15 +77,18 @@ Result<ScanStats> ClusteredIndexSelect(const storage::HeapFile& file,
 
 Result<ScanStats> NonClusteredIndexSelect(const storage::HeapFile& file,
                                           const storage::BTree& index,
+                                          int key_attr,
                                           const catalog::Schema& schema,
                                           const Predicate& pred,
                                           const storage::ChargeContext& charge,
                                           const TupleSink& emit) {
-  GAMMA_CHECK_MSG(!pred.is_true(),
-                  "index selection requires a keyed predicate");
+  const auto bounds = pred.BoundsOn(key_attr);
+  GAMMA_CHECK_MSG(bounds.has_value(),
+                  "index selection requires a predicate on the key attr");
   ScanStats stats;
   std::vector<storage::Rid> rids;
-  GAMMA_ASSIGN_OR_RETURN(rids, index.RangeLookup(pred.lo(), pred.hi()));
+  GAMMA_ASSIGN_OR_RETURN(rids,
+                         index.RangeLookup(bounds->first, bounds->second));
   for (const storage::Rid& rid : rids) {
     auto tuple = file.Fetch(rid, storage::AccessIntent::kRandom);
     if (tuple.status().IsNotFound()) {

@@ -32,21 +32,26 @@ Result<ScanStats> SelectScan(const storage::HeapFile& file,
                              const storage::ChargeContext& charge,
                              const TupleSink& emit);
 
-/// Selection through a clustered index: the file is sorted on the predicate
-/// attribute, so after the B-tree descent only the page range holding the
-/// matching key range is scanned (sequentially).
+/// Selection through a clustered index on `key_attr`: the file is sorted on
+/// that attribute, so after the B-tree descent only the page range holding
+/// the matching key range is scanned (sequentially). The predicate must
+/// constrain `key_attr` (its BoundsOn window drives the descent); any other
+/// conjunction terms are evaluated as residual filters on fetched tuples.
 Result<ScanStats> ClusteredIndexSelect(const storage::HeapFile& file,
                                        const storage::BTree& index,
+                                       int key_attr,
                                        const catalog::Schema& schema,
                                        const Predicate& pred,
                                        const storage::ChargeContext& charge,
                                        const TupleSink& emit);
 
-/// Selection through a non-clustered index: the leaf entries give the
-/// qualifying rids in key order, but each fetch is a random data-page access
-/// (in the worst case one page fault per tuple — paper §5.1).
+/// Selection through a non-clustered index on `key_attr`: the leaf entries
+/// give the qualifying rids in key order, but each fetch is a random
+/// data-page access (in the worst case one page fault per tuple — paper
+/// §5.1). Residual conjunction terms are evaluated on fetched tuples.
 Result<ScanStats> NonClusteredIndexSelect(const storage::HeapFile& file,
                                           const storage::BTree& index,
+                                          int key_attr,
                                           const catalog::Schema& schema,
                                           const Predicate& pred,
                                           const storage::ChargeContext& charge,

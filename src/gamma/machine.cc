@@ -5,12 +5,16 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/macros.h"
 #include "exec/hash_join.h"
 #include "exec/hybrid_join.h"
+#include "exec/merge_join.h"
 #include "exec/select.h"
+#include "exec/sort.h"
 #include "exec/split_table.h"
 #include "exec/store.h"
 #include "storage/deferred_update.h"
@@ -39,6 +43,48 @@ constexpr double kNonClusteredIndexThreshold = 0.05;
 /// Ceiling on overflow rounds; reaching it means the residency escalation
 /// could not shrink the build input (impossible without extreme skew).
 constexpr int kMaxOverflowRounds = 64;
+
+/// One sort-merge join site: arriving build/probe tuples are spooled to
+/// temporary files, sorted on the join attribute once both streams close,
+/// and merge-joined (the Teradata-style alternative of §8's comparison).
+class MergeJoinSite {
+ public:
+  MergeJoinSite(int node, storage::StorageManager* sm) : node_(node), sm_(sm) {
+    build_spool_ = sm_->CreateFile();
+    probe_spool_ = sm_->CreateFile();
+  }
+  MergeJoinSite(const MergeJoinSite&) = delete;
+  MergeJoinSite& operator=(const MergeJoinSite&) = delete;
+  ~MergeJoinSite() {
+    sm_->DropFile(build_spool_);
+    sm_->DropFile(probe_spool_);
+  }
+
+  int node() const { return node_; }
+  storage::StorageManager& sm() { return *sm_; }
+  storage::FileId build_spool() const { return build_spool_; }
+  storage::FileId probe_spool() const { return probe_spool_; }
+  const Status& status() const { return status_; }
+
+  void AddBuildTuple(std::span<const uint8_t> t) { Spool(build_spool_, t); }
+  void AddProbeTuple(std::span<const uint8_t> t) { Spool(probe_spool_, t); }
+
+ private:
+  void Spool(storage::FileId file, std::span<const uint8_t> t) {
+    if (!status_.ok()) return;
+    if (sm_->charge().tracker != nullptr) {
+      sm_->charge().Cpu(sm_->charge().tracker->hw().cost.instr_per_tuple_copy);
+    }
+    const auto rid = sm_->file(file).Append(t);
+    if (!rid.ok()) status_ = rid.status();
+  }
+
+  int node_;
+  storage::StorageManager* sm_;
+  storage::FileId build_spool_;
+  storage::FileId probe_spool_;
+  Status status_;
+};
 
 }  // namespace
 
@@ -114,6 +160,7 @@ void GammaMachine::AbortQuery(uint64_t txn,
       }
     }
     catalog_.Drop(partial_result);
+    stats_.Drop(partial_result);
   }
   BindAll(nullptr);
 }
@@ -230,6 +277,7 @@ Status GammaMachine::LoadTuples(
     return failed;
   }
   meta->num_tuples += tuples.size();
+  stats_.OnLoad(name, meta->schema, tuples, meta->partitioning);
   return Status::OK();
 }
 
@@ -313,6 +361,7 @@ Status GammaMachine::BuildIndex(const std::string& name, int attr,
   }
 
   meta->indices.push_back(std::move(index));
+  stats_.OnIndexBuilt(name, attr, clustered);
   for (auto& node : nodes_) node->pool().Invalidate();
   return Status::OK();
 }
@@ -320,31 +369,44 @@ Status GammaMachine::BuildIndex(const std::string& name, int attr,
 GammaMachine::AccessDecision GammaMachine::ChooseAccessPath(
     const RelationMeta& meta, const SelectQuery& query) const {
   const Predicate& pred = query.predicate;
-  const IndexMeta* index =
-      pred.is_true() ? nullptr : meta.FindIndex(pred.attr());
+  // Indexes usable by this (possibly compound) predicate: those whose key
+  // attribute it constrains. The remaining conjunction terms run as residual
+  // filters inside the index select.
+  const IndexMeta* clustered = nullptr;
+  const IndexMeta* non_clustered = nullptr;
+  for (const IndexMeta& index : meta.indices) {
+    if (!pred.BoundsOn(index.attr).has_value()) continue;
+    if (index.clustered) {
+      if (clustered == nullptr) clustered = &index;
+    } else if (non_clustered == nullptr) {
+      non_clustered = &index;
+    }
+  }
 
   switch (query.access) {
     case AccessPath::kFileScan:
       return {AccessPath::kFileScan, nullptr};
     case AccessPath::kClusteredIndex:
-      GAMMA_CHECK_MSG(index != nullptr && index->clustered,
-                      "no clustered index on the predicate attribute");
-      return {AccessPath::kClusteredIndex, index};
+      GAMMA_CHECK_MSG(clustered != nullptr,
+                      "no clustered index on a predicate attribute");
+      return {AccessPath::kClusteredIndex, clustered};
     case AccessPath::kNonClusteredIndex:
-      GAMMA_CHECK_MSG(index != nullptr && !index->clustered,
-                      "no non-clustered index on the predicate attribute");
-      return {AccessPath::kNonClusteredIndex, index};
+      GAMMA_CHECK_MSG(non_clustered != nullptr,
+                      "no non-clustered index on a predicate attribute");
+      return {AccessPath::kNonClusteredIndex, non_clustered};
     case AccessPath::kAuto:
       break;
   }
-  if (index == nullptr) return {AccessPath::kFileScan, nullptr};
-  if (index->clustered) return {AccessPath::kClusteredIndex, index};
+  if (clustered != nullptr) return {AccessPath::kClusteredIndex, clustered};
+  if (non_clustered == nullptr) return {AccessPath::kFileScan, nullptr};
   // Non-clustered: worthwhile only for low selectivity (§5.1).
-  const double span = static_cast<double>(pred.hi()) - pred.lo() + 1;
+  const auto bounds = *pred.BoundsOn(non_clustered->attr);
+  const double span =
+      static_cast<double>(bounds.second) - bounds.first + 1;
   const double selectivity =
       span / std::max<double>(1.0, static_cast<double>(meta.num_tuples));
   if (selectivity <= kNonClusteredIndexThreshold) {
-    return {AccessPath::kNonClusteredIndex, index};
+    return {AccessPath::kNonClusteredIndex, non_clustered};
   }
   return {AccessPath::kFileScan, nullptr};
 }
@@ -370,15 +432,17 @@ RelationMeta* GammaMachine::MakeResultRelation(
 
 std::vector<int> GammaMachine::ParticipatingNodes(
     const RelationMeta& meta, const Predicate& pred) const {
-  const bool keyed =
-      !pred.is_true() &&
-      meta.partitioning.strategy != PartitionStrategy::kRoundRobin &&
-      meta.partitioning.key_attr == pred.attr();
-  if (keyed) {
+  // The window the (possibly compound) predicate imposes on the
+  // partitioning attribute, if any.
+  std::optional<std::pair<int32_t, int32_t>> window;
+  if (meta.partitioning.strategy != PartitionStrategy::kRoundRobin) {
+    window = pred.BoundsOn(meta.partitioning.key_attr);
+  }
+  if (window.has_value() && window->first <= window->second) {
     const catalog::Partitioner partitioner(&meta.partitioning, &meta.schema,
                                            config_.num_disk_nodes);
-    if (pred.is_eq()) {
-      const int home = partitioner.NodeForKey(pred.lo());
+    if (window->first == window->second) {
+      const int home = partitioner.NodeForKey(window->first);
       if (home >= 0) return {home};
     } else if (meta.partitioning.strategy == PartitionStrategy::kRangeUser ||
                meta.partitioning.strategy ==
@@ -387,8 +451,8 @@ std::vector<int> GammaMachine::ParticipatingNodes(
       // key ranges intersect [lo, hi] get a select operator (§2: "the
       // optimizer is able to determine the best way of assigning these
       // operators to processors").
-      const int first = partitioner.NodeForKey(pred.lo());
-      const int last = partitioner.NodeForKey(pred.hi());
+      const int first = partitioner.NodeForKey(window->first);
+      const int last = partitioner.NodeForKey(window->second);
       if (first >= 0 && last >= first) {
         std::vector<int> sites;
         for (int i = first; i <= last; ++i) sites.push_back(i);
@@ -516,7 +580,8 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
                 fragment,
                 sm.index(decision.index
                              ->per_node_index[static_cast<size_t>(src.node)]),
-                meta->schema, query.predicate, sm.charge(), emit)
+                decision.index->attr, meta->schema, query.predicate,
+                sm.charge(), emit)
                 .status());
         break;
       case AccessPath::kNonClusteredIndex:
@@ -525,7 +590,8 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
                 fragment,
                 sm.index(decision.index
                              ->per_node_index[static_cast<size_t>(src.node)]),
-                meta->schema, query.predicate, sm.charge(), emit)
+                decision.index->attr, meta->schema, query.predicate,
+                sm.charge(), emit)
                 .status());
         break;
       case AccessPath::kAuto:
@@ -551,6 +617,8 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
     for (const auto& store : stores) stored += store->stored();
     result.result_tuples = stored;
     result_meta->num_tuples = stored;
+    stats_.SetResultCardinality(result_meta->name, result_meta->schema,
+                                static_cast<double>(stored));
   } else {
     result.result_tuples = result.returned.size();
   }
@@ -686,29 +754,39 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
         });
   }
 
-  // Join sites: Simple (Gamma's algorithm) or Hybrid (the §8 replacement).
+  // Join sites: Simple (Gamma's algorithm), Hybrid (the §8 replacement), or
+  // sort-merge (the Teradata-style alternative).
   const uint64_t expected_build =
       query.expected_build_tuples != 0 ? query.expected_build_tuples
                                        : inner->num_tuples;
   std::vector<std::unique_ptr<exec::HashJoinSite>> simple_sites;
   std::vector<std::unique_ptr<exec::HybridHashJoinSite>> hybrid_sites;
+  std::vector<std::unique_ptr<MergeJoinSite>> merge_sites;
   const uint64_t seed0 = next_salt_++;
   for (size_t j = 0; j < nsites; ++j) {
     storage::StorageManager& sm = *nodes_[static_cast<size_t>(join_nodes[j])];
-    if (query.use_hybrid) {
-      const uint64_t expected_bytes =
-          (expected_build * (inner->schema.tuple_size() +
-                             exec::JoinHashTable::kPerEntryOverhead)) /
-          nsites;
-      hybrid_sites.push_back(std::make_unique<exec::HybridHashJoinSite>(
-          join_nodes[j], &sm, &inner->schema, &outer->schema,
-          query.inner_attr, query.outer_attr, site_capacity, expected_bytes,
-          seed0 ^ 0xA5A5));
-    } else {
-      simple_sites.push_back(std::make_unique<exec::HashJoinSite>(
-          join_nodes[j], &sm, &inner->schema, &outer->schema,
-          query.inner_attr, query.outer_attr, site_capacity));
-      simple_sites.back()->BeginRound(seed0);
+    switch (query.algorithm) {
+      case JoinAlgorithm::kHybridHash: {
+        const uint64_t expected_bytes =
+            (expected_build * (inner->schema.tuple_size() +
+                               exec::JoinHashTable::kPerEntryOverhead)) /
+            nsites;
+        hybrid_sites.push_back(std::make_unique<exec::HybridHashJoinSite>(
+            join_nodes[j], &sm, &inner->schema, &outer->schema,
+            query.inner_attr, query.outer_attr, site_capacity, expected_bytes,
+            seed0 ^ 0xA5A5));
+        break;
+      }
+      case JoinAlgorithm::kSimpleHash:
+        simple_sites.push_back(std::make_unique<exec::HashJoinSite>(
+            join_nodes[j], &sm, &inner->schema, &outer->schema,
+            query.inner_attr, query.outer_attr, site_capacity));
+        simple_sites.back()->BeginRound(seed0);
+        break;
+      case JoinAlgorithm::kSortMerge:
+        merge_sites.push_back(
+            std::make_unique<MergeJoinSite>(join_nodes[j], &sm));
+        break;
     }
   }
 
@@ -736,19 +814,31 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
 
   auto build_deliver = [&](size_t j) {
     return [&, j](std::span<const uint8_t> t) {
-      if (query.use_hybrid) {
-        hybrid_sites[j]->AddBuildTuple(t);
-      } else {
-        simple_sites[j]->AddBuildTuple(t);
+      switch (query.algorithm) {
+        case JoinAlgorithm::kHybridHash:
+          hybrid_sites[j]->AddBuildTuple(t);
+          break;
+        case JoinAlgorithm::kSimpleHash:
+          simple_sites[j]->AddBuildTuple(t);
+          break;
+        case JoinAlgorithm::kSortMerge:
+          merge_sites[j]->AddBuildTuple(t);
+          break;
       }
     };
   };
   auto probe_deliver = [&](size_t j) {
     return [&, j](std::span<const uint8_t> t) {
-      if (query.use_hybrid) {
-        hybrid_sites[j]->AddProbeTuple(t, result_sinks[j]);
-      } else {
-        simple_sites[j]->AddProbeTuple(t, result_sinks[j]);
+      switch (query.algorithm) {
+        case JoinAlgorithm::kHybridHash:
+          hybrid_sites[j]->AddProbeTuple(t, result_sinks[j]);
+          break;
+        case JoinAlgorithm::kSimpleHash:
+          simple_sites[j]->AddProbeTuple(t, result_sinks[j]);
+          break;
+        case JoinAlgorithm::kSortMerge:
+          merge_sites[j]->AddProbeTuple(t);
+          break;
       }
     };
   };
@@ -758,6 +848,9 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
       GAMMA_RETURN_NOT_OK(site->status());
     }
     for (const auto& site : hybrid_sites) {
+      GAMMA_RETURN_NOT_OK(site->status());
+    }
+    for (const auto& site : merge_sites) {
       GAMMA_RETURN_NOT_OK(site->status());
     }
     for (const auto& store : stores) {
@@ -831,12 +924,36 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
 
-  if (query.use_hybrid) {
+  if (query.algorithm == JoinAlgorithm::kHybridHash) {
     // Hybrid: spooled buckets are joined locally, one extra read each.
     tracker.BeginPhase("hybrid_buckets", sim::PhaseKind::kPipelined);
     for (size_t j = 0; j < nsites; ++j) {
       GAMMA_RETURN_NOT_OK(
           hybrid_sites[j]->FinishSpooledBuckets(result_sinks[j]));
+    }
+    GAMMA_RETURN_NOT_OK(check_sites());
+    GAMMA_RETURN_NOT_OK(FlushAllPools());
+    tracker.EndPhase();
+  } else if (query.algorithm == JoinAlgorithm::kSortMerge) {
+    // Sort-merge: each site sorts its spooled partitions on the join
+    // attribute and merges them; memory bounds the run size, never the
+    // join, so there are no overflow rounds.
+    tracker.BeginPhase("sort_merge", sim::PhaseKind::kPipelined);
+    for (size_t j = 0; j < nsites; ++j) {
+      MergeJoinSite& site = *merge_sites[j];
+      storage::StorageManager& sm = site.sm();
+      const storage::FileId sorted_build = exec::ExternalSort(
+          sm, site.build_spool(), inner->schema, query.inner_attr,
+          site_capacity);
+      const storage::FileId sorted_probe = exec::ExternalSort(
+          sm, site.probe_spool(), outer->schema, query.outer_attr,
+          site_capacity);
+      exec::SortMergeJoin(sm.file(sorted_build), inner->schema,
+                          query.inner_attr, sm.file(sorted_probe),
+                          outer->schema, query.outer_attr, sm.charge(),
+                          result_sinks[j]);
+      sm.DropFile(sorted_build);
+      sm.DropFile(sorted_probe);
     }
     GAMMA_RETURN_NOT_OK(check_sites());
     GAMMA_RETURN_NOT_OK(FlushAllPools());
@@ -942,12 +1059,15 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
     for (const auto& store : stores) stored += store->stored();
     result.result_tuples = stored;
     result_meta->num_tuples = stored;
+    stats_.SetResultCardinality(result_meta->name, result_meta->schema,
+                                static_cast<double>(stored));
   } else {
     result.result_tuples = result.returned.size();
   }
   // Site teardown drops the spool files before the tracker unbinds.
   simple_sites.clear();
   hybrid_sites.clear();
+  merge_sites.clear();
   guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();

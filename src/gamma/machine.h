@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/units.h"
 #include "gamma/query.h"
+#include "opt/statistics.h"
 #include "sim/fault_injector.h"
 #include "sim/hardware.h"
 #include "storage/storage_manager.h"
@@ -85,6 +86,10 @@ class GammaMachine {
 
   const GammaConfig& config() const { return config_; }
   catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  /// Catalog statistics maintained by load / append / delete / modify (read
+  /// by the cost-based planner).
+  const opt::StatisticsCatalog& stats() const { return stats_; }
   storage::StorageManager& node(int i) { return *nodes_.at(static_cast<size_t>(i)); }
 
   // --- Fault control (test / bench hooks) ---
@@ -137,6 +142,11 @@ class GammaMachine {
 
   /// Tuple count summed over fragments.
   Result<uint64_t> CountTuples(const std::string& name);
+
+  /// Rebuilds the relation's catalog statistics from a fresh (uncharged)
+  /// scan of the serving fragment copies — e.g. after a failover rebuild,
+  /// when incremental maintenance has drifted.
+  Status RecomputeStatistics(const std::string& name);
 
  private:
   struct AccessDecision {
@@ -239,6 +249,7 @@ class GammaMachine {
   GammaConfig config_;
   std::unique_ptr<sim::FaultInjector> faults_;
   catalog::Catalog catalog_;
+  opt::StatisticsCatalog stats_;
   std::vector<std::unique_ptr<storage::StorageManager>> nodes_;
   uint64_t next_result_id_ = 1;
   uint64_t next_txn_id_ = 1;

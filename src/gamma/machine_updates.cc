@@ -208,6 +208,7 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
 
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
   meta->num_tuples += 1;
+  stats_.OnAppend(query.relation, meta->schema, query.tuple);
   QueryResult result;
   result.result_tuples = 1;
   guard.Dismiss();
@@ -307,6 +308,7 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
 
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
   meta->num_tuples -= deleted;
+  stats_.OnDelete(query.relation, deleted);
   QueryResult result;
   result.result_tuples = deleted;
   guard.Dismiss();
@@ -505,6 +507,10 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
   tracker.EndPhase();
 
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  if (modified > 0) {
+    stats_.OnModify(query.relation, meta->schema, query.target_attr,
+                    query.new_value);
+  }
   QueryResult result;
   result.result_tuples = modified;
   guard.Dismiss();
@@ -536,6 +542,13 @@ Result<std::vector<std::vector<uint8_t>>> GammaMachine::ReadRelation(
             }));
   }
   return out;
+}
+
+Status GammaMachine::RecomputeStatistics(const std::string& name) {
+  GAMMA_ASSIGN_OR_RETURN(const RelationMeta* meta, catalog_.Get(name));
+  GAMMA_ASSIGN_OR_RETURN(const auto tuples, ReadRelation(name));
+  stats_.Recompute(name, meta->schema, tuples);
+  return Status::OK();
 }
 
 Result<uint64_t> GammaMachine::CountTuples(const std::string& name) {

@@ -26,6 +26,21 @@ enum class AccessPath {
 /// diskless processors, or on both.
 enum class JoinMode { kLocal, kRemote, kAllnodes };
 
+/// Which join algorithm the join sites run.
+enum class JoinAlgorithm {
+  /// Gamma's Simple hash-partitioned join: build then probe, with
+  /// residency-escalation overflow rounds when the building side exceeds
+  /// the sites' aggregate memory.
+  kSimpleHash,
+  /// Parallel Hybrid hash join (the paper's proposed replacement, §8):
+  /// non-resident buckets are spooled once and joined without re-splitting.
+  kHybridHash,
+  /// Sort-merge: each site spools both inputs, externally sorts them on the
+  /// join attribute and merges (the Teradata-style algorithm the paper
+  /// compares against).
+  kSortMerge,
+};
+
 /// \brief Selection: retrieve tuples of `relation` satisfying `predicate`.
 struct SelectQuery {
   std::string relation;
@@ -53,9 +68,8 @@ struct JoinQuery {
   /// Optimizer's estimate of building tuples reaching the join (sizes the
   /// Hybrid join's buckets); 0 = use the inner relation's cardinality.
   uint64_t expected_build_tuples = 0;
-  /// Use the parallel Hybrid hash join instead of Gamma's Simple
-  /// hash-partitioned algorithm (the paper's proposed replacement, §8).
-  bool use_hybrid = false;
+  /// Join algorithm run by the join sites.
+  JoinAlgorithm algorithm = JoinAlgorithm::kSimpleHash;
   /// Insert a bit-vector filter built from the inner relation into the
   /// outer side's split tables (§2).
   bool use_bit_filter = false;

@@ -1,0 +1,122 @@
+#ifndef GAMMA_OPT_COST_MODEL_H_
+#define GAMMA_OPT_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/units.h"
+#include "exec/predicate.h"
+#include "gamma/query.h"
+#include "opt/statistics.h"
+#include "sim/hardware.h"
+
+namespace gammadb::opt {
+
+/// The machine parameters the cost model needs: a plain-data subset of
+/// GammaConfig, so the optimizer can be built and tested without a machine.
+struct MachineShape {
+  int num_disk_nodes = 8;
+  int num_diskless_nodes = 8;
+  uint32_t page_size = 4096;
+  uint64_t buffer_pool_bytes = 64 * kKiB;
+  uint64_t join_memory_total = 8 * kMiB;
+  double host_setup_sec = 0.04;
+  sim::MachineParams hw;
+};
+
+/// Estimated fraction of tuples satisfying `pred`: the product over
+/// constrained attributes of the per-attribute fraction, assuming a uniform
+/// distribution over [min, max] (equality uses 1 / distinct). Falls back to
+/// System-R-style constants (1% equality, 10% range) when no statistics are
+/// available.
+double EstimateSelectivity(const exec::Predicate& pred,
+                           const RelationStats* stats,
+                           const catalog::Schema& schema);
+
+/// A fully specified candidate selection plan.
+struct SelectPlanSpec {
+  gamma::AccessPath path = gamma::AccessPath::kFileScan;
+  /// Index key attribute when `path` is an index access.
+  int key_attr = -1;
+  bool store_result = true;
+};
+
+struct SelectEstimate {
+  double selectivity = 1;
+  double output_tuples = 0;
+  int participating_sites = 0;
+  /// Estimated simulated response time, including scheduling overhead.
+  double seconds = 0;
+};
+
+/// A fully specified candidate join plan.
+struct JoinPlanSpec {
+  gamma::JoinMode mode = gamma::JoinMode::kRemote;
+  gamma::JoinAlgorithm algorithm = gamma::JoinAlgorithm::kSimpleHash;
+};
+
+struct JoinEstimate {
+  /// Tuples reaching the join sites from each input (after selections).
+  double build_tuples = 0;
+  double probe_tuples = 0;
+  double output_tuples = 0;
+  /// The building side is expected to exceed the sites' aggregate memory.
+  bool overflow = false;
+  /// Estimated elapsed time of the building / probing phases (the probe
+  /// phase includes storing the result).
+  double build_phase_sec = 0;
+  double probe_phase_sec = 0;
+  double seconds = 0;
+};
+
+/// \brief Estimated simulated-time cost of candidate plans.
+///
+/// A miniature analytic replay of the machine's charging paths: per-phase,
+/// per-node disk / CPU / network seconds (phase time is the slowest node's
+/// max resource, as in sim::CostTracker's pipelined phases), split-table
+/// packet and short-circuit accounting, the NIC bottleneck, hash-table
+/// memory vs overflow spooling, and the scheduler's 4-messages-per-op-per-
+/// node overhead. Absolute estimates track the executor closely because
+/// both draw every constant from sim::MachineParams; what the planner needs
+/// is that the *ordering* of candidate plans matches measured times.
+class CostModel {
+ public:
+  explicit CostModel(MachineShape shape) : shape_(shape) {}
+
+  const MachineShape& shape() const { return shape_; }
+
+  SelectEstimate EstimateSelect(const catalog::RelationMeta& meta,
+                                const RelationStats* stats,
+                                const exec::Predicate& pred,
+                                const SelectPlanSpec& plan) const;
+
+  JoinEstimate EstimateJoin(const catalog::RelationMeta& outer,
+                            const RelationStats* outer_stats,
+                            const exec::Predicate& outer_pred, int outer_attr,
+                            const catalog::RelationMeta& inner,
+                            const RelationStats* inner_stats,
+                            const exec::Predicate& inner_pred, int inner_attr,
+                            const JoinPlanSpec& plan) const;
+
+  /// Scan + accumulate estimate for aggregates (used by EXPLAIN only).
+  double EstimateAggregate(const catalog::RelationMeta& meta,
+                           const RelationStats* stats,
+                           const exec::Predicate& pred) const;
+
+  /// Disk sites participating in a selection (1 for an exact match on the
+  /// hashed partitioning attribute, a localized subset for a range on a
+  /// range-partitioned attribute, else all).
+  int ParticipatingSites(const catalog::RelationMeta& meta,
+                         const RelationStats* stats,
+                         const exec::Predicate& pred) const;
+
+  /// Tuples per data page under the machine's page size.
+  double TuplesPerPage(uint32_t tuple_size) const;
+
+ private:
+  MachineShape shape_;
+};
+
+}  // namespace gammadb::opt
+
+#endif  // GAMMA_OPT_COST_MODEL_H_

@@ -1,0 +1,64 @@
+#include "opt/explain.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gammadb::opt {
+
+namespace {
+
+std::string FormatSeconds(double sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f s", sec);
+  return buf;
+}
+
+void RenderNode(const PlanNode& node, int depth, std::string* out) {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  out->append(indent);
+  out->append(node.label);
+  out->push_back('\n');
+  for (const std::string& detail : node.details) {
+    out->append(indent);
+    out->append("  ");
+    out->append(detail);
+    out->push_back('\n');
+  }
+  out->append(indent);
+  out->append("  estimated: ");
+  out->append(FormatSeconds(node.est_seconds));
+  if (node.est_tuples >= 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", %.0f tuples", node.est_tuples);
+    out->append(buf);
+  }
+  out->push_back('\n');
+  for (const PlanNode& child : node.children) {
+    RenderNode(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderPlan(const PlanNode& root) {
+  std::string out;
+  RenderNode(root, 0, &out);
+  return out;
+}
+
+std::string RenderPlanWithActuals(const PlanNode& root,
+                                  const exec::QueryResult& result) {
+  std::string out = RenderPlan(root);
+  const sim::NodeUsage totals = result.metrics.Totals();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "actual: %s, %" PRIu64 " tuples, %" PRIu64
+                " page I/Os, %" PRIu64 " packets\n",
+                FormatSeconds(result.seconds()).c_str(), result.result_tuples,
+                totals.pages_read + totals.pages_written,
+                totals.packets_sent + totals.packets_short_circuited);
+  out.append(buf);
+  return out;
+}
+
+}  // namespace gammadb::opt

@@ -1,0 +1,191 @@
+#include "opt/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gammadb::opt {
+
+namespace {
+
+/// 64-bit finalizer (splitmix64); decorrelates consecutive keys so the
+/// linear-counting bitmap fills uniformly.
+uint64_t MixHash(int32_t value) {
+  uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(value));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DistinctSketch::DistinctSketch(uint64_t expected) {
+  // ~4 bits per expected distinct value keeps the zero fraction comfortably
+  // away from saturation; 4096 bits minimum keeps tiny relations exact.
+  uint64_t bits = std::max<uint64_t>(4096, 4 * expected);
+  // Round up to a whole number of 64-bit words.
+  const uint64_t words = (bits + 63) / 64;
+  words_.assign(words, 0);
+  bit_count_ = words * 64;
+}
+
+void DistinctSketch::Insert(int32_t value) {
+  if (bit_count_ == 0) {
+    // Un-sized sketch (incrementally created relation): start small.
+    *this = DistinctSketch(1024);
+  }
+  const uint64_t bit = MixHash(value) % bit_count_;
+  uint64_t& word = words_[bit / 64];
+  const uint64_t mask = 1ull << (bit % 64);
+  if ((word & mask) == 0) {
+    word |= mask;
+    ++set_bits_;
+  }
+}
+
+double DistinctSketch::Estimate(double fallback) const {
+  if (bit_count_ == 0 || set_bits_ == 0) return 0;
+  if (set_bits_ >= bit_count_) return fallback;
+  const double m = static_cast<double>(bit_count_);
+  const double zero_fraction = (m - static_cast<double>(set_bits_)) / m;
+  return -m * std::log(zero_fraction);
+}
+
+double AttrStats::DistinctEstimate(double cardinality) const {
+  if (!has_values || cardinality <= 0) return 1;
+  const double estimate = sketch.Estimate(cardinality);
+  return std::clamp(estimate, 1.0, cardinality);
+}
+
+void StatisticsCatalog::OnLoad(
+    const std::string& relation, const catalog::Schema& schema,
+    const std::vector<std::vector<uint8_t>>& tuples,
+    const catalog::PartitionSpec& partitioning) {
+  RelationStats& stats = Ensure(relation, schema);
+  stats.hash_partitioned =
+      partitioning.strategy == catalog::PartitionStrategy::kHashed;
+  stats.range_partitioned =
+      partitioning.strategy == catalog::PartitionStrategy::kRangeUser ||
+      partitioning.strategy == catalog::PartitionStrategy::kRangeUniform;
+  stats.partition_attr =
+      (stats.hash_partitioned || stats.range_partitioned)
+          ? partitioning.key_attr
+          : -1;
+  // Size the sketches once, from the first (bulk) load.
+  for (size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.attr(a).type != catalog::AttrType::kInt32) continue;
+    AttrStats& as = stats.attrs[a];
+    if (!as.has_values) as.sketch = DistinctSketch(tuples.size());
+  }
+  for (const std::vector<uint8_t>& tuple : tuples) {
+    Absorb(stats, schema, tuple);
+  }
+  stats.cardinality += static_cast<double>(tuples.size());
+}
+
+void StatisticsCatalog::OnIndexBuilt(const std::string& relation, int attr,
+                                     bool clustered) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return;
+  if (it->second.FindIndex(attr, clustered) != nullptr) return;
+  it->second.indexes.push_back(IndexStats{attr, clustered});
+}
+
+void StatisticsCatalog::OnAppend(const std::string& relation,
+                                 const catalog::Schema& schema,
+                                 std::span<const uint8_t> tuple) {
+  RelationStats& stats = Ensure(relation, schema);
+  Absorb(stats, schema, tuple);
+  stats.cardinality += 1;
+}
+
+void StatisticsCatalog::OnDelete(const std::string& relation,
+                                 uint64_t deleted) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return;
+  it->second.cardinality =
+      std::max(0.0, it->second.cardinality - static_cast<double>(deleted));
+}
+
+void StatisticsCatalog::OnModify(const std::string& relation,
+                                 const catalog::Schema& schema, int attr,
+                                 int32_t new_value) {
+  RelationStats& stats = Ensure(relation, schema);
+  if (attr < 0 || static_cast<size_t>(attr) >= stats.attrs.size()) return;
+  if (schema.attr(static_cast<size_t>(attr)).type !=
+      catalog::AttrType::kInt32) {
+    return;
+  }
+  AttrStats& as = stats.attrs[static_cast<size_t>(attr)];
+  as.min = std::min(as.min, new_value);
+  as.max = std::max(as.max, new_value);
+  as.sketch.Insert(new_value);
+  as.has_values = true;
+}
+
+void StatisticsCatalog::SetResultCardinality(const std::string& relation,
+                                             const catalog::Schema& schema,
+                                             double cardinality) {
+  RelationStats& stats = Ensure(relation, schema);
+  stats.cardinality = cardinality;
+}
+
+void StatisticsCatalog::Recompute(
+    const std::string& relation, const catalog::Schema& schema,
+    const std::vector<std::vector<uint8_t>>& tuples) {
+  auto it = relations_.find(relation);
+  RelationStats fresh;
+  if (it != relations_.end()) {
+    // Keep structural facts; rebuild the data-dependent ones.
+    fresh.partition_attr = it->second.partition_attr;
+    fresh.hash_partitioned = it->second.hash_partitioned;
+    fresh.range_partitioned = it->second.range_partitioned;
+    fresh.indexes = it->second.indexes;
+  }
+  fresh.attrs.resize(schema.num_attrs());
+  for (size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.attr(a).type != catalog::AttrType::kInt32) continue;
+    fresh.attrs[a].sketch = DistinctSketch(tuples.size());
+  }
+  for (const std::vector<uint8_t>& tuple : tuples) {
+    Absorb(fresh, schema, tuple);
+  }
+  fresh.cardinality = static_cast<double>(tuples.size());
+  relations_[relation] = std::move(fresh);
+}
+
+void StatisticsCatalog::Drop(const std::string& relation) {
+  relations_.erase(relation);
+}
+
+const RelationStats* StatisticsCatalog::Find(
+    const std::string& relation) const {
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+RelationStats& StatisticsCatalog::Ensure(const std::string& relation,
+                                         const catalog::Schema& schema) {
+  RelationStats& stats = relations_[relation];
+  if (stats.attrs.size() < schema.num_attrs()) {
+    stats.attrs.resize(schema.num_attrs());
+  }
+  return stats;
+}
+
+void StatisticsCatalog::Absorb(RelationStats& stats,
+                               const catalog::Schema& schema,
+                               std::span<const uint8_t> tuple) {
+  const catalog::TupleView view(&schema, tuple);
+  for (size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.attr(a).type != catalog::AttrType::kInt32) continue;
+    const int32_t value = view.GetInt(a);
+    AttrStats& as = stats.attrs[a];
+    as.min = std::min(as.min, value);
+    as.max = std::max(as.max, value);
+    as.sketch.Insert(value);
+    as.has_values = true;
+  }
+}
+
+}  // namespace gammadb::opt

@@ -1,0 +1,130 @@
+#ifndef GAMMA_OPT_STATISTICS_H_
+#define GAMMA_OPT_STATISTICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+
+namespace gammadb::opt {
+
+/// \brief Linear-counting distinct-value sketch.
+///
+/// A bitmap sized at bulk-load time (~4 bits per expected row); each value
+/// hashes to one bit. With `z` the fraction of zero bits over `m` bits the
+/// distinct estimate is `-m * ln(z)` [Whang et al. 1990]. Deletions are not
+/// supported (the estimate only grows); StatisticsCatalog::Recompute rebuilds
+/// the sketch from a fresh scan when drift matters (e.g. after failover
+/// recovery).
+class DistinctSketch {
+ public:
+  DistinctSketch() = default;
+  /// Sizes the bitmap for roughly `expected` distinct values.
+  explicit DistinctSketch(uint64_t expected);
+
+  void Insert(int32_t value);
+  /// Linear-counting estimate; when the bitmap is fully saturated returns
+  /// `fallback` (the caller's cardinality upper bound).
+  double Estimate(double fallback) const;
+  uint64_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t bit_count_ = 0;
+  uint64_t set_bits_ = 0;
+};
+
+/// Per-attribute statistics (integer attributes only; char attributes are
+/// never predicate or join targets in the Wisconsin workload).
+struct AttrStats {
+  int32_t min = std::numeric_limits<int32_t>::max();
+  int32_t max = std::numeric_limits<int32_t>::min();
+  DistinctSketch sketch;
+  bool has_values = false;
+
+  /// Distinct-value estimate clamped to [1, cardinality].
+  double DistinctEstimate(double cardinality) const;
+};
+
+struct IndexStats {
+  int attr = -1;
+  bool clustered = false;
+};
+
+/// \brief Everything the planner knows about one relation.
+struct RelationStats {
+  double cardinality = 0;
+  /// Horizontal-partitioning attribute (-1 for round-robin declustering).
+  int partition_attr = -1;
+  bool hash_partitioned = false;
+  bool range_partitioned = false;
+  /// Indexes available on the relation (mirrors catalog, maintained by the
+  /// OnIndexBuilt hook so the planner can consult statistics alone).
+  std::vector<IndexStats> indexes;
+  /// Indexed by attribute position; empty until the relation is loaded.
+  std::vector<AttrStats> attrs;
+
+  const AttrStats* Attr(int attr) const {
+    if (attr < 0 || static_cast<size_t>(attr) >= attrs.size()) return nullptr;
+    const AttrStats& s = attrs[static_cast<size_t>(attr)];
+    return s.has_values ? &s : nullptr;
+  }
+  const IndexStats* FindIndex(int attr, bool clustered) const {
+    for (const IndexStats& ix : indexes) {
+      if (ix.attr == attr && ix.clustered == clustered) return &ix;
+    }
+    return nullptr;
+  }
+};
+
+/// \brief Catalog statistics collected at load time and maintained
+/// incrementally by append / delete / modify.
+///
+/// The GammaMachine owns one of these and calls the On* hooks from the
+/// corresponding operations; the planner reads it via Find(). Statistics
+/// maintenance is free in simulated time (Gamma's Query Manager kept them in
+/// the host's catalog, off the critical path).
+class StatisticsCatalog {
+ public:
+  /// Bulk collection: exact min/max, sketch sized from the batch. A second
+  /// load into the same relation folds into the existing statistics.
+  void OnLoad(const std::string& relation, const catalog::Schema& schema,
+              const std::vector<std::vector<uint8_t>>& tuples,
+              const catalog::PartitionSpec& partitioning);
+  void OnIndexBuilt(const std::string& relation, int attr, bool clustered);
+  void OnAppend(const std::string& relation, const catalog::Schema& schema,
+                std::span<const uint8_t> tuple);
+  /// Deletion: cardinality drops; min/max and the distinct sketch keep their
+  /// (now possibly loose) values until a Recompute.
+  void OnDelete(const std::string& relation, uint64_t deleted);
+  void OnModify(const std::string& relation, const catalog::Schema& schema,
+                int attr, int32_t new_value);
+  /// Result relations: cardinality is known exactly from the store count,
+  /// attribute distributions are not collected.
+  void SetResultCardinality(const std::string& relation,
+                            const catalog::Schema& schema, double cardinality);
+  /// Full rebuild from a fresh scan (e.g. after a failover rebuild); keeps
+  /// partitioning/index info, replaces cardinality and attribute stats.
+  void Recompute(const std::string& relation, const catalog::Schema& schema,
+                 const std::vector<std::vector<uint8_t>>& tuples);
+  void Drop(const std::string& relation);
+
+  const RelationStats* Find(const std::string& relation) const;
+
+ private:
+  RelationStats& Ensure(const std::string& relation,
+                        const catalog::Schema& schema);
+  static void Absorb(RelationStats& stats, const catalog::Schema& schema,
+                     std::span<const uint8_t> tuple);
+
+  std::map<std::string, RelationStats> relations_;
+};
+
+}  // namespace gammadb::opt
+
+#endif  // GAMMA_OPT_STATISTICS_H_

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cctype>
 #include <limits>
+#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "common/macros.h"
 #include "exec/aggregate.h"
 #include "exec/predicate.h"
+#include "opt/explain.h"
+#include "opt/planner.h"
 
 namespace gammadb::quel {
 
@@ -198,25 +202,28 @@ Result<std::vector<Comparison>> ParseWhere(Cursor& cursor) {
   return comparisons;
 }
 
-/// Folds the single-variable comparisons of `var` into one range predicate.
-/// All of them must reference the same attribute (the benchmark shape).
+/// Folds the single-variable comparisons of `var` into one predicate:
+/// comparisons on each attribute intersect into an inclusive window, and
+/// windows over distinct attributes combine with Predicate::And.
 Result<exec::Predicate> FoldPredicate(
     const std::vector<Comparison>& comparisons, const std::string& var,
     const catalog::Schema& schema) {
-  int attr = -1;
-  int64_t lo = std::numeric_limits<int32_t>::min();
-  int64_t hi = std::numeric_limits<int32_t>::max();
+  // Windows in declaration order (deterministic EXPLAIN output).
+  std::vector<int> attrs;
+  std::map<int, std::pair<int64_t, int64_t>> windows;
   for (const Comparison& cmp : comparisons) {
     if (cmp.rhs_is_attr || cmp.left_var != var) continue;
     const auto index = schema.IndexOf(cmp.left_attr);
     if (!index.has_value()) {
       return Status::InvalidArgument("unknown attribute " + cmp.left_attr);
     }
-    if (attr >= 0 && attr != static_cast<int>(*index)) {
-      return Status::NotImplemented(
-          "predicates over multiple attributes of one variable");
+    const int attr = static_cast<int>(*index);
+    if (windows.find(attr) == windows.end()) {
+      attrs.push_back(attr);
+      windows[attr] = {std::numeric_limits<int32_t>::min(),
+                       std::numeric_limits<int32_t>::max()};
     }
-    attr = static_cast<int>(*index);
+    auto& [lo, hi] = windows[attr];
     if (cmp.op == "=") {
       lo = std::max<int64_t>(lo, cmp.value);
       hi = std::min<int64_t>(hi, cmp.value);
@@ -230,15 +237,28 @@ Result<exec::Predicate> FoldPredicate(
       lo = std::max<int64_t>(lo, cmp.value);
     }
   }
-  if (attr < 0) return exec::Predicate::True();
-  if (lo > hi) {
-    // Contradictory clauses: a well-formed predicate that matches nothing
-    // in the benchmark's non-negative key domains.
-    return exec::Predicate::Eq(attr, std::numeric_limits<int32_t>::min());
+  std::vector<exec::Predicate> terms;
+  for (const int attr : attrs) {
+    const auto [lo, hi] = windows[attr];
+    if (lo > hi) {
+      // Contradictory clauses: feed And two disjoint equalities so the
+      // intersection is an empty window (a predicate matching nothing).
+      terms.push_back(exec::Predicate::And(
+          {exec::Predicate::Eq(attr, 0), exec::Predicate::Eq(attr, 1)}));
+      continue;
+    }
+    if (lo == std::numeric_limits<int32_t>::min() &&
+        hi == std::numeric_limits<int32_t>::max()) {
+      continue;  // vacuous
+    }
+    if (lo == hi) {
+      terms.push_back(exec::Predicate::Eq(attr, static_cast<int32_t>(lo)));
+    } else {
+      terms.push_back(exec::Predicate::Range(attr, static_cast<int32_t>(lo),
+                                             static_cast<int32_t>(hi)));
+    }
   }
-  if (lo == hi) return exec::Predicate::Eq(attr, static_cast<int32_t>(lo));
-  return exec::Predicate::Range(attr, static_cast<int32_t>(lo),
-                                static_cast<int32_t>(hi));
+  return exec::Predicate::And(std::move(terms));
 }
 
 std::optional<exec::AggFunc> AggFuncByName(const std::string& name) {
@@ -268,6 +288,14 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
   GAMMA_ASSIGN_OR_RETURN(std::vector<Token> tokens,
                          Lexer(statement).Tokenize());
   Cursor cursor(std::move(tokens));
+
+  // explain retrieve ... — run the planned query and attach the plan tree
+  // (estimated costs alongside the measured actuals) to the result.
+  const bool explain = cursor.ConsumeIdent("explain");
+  if (explain && !(cursor.Peek().kind == TokKind::kIdent &&
+                   cursor.Peek().text == "retrieve")) {
+    return Status::InvalidArgument("explain supports retrieve statements only");
+  }
 
   // range of t is A
   if (cursor.ConsumeIdent("range")) {
@@ -438,7 +466,15 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
     query.func = func;
     GAMMA_ASSIGN_OR_RETURN(query.predicate,
                            FoldPredicate(where, value_ref.var, meta->schema));
-    return machine_->RunAggregate(query);
+    const opt::Planner planner(*machine_);
+    GAMMA_ASSIGN_OR_RETURN(const opt::PlannedAggregate planned,
+                           planner.PlanAggregate(query));
+    GAMMA_ASSIGN_OR_RETURN(exec::QueryResult result,
+                           machine_->RunAggregate(planned.query));
+    if (explain) {
+      result.explain = opt::RenderPlanWithActuals(planned.plan, result);
+    }
+    return result;
   }
 
   // Projection targets: t.all or a.all, b.all
@@ -467,7 +503,16 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
                            FoldPredicate(where, vars[0], meta->schema));
     query.store_result = store;
     query.result_name = into;
-    return machine_->RunSelect(query);
+    // Optimizer-planned: the cost model picks the access path.
+    const opt::Planner planner(*machine_);
+    GAMMA_ASSIGN_OR_RETURN(const opt::PlannedSelect planned,
+                           planner.PlanSelect(query));
+    GAMMA_ASSIGN_OR_RETURN(exec::QueryResult result,
+                           machine_->RunSelect(planned.query));
+    if (explain) {
+      result.explain = opt::RenderPlanWithActuals(planned.plan, result);
+    }
+    return result;
   }
   if (vars.size() != 2) {
     return Status::NotImplemented("at most two range variables per query");
@@ -523,7 +568,16 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
                          FoldPredicate(where, vars[1], inner_meta->schema));
   query.store_result = store;
   query.result_name = into;
-  return machine_->RunJoin(query);
+  // Optimizer-planned: the cost model picks join algorithm and site.
+  const opt::Planner planner(*machine_);
+  GAMMA_ASSIGN_OR_RETURN(const opt::PlannedJoin planned,
+                         planner.PlanJoin(query));
+  GAMMA_ASSIGN_OR_RETURN(exec::QueryResult result,
+                         machine_->RunJoin(planned.query));
+  if (explain) {
+    result.explain = opt::RenderPlanWithActuals(planned.plan, result);
+  }
+  return result;
 }
 
 }  // namespace gammadb::quel

@@ -26,11 +26,16 @@ namespace gammadb::quel {
 ///   append to A (unique1 = 5, unique2 = 7)
 ///   delete t where t.unique1 = 44
 ///   replace t (ten = 5) where t.unique1 = 44
+///   explain retrieve (t.all) where t.unique2 < 100
 ///
-/// Statements are parsed, planned onto the machine's query descriptors, and
-/// executed; "range of" declarations persist in the session. Comparisons in
-/// a where-clause must target a single attribute per range variable (the
-/// benchmark's selection shape); joins take exactly one var-to-var equality.
+/// Statements are parsed, planned through the cost-based optimizer
+/// (opt::Planner picks access path, join algorithm and join site from the
+/// catalog statistics), and executed; "range of" declarations persist in
+/// the session. A where-clause may and-combine comparisons over any number
+/// of attributes of a variable (they compile to a compound predicate);
+/// joins take exactly one var-to-var equality. An `explain` prefix on a
+/// retrieve runs the query and fills QueryResult::explain with the plan
+/// tree — estimated cost and cardinality beside the measured actuals.
 class Session {
  public:
   explicit Session(gamma::GammaMachine* machine);

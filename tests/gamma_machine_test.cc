@@ -305,7 +305,7 @@ TEST_F(GammaMachineTest, HybridJoinMatchesSimple) {
   query.inner = "Bprime";
   query.outer_attr = wis::kUnique2;
   query.inner_attr = wis::kUnique2;
-  query.use_hybrid = true;
+  query.algorithm = gamma::JoinAlgorithm::kHybridHash;
   const auto result = machine_.RunJoin(query);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->result_tuples, 500u);

@@ -87,8 +87,8 @@ TEST_F(SelectTest, FileScanMatchesPredicate) {
 TEST_F(SelectTest, ClusteredIndexSelectReadsOnlyRange) {
   std::vector<std::vector<uint8_t>> out;
   const auto stats = ClusteredIndexSelect(
-      sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
-      Predicate::Range(0, 100, 119), sm_.charge(),
+      sm_.file(file_id_), sm_.index(clustered_id_), /*key_attr=*/0,
+      MiniSchema(), Predicate::Range(0, 100, 119), sm_.charge(),
       [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); }).value();
   EXPECT_EQ(stats.emitted, 20u);
   // Only the page range holding keys 100..119 is examined, far fewer than
@@ -102,8 +102,8 @@ TEST_F(SelectTest, ClusteredIndexSelectReadsOnlyRange) {
 TEST_F(SelectTest, ClusteredIndexEmptyRange) {
   std::vector<std::vector<uint8_t>> out;
   const auto stats = ClusteredIndexSelect(
-      sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
-      Predicate::Range(0, 5000, 6000), sm_.charge(),
+      sm_.file(file_id_), sm_.index(clustered_id_), /*key_attr=*/0,
+      MiniSchema(), Predicate::Range(0, 5000, 6000), sm_.charge(),
       [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); }).value();
   EXPECT_EQ(stats.examined, 0u);
   EXPECT_EQ(stats.emitted, 0u);
@@ -112,8 +112,8 @@ TEST_F(SelectTest, ClusteredIndexEmptyRange) {
 TEST_F(SelectTest, NonClusteredIndexSelect) {
   std::vector<std::vector<uint8_t>> out;
   const auto stats = NonClusteredIndexSelect(
-      sm_.file(file_id_), sm_.index(nc_id_), MiniSchema(),
-      Predicate::Range(1, 200, 238),  // val in [200,238] -> ids 100..119
+      sm_.file(file_id_), sm_.index(nc_id_), /*key_attr=*/1,
+      MiniSchema(), Predicate::Range(1, 200, 238),  // val in [200,238] -> ids 100..119
       sm_.charge(),
       [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); }).value();
   EXPECT_EQ(stats.emitted, 20u);
@@ -126,8 +126,8 @@ TEST_F(SelectTest, NonClusteredIndexSelect) {
 TEST_F(SelectTest, ExactMatchThroughIndex) {
   std::vector<std::vector<uint8_t>> out;
   ClusteredIndexSelect(
-      sm_.file(file_id_), sm_.index(clustered_id_), MiniSchema(),
-      Predicate::Eq(0, 777), sm_.charge(),
+      sm_.file(file_id_), sm_.index(clustered_id_), /*key_attr=*/0,
+      MiniSchema(), Predicate::Eq(0, 777), sm_.charge(),
       [&](std::span<const uint8_t> t) { out.emplace_back(t.begin(), t.end()); });
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(catalog::TupleView(&MiniSchema(), out[0]).GetInt(1), 1554);

@@ -128,7 +128,8 @@ TEST_P(MemoryInvariance, JoinAnswerIndependentOfMemory) {
       query.inner = "Bprime";
       query.outer_attr = wis::kUnique2;
       query.inner_attr = wis::kUnique2;
-      query.use_hybrid = hybrid;
+      query.algorithm = hybrid ? gamma::JoinAlgorithm::kHybridHash
+                               : gamma::JoinAlgorithm::kSimpleHash;
       query.use_bit_filter = filter;
       query.expected_build_tuples = kN / 10;
       const auto result = machine.RunJoin(query);

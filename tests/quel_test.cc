@@ -153,6 +153,62 @@ TEST_F(QuelTest, ErrorsAreStatusesNotCrashes) {
   EXPECT_FALSE(session_.Execute("retrieve (t.all) where t.unique1 @ 3").ok());
 }
 
+TEST_F(QuelTest, CompoundPredicateAcrossAttributes) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto result = session_.Execute(
+      "retrieve (t.all) where t.unique1 < 1000 and t.ten = 3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 100u);  // ten == unique1 mod 10
+
+  const auto three_way = session_.Execute(
+      "retrieve (t.all) where t.unique1 >= 100 and t.unique1 < 300 "
+      "and t.ten = 3 and t.unique2 >= 0");
+  ASSERT_TRUE(three_way.ok());
+  EXPECT_EQ(three_way->result_tuples, 20u);
+}
+
+TEST_F(QuelTest, ExplainRetrieveSelect) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  const auto result = session_.Execute(
+      "explain retrieve (t.all) where t.unique1 < 200");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, 200u);  // explain still executes
+  EXPECT_NE(result->explain.find("select"), std::string::npos);
+  EXPECT_NE(result->explain.find("estimated:"), std::string::npos);
+  EXPECT_NE(result->explain.find("actual:"), std::string::npos);
+
+  // Without the prefix the rendered plan stays empty.
+  const auto plain =
+      session_.Execute("retrieve (t.all) where t.unique1 < 200");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->explain.empty());
+}
+
+TEST_F(QuelTest, ExplainRetrieveJoinAndAggregate) {
+  ASSERT_TRUE(session_.Execute("range of a is A").ok());
+  ASSERT_TRUE(session_.Execute("range of b is Bprime").ok());
+  const auto join = session_.Execute(
+      "explain retrieve (a.all, b.all) where a.unique2 = b.unique2");
+  ASSERT_TRUE(join.ok());
+  EXPECT_NE(join->explain.find("join"), std::string::npos);
+  EXPECT_NE(join->explain.find("actual:"), std::string::npos);
+
+  const auto agg =
+      session_.Execute("explain retrieve (count(a.unique1) by a.ten)");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_NE(agg->explain.find("aggregate"), std::string::npos);
+}
+
+TEST_F(QuelTest, ExplainRejectsNonRetrieveStatements) {
+  ASSERT_TRUE(session_.Execute("range of t is A").ok());
+  EXPECT_TRUE(session_.Execute("explain delete t where t.unique1 = 1")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("explain range of u is A")
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST_F(QuelTest, CaseInsensitiveKeywordsAndRelationLookup) {
   ASSERT_TRUE(session_.Execute("RANGE OF T IS a").ok());
   const auto result =

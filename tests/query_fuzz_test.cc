@@ -107,7 +107,10 @@ TEST_P(QueryFuzz, RandomJoinsMatchOracle) {
     query.outer_attr = attr;
     query.inner_attr = attr;
     query.mode = modes[rng.Uniform(3)];
-    query.use_hybrid = rng.Uniform(2) == 0;
+    const gamma::JoinAlgorithm algorithms[] = {
+        gamma::JoinAlgorithm::kSimpleHash, gamma::JoinAlgorithm::kHybridHash,
+        gamma::JoinAlgorithm::kSortMerge};
+    query.algorithm = algorithms[rng.Uniform(3)];
     query.use_bit_filter = rng.Uniform(2) == 0;
     const auto result = machine.RunJoin(query);
     ASSERT_TRUE(result.ok());
@@ -116,7 +119,7 @@ TEST_P(QueryFuzz, RandomJoinsMatchOracle) {
                   inner, wis::WisconsinSchema(), attr, outer,
                   wis::WisconsinSchema(), attr))
         << "seed=" << seed << " trial=" << trial << " attr=" << attr
-        << " hybrid=" << query.use_hybrid;
+        << " algorithm=" << static_cast<int>(query.algorithm);
   }
 }
 
