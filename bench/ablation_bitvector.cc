@@ -40,8 +40,9 @@ Sample RunJoin(gamma::GammaMachine& machine, uint32_t build_n,
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Ablation B: bit-vector filters on the probing stream "
       "(100k-probe joins, Remote mode)\n");

@@ -52,8 +52,9 @@ Sample RunJoin(double memory_ratio, bool hybrid) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Ablation A: Simple vs. Hybrid hash join under shrinking memory "
       "(joinABprime, 100k tuples, Remote mode)\n");

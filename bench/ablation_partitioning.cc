@@ -37,8 +37,9 @@ double RunSelect(gamma::GammaMachine& machine, const Predicate& pred) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf("Ablation C: declustering strategies under the §2 query mix "
               "(100k tuples, 8 disk nodes)\n");
 

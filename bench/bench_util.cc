@@ -1,14 +1,56 @@
 #include "bench_util.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <thread>
+#include <utility>
 
 #include "common/macros.h"
+#include "sim/host_pool.h"
 
 namespace gammadb::bench {
 
 namespace wis = gammadb::wisconsin;
+
+namespace {
+
+double NowWallSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    }
+    if (value != nullptr) {
+      const long n = std::strtol(value, nullptr, 10);
+      GAMMA_CHECK_MSG(n >= 1, "--threads must be >= 1");
+      sim::HostPool::Instance().set_num_threads(static_cast<int>(n));
+    }
+  }
+}
+
+const std::vector<std::vector<uint8_t>>& CachedWisconsin(uint32_t n,
+                                                         uint64_t seed) {
+  static std::map<std::pair<uint32_t, uint64_t>,
+                  std::vector<std::vector<uint8_t>>>
+      cache;
+  auto [it, inserted] = cache.try_emplace({n, seed});
+  if (inserted) it->second = wis::GenerateWisconsin(n, seed);
+  return it->second;
+}
 
 gamma::GammaConfig PaperGammaConfig() {
   gamma::GammaConfig config;
@@ -35,7 +77,7 @@ void LoadGammaDatabase(gamma::GammaMachine& machine, uint32_t n,
                        bool with_indices, bool with_join_relations) {
   const auto& schema = wis::WisconsinSchema();
   const auto spec = catalog::PartitionSpec::Hashed(wis::kUnique1);
-  const auto a = wis::GenerateWisconsin(n, kASeed);
+  const auto& a = CachedWisconsin(n, kASeed);
 
   GAMMA_CHECK(machine.CreateRelation(HeapName(n), schema, spec).ok());
   GAMMA_CHECK(machine.LoadTuples(HeapName(n), a).ok());
@@ -51,10 +93,10 @@ void LoadGammaDatabase(gamma::GammaMachine& machine, uint32_t n,
   if (with_join_relations) {
     GAMMA_CHECK(machine.CreateRelation(CopyName(n), schema, spec).ok());
     GAMMA_CHECK(machine.LoadTuples(CopyName(n), a).ok());
-    const auto bprime = wis::GenerateWisconsin(n / 10, kBprimeSeed);
+    const auto& bprime = CachedWisconsin(n / 10, kBprimeSeed);
     GAMMA_CHECK(machine.CreateRelation(BprimeName(n), schema, spec).ok());
     GAMMA_CHECK(machine.LoadTuples(BprimeName(n), bprime).ok());
-    const auto c = wis::GenerateWisconsin(n / 10, kCSeed);
+    const auto& c = CachedWisconsin(n / 10, kCSeed);
     GAMMA_CHECK(machine.CreateRelation(CName(n), schema, spec).ok());
     GAMMA_CHECK(machine.LoadTuples(CName(n), c).ok());
   }
@@ -63,7 +105,7 @@ void LoadGammaDatabase(gamma::GammaMachine& machine, uint32_t n,
 void LoadTeradataDatabase(teradata::TeradataMachine& machine, uint32_t n,
                           bool with_index, bool with_join_relations) {
   const auto& schema = wis::WisconsinSchema();
-  const auto a = wis::GenerateWisconsin(n, kASeed);
+  const auto& a = CachedWisconsin(n, kASeed);
   GAMMA_CHECK(
       machine.CreateRelation(IndexedName(n), schema, wis::kUnique1).ok());
   GAMMA_CHECK(machine.LoadTuples(IndexedName(n), a).ok());
@@ -75,11 +117,11 @@ void LoadTeradataDatabase(teradata::TeradataMachine& machine, uint32_t n,
     GAMMA_CHECK(
         machine.CreateRelation(CopyName(n), schema, wis::kUnique1).ok());
     GAMMA_CHECK(machine.LoadTuples(CopyName(n), a).ok());
-    const auto bprime = wis::GenerateWisconsin(n / 10, kBprimeSeed);
+    const auto& bprime = CachedWisconsin(n / 10, kBprimeSeed);
     GAMMA_CHECK(
         machine.CreateRelation(BprimeName(n), schema, wis::kUnique1).ok());
     GAMMA_CHECK(machine.LoadTuples(BprimeName(n), bprime).ok());
-    const auto c = wis::GenerateWisconsin(n / 10, kCSeed);
+    const auto& c = CachedWisconsin(n / 10, kCSeed);
     GAMMA_CHECK(
         machine.CreateRelation(CName(n), schema, wis::kUnique1).ok());
     GAMMA_CHECK(machine.LoadTuples(CName(n), c).ok());
@@ -167,14 +209,20 @@ void FigureSeries::Print() const {
   std::printf("\n");
 }
 
-JsonReport::JsonReport(std::string name) : name_(std::move(name)) {}
+JsonReport::JsonReport(std::string name)
+    : name_(std::move(name)), start_wall_sec_(NowWallSec()) {}
 
 void JsonReport::Add(const std::string& label,
                      const exec::QueryResult& result) {
   const sim::NodeUsage totals = result.metrics.Totals();
   entries_.push_back(Entry{
-      label, result.seconds(), totals.pages_read + totals.pages_written,
+      label, false, result.seconds(),
+      totals.pages_read + totals.pages_written,
       totals.packets_sent + totals.packets_short_circuited});
+}
+
+void JsonReport::AddScalar(const std::string& label, double value) {
+  entries_.push_back(Entry{label, true, value, 0, 0});
 }
 
 void JsonReport::Write() const {
@@ -184,7 +232,14 @@ void JsonReport::Write() const {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"meta\": {\"wall_clock_sec\": %.3f, "
+               "\"host_threads\": %d, \"host_cores\": %u},\n",
+               NowWallSec() - start_wall_sec_,
+               sim::HostPool::Instance().num_threads(),
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"queries\": [\n");
   for (size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
     // Labels are bench-internal ASCII; escape the JSON specials anyway.
@@ -193,15 +248,20 @@ void JsonReport::Write() const {
       if (c == '"' || c == '\\') escaped += '\\';
       escaped += c;
     }
-    std::fprintf(f,
-                 "  {\"query\": \"%s\", \"seconds\": %.6f, "
-                 "\"page_ios\": %llu, \"packets\": %llu}%s\n",
-                 escaped.c_str(), e.seconds,
-                 static_cast<unsigned long long>(e.page_ios),
-                 static_cast<unsigned long long>(e.packets),
-                 i + 1 < entries_.size() ? "," : "");
+    const char* sep = i + 1 < entries_.size() ? "," : "";
+    if (e.scalar) {
+      std::fprintf(f, "    {\"query\": \"%s\", \"value\": %.6f}%s\n",
+                   escaped.c_str(), e.seconds, sep);
+    } else {
+      std::fprintf(f,
+                   "    {\"query\": \"%s\", \"seconds\": %.6f, "
+                   "\"page_ios\": %llu, \"packets\": %llu}%s\n",
+                   escaped.c_str(), e.seconds,
+                   static_cast<unsigned long long>(e.page_ios),
+                   static_cast<unsigned long long>(e.packets), sep);
+    }
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 }
 

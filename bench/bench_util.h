@@ -16,6 +16,17 @@
 
 namespace gammadb::bench {
 
+/// Standard bench startup: parses `--threads N` (or `--threads=N`) and sets
+/// the host worker-pool width, overriding GAMMA_HOST_THREADS for this
+/// process. Unknown arguments are ignored so benches stay forgiving.
+void InitBench(int argc, char** argv);
+
+/// Generated Wisconsin relations, memoized by (n, seed). Benches that build
+/// many machines over the same sizes (e.g. the Figure 9-12 speedup grid)
+/// share one generated copy instead of regenerating per machine.
+const std::vector<std::vector<uint8_t>>& CachedWisconsin(uint32_t n,
+                                                         uint64_t seed);
+
 /// The paper's Gamma configuration: 8 disk + 8 diskless processors, 4 KB
 /// pages. `join_memory_total` defaults high enough that the 10k/100k joins
 /// never overflow (Table 2 note); pass 4.8 MB to reproduce the 1M overflow.
@@ -79,7 +90,8 @@ class FigureSeries {
 
 /// Machine-readable companion to the printed tables: collects one record
 /// per query (label, simulated seconds, total page I/Os, total packets) and
-/// writes them as a JSON array to `BENCH_<name>.json` in the working
+/// writes them, plus a `meta` block with the bench's host wall-clock seconds
+/// and the host thread/core counts, to `BENCH_<name>.json` in the working
 /// directory, so sweeps over configurations can be diffed and plotted
 /// without scraping stdout.
 class JsonReport {
@@ -89,6 +101,10 @@ class JsonReport {
   /// Records one executed query's label and measured totals.
   void Add(const std::string& label, const exec::QueryResult& result);
 
+  /// Records one bench-computed number (e.g. a wall-clock speedup) that has
+  /// no QueryResult behind it.
+  void AddScalar(const std::string& label, double value);
+
   /// Writes BENCH_<name>.json (warns on stderr if the file can't be
   /// written; benches still exit 0 on report I/O failure).
   void Write() const;
@@ -96,11 +112,13 @@ class JsonReport {
  private:
   struct Entry {
     std::string label;
+    bool scalar;
     double seconds;
     uint64_t page_ios;
     uint64_t packets;
   };
   std::string name_;
+  double start_wall_sec_;
   std::vector<Entry> entries_;
 };
 

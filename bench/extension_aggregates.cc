@@ -29,8 +29,9 @@ double RunAgg(gamma::GammaMachine& machine, int group_attr,
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Extension D: aggregate queries (100k tuples; paper ran these, "
       "results deferred to [DEWI88])\n");

@@ -72,8 +72,9 @@ double JoinAselB(gamma::GammaMachine& machine) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Extension F: chained-declustered failover on the paper's workloads, "
       "100k tuples, 8 disk nodes\n");

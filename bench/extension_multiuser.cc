@@ -35,8 +35,9 @@ const char* ResourceName(sim::Resource resource) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Extension F: multiuser throughput bound for a mix of selections "
       "plus one join, by join placement (100k tuples)\n\n");

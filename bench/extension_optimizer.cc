@@ -278,8 +278,9 @@ void SweepFigureJoins(Tally& tally, JsonReport& report) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Optimizer validation: chosen plans vs. forced alternatives "
       "(tolerance %.0f%%)\n",

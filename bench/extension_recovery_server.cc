@@ -55,8 +55,9 @@ double Append(gamma::GammaMachine& machine, int delta) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Extension E: recovery-server logging (the §8 plan) on the paper's "
       "workloads, 100k tuples\n");

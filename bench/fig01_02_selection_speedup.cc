@@ -46,8 +46,9 @@ double RunSelection(int procs, double selectivity) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Reproduction of Figures 1 & 2: non-indexed selections on 100k "
       "tuples vs. processors with disks\n");

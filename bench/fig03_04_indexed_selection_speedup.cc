@@ -50,8 +50,9 @@ double RunCurve(gamma::GammaMachine& machine, const Curve& curve) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Reproduction of Figures 3 & 4: indexed selections on 100k tuples "
       "vs. processors with disks\n");

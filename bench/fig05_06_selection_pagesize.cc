@@ -26,8 +26,9 @@ constexpr double kSelectivities[] = {0.0, 0.01, 0.10, 1.0};
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   using namespace gammadb::wisconsin;
   std::printf(
       "Reproduction of Figures 5 & 6: non-indexed selections on 100k "

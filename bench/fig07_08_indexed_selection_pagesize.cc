@@ -37,8 +37,9 @@ constexpr Curve kCurves[] = {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Reproduction of Figures 7 & 8: indexed selections on 100k tuples "
       "(8 processors) vs. disk page size\n");

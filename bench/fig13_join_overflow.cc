@@ -51,8 +51,9 @@ Sample RunJoin(gamma::JoinMode mode, double memory_ratio) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Reproduction of Figure 13: join overflow behaviour — joinABprime "
       "(100k) on the partitioning attribute, 16 query processors, memory "

@@ -46,8 +46,9 @@ double RunJoinAselB(uint32_t page_size, gamma::JoinMode mode) {
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf(
       "Reproduction of Figures 14 & 15: joinAselB (100k, 16 query "
       "processors) vs. disk page size\n");

@@ -1,0 +1,86 @@
+// Host-parallelism scaling microbenchmark: runs the paper's joinABprime on
+// the largest GAMMA_BENCH_SIZES relation while sweeping the host worker-pool
+// width (1, 2, 4, ... up to the core count), and prints the wall-clock
+// speedup of each width over the single-threaded run. Simulated seconds are
+// asserted identical across widths — host threads change only how fast the
+// simulation itself executes, never what it computes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/host_pool.h"
+
+namespace gammadb::bench {
+namespace {
+
+double WallSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+}  // namespace gammadb::bench
+
+int main(int argc, char** argv) {
+  using namespace gammadb::bench;
+  InitBench(argc, argv);
+
+  const uint32_t n = BenchSizes().back();
+  std::printf("Host-thread scaling on joinABprime (%u tuples, 8+8 nodes)\n",
+              n);
+
+  gammadb::gamma::GammaConfig config = PaperGammaConfig();
+  gammadb::gamma::GammaMachine machine(config);
+  LoadGammaDatabase(machine, n, /*with_indices=*/false,
+                    /*with_join_relations=*/true);
+  gammadb::gamma::JoinQuery query;
+  query.outer = HeapName(n);
+  query.inner = BprimeName(n);
+  query.outer_attr = gammadb::wisconsin::kUnique1;
+  query.inner_attr = gammadb::wisconsin::kUnique1;
+  query.mode = gammadb::gamma::JoinMode::kAllnodes;
+
+  auto& pool = gammadb::sim::HostPool::Instance();
+  const int initial_threads = pool.num_threads();
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  // Sweep powers of two up to the core count (or up to an explicitly
+  // requested --threads width, so narrow machines can still exercise >1).
+  const int top = std::max(static_cast<int>(cores), initial_threads);
+  std::vector<int> widths{1};
+  for (int w = 2; w <= top; w *= 2) widths.push_back(w);
+  if (widths.back() != top && top > 1) widths.push_back(top);
+
+  JsonReport report("micro_host_scaling");
+  FigureSeries series("Wall-clock by host threads", "threads",
+                      {"wall_sec", "speedup"});
+  double base_sec = 0;
+  double base_sim = 0;
+  for (const int w : widths) {
+    pool.set_num_threads(w);
+    const double t0 = WallSec();
+    const auto result = machine.RunJoin(query);
+    const double sec = WallSec() - t0;
+    GAMMA_CHECK(result.ok());
+    GAMMA_CHECK(result->result_tuples == n / 10);
+    if (w == 1) {
+      base_sec = sec;
+      base_sim = result->seconds();
+    }
+    // Determinism across widths: same simulated time to the last bit.
+    GAMMA_CHECK(result->seconds() == base_sim);
+    series.AddPoint(w, {sec, base_sec / sec});
+    report.Add("joinABprime/threads=" + std::to_string(w), *result);
+    report.AddScalar("wall_clock_sec/threads=" + std::to_string(w), sec);
+    report.AddScalar("wall_clock_speedup/threads=" + std::to_string(w),
+                     base_sec / sec);
+  }
+  pool.set_num_threads(initial_threads);
+  series.Print();
+  report.Write();
+  return 0;
+}

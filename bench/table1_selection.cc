@@ -148,8 +148,9 @@ double RunTeradataRow(teradata::TeradataMachine& machine, int row,
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf("Reproduction of Table 1: Selection Queries\n");
   JsonReport report("table1_selection");
   for (const uint32_t n : BenchSizes()) {

@@ -171,8 +171,9 @@ double RunTeradataRow(teradata::TeradataMachine& machine, int row,
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf("Reproduction of Table 2: Join Queries\n");
   std::printf("(Gamma: Remote mode, 4.8 MB aggregate hash-table memory)\n");
   JsonReport report("table2_join");

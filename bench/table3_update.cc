@@ -128,8 +128,9 @@ double RunTeradataRow(teradata::TeradataMachine& machine, int row,
 }  // namespace
 }  // namespace gammadb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gammadb::bench;
+  InitBench(argc, argv);
   std::printf("Reproduction of Table 3: Update Queries\n");
   for (const uint32_t n : BenchSizes()) {
     gammadb::gamma::GammaMachine gamma_machine(PaperGammaConfig());

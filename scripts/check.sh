@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and run the test suite twice — a plain
-# RelWithDebInfo build, then an ASan+UBSan build (GAMMA_SANITIZE=ON).
-# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+# Full pre-merge check: build and run the test suite three ways — a plain
+# RelWithDebInfo build, an ASan+UBSan build (GAMMA_SANITIZE=address), and a
+# TSan build (GAMMA_SANITIZE=thread) run with GAMMA_HOST_THREADS > 1 so the
+# host-parallel node executor is exercised across real threads.
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,14 +18,19 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }
 
-if [[ "$MODE" != "--sanitize-only" ]]; then
+if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   echo "== plain build =="
   run_suite build
 fi
 
-if [[ "$MODE" != "--plain-only" ]]; then
+if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
   echo "== sanitized build (ASan + UBSan) =="
-  run_suite build-sanitize -DGAMMA_SANITIZE=ON
+  run_suite build-sanitize -DGAMMA_SANITIZE=address
+fi
+
+if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
+  echo "== thread-sanitized build (TSan, 4 host threads) =="
+  GAMMA_HOST_THREADS=4 run_suite build-tsan -DGAMMA_SANITIZE=thread
 fi
 
 echo "All checks passed."

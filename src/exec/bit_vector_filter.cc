@@ -6,7 +6,7 @@
 namespace gammadb::exec {
 
 BitVectorFilter::BitVectorFilter(uint32_t bits, uint64_t salt)
-    : bits_((bits + 63) / 64 * 64), salt_(salt), words_(bits_ / 64, 0) {
+    : bits_((bits + 63) / 64 * 64), salt_(salt), words_(bits_ / 64) {
   GAMMA_CHECK(bits > 0);
 }
 
@@ -16,17 +16,21 @@ uint32_t BitVectorFilter::BitFor(int32_t key) const {
 
 void BitVectorFilter::Insert(int32_t key) {
   const uint32_t bit = BitFor(key);
-  words_[bit / 64] |= (uint64_t{1} << (bit % 64));
+  words_[bit / 64].fetch_or(uint64_t{1} << (bit % 64),
+                            std::memory_order_relaxed);
 }
 
 bool BitVectorFilter::MayContain(int32_t key) const {
   const uint32_t bit = BitFor(key);
-  return (words_[bit / 64] >> (bit % 64)) & 1;
+  return (words_[bit / 64].load(std::memory_order_relaxed) >> (bit % 64)) & 1;
 }
 
 double BitVectorFilter::FillFactor() const {
   uint64_t set = 0;
-  for (uint64_t word : words_) set += static_cast<uint64_t>(__builtin_popcountll(word));
+  for (const std::atomic<uint64_t>& word : words_) {
+    set += static_cast<uint64_t>(
+        __builtin_popcountll(word.load(std::memory_order_relaxed)));
+  }
   return static_cast<double>(set) / bits_;
 }
 

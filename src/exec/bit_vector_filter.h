@@ -1,6 +1,7 @@
 #ifndef GAMMA_EXEC_BIT_VECTOR_FILTER_H_
 #define GAMMA_EXEC_BIT_VECTOR_FILTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,9 @@ class BitVectorFilter {
   /// split-table routing salt so filter and routing stay independent.
   BitVectorFilter(uint32_t bits, uint64_t salt);
 
+  /// Safe to call concurrently from host-parallel build producers: setting a
+  /// bit is a relaxed atomic OR, which commutes, so the final filter content
+  /// is independent of task interleaving.
   void Insert(int32_t key);
 
   /// True when the key *may* be present (false positives possible, false
@@ -33,7 +37,7 @@ class BitVectorFilter {
 
   uint32_t bits_;
   uint64_t salt_;
-  std::vector<uint64_t> words_;
+  std::vector<std::atomic<uint64_t>> words_;
 };
 
 }  // namespace gammadb::exec

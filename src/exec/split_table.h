@@ -63,6 +63,12 @@ class SplitTable {
   /// always pays the network path, §4).
   void set_force_network(bool force) { force_network_ = force; }
 
+  /// Redirects accounting to `tracker` (null = no accounting). A split
+  /// table that stays open across phases — the join's per-site result
+  /// splits — charges into whichever host-parallel task shard currently
+  /// drives it; the machine rebinds it at task entry/exit.
+  void BindTracker(sim::CostTracker* tracker) { tracker_ = tracker; }
+
   /// Flushes partial packets and emits one end-of-stream control message per
   /// destination. Idempotent.
   void Close();

@@ -10,6 +10,7 @@
 
 #include "common/hash.h"
 #include "common/macros.h"
+#include "exec/exchange.h"
 #include "exec/hash_join.h"
 #include "exec/hybrid_join.h"
 #include "exec/merge_join.h"
@@ -91,8 +92,11 @@ class MergeJoinSite {
 GammaMachine::GammaMachine(GammaConfig config) : config_(config) {
   GAMMA_CHECK(config_.num_disk_nodes > 0);
   GAMMA_CHECK(config_.num_diskless_nodes >= 0);
-  faults_ = std::make_unique<sim::FaultInjector>(config_.fault,
-                                                 config_.num_disk_nodes);
+  // Disk fault streams cover the disk nodes; packet-drop streams cover every
+  // tracker node (diskless processors, scheduler, host and recovery server
+  // all send data packets).
+  faults_ = std::make_unique<sim::FaultInjector>(
+      config_.fault, config_.num_disk_nodes, config_.tracker_nodes());
   for (int i = 0; i < config_.total_query_nodes(); ++i) {
     // Only the disk nodes are subject to the fault schedule; diskless query
     // processors use their StorageManager solely for join spool files.
@@ -110,10 +114,17 @@ void GammaMachine::BindAll(sim::CostTracker* tracker) {
 }
 
 Status GammaMachine::FlushAllPools() {
-  for (auto& node : nodes_) {
-    GAMMA_RETURN_NOT_OK(node->pool().FlushAll());
+  // Every node is bound to the same tracker (or to none) between parallel
+  // steps; flush one host task per node and merge in node order.
+  sim::CostTracker* tracker = nodes_[0]->charge().tracker;
+  std::vector<NodeTask> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    tasks.push_back(NodeTask{static_cast<int>(i), [this, i](sim::CostTracker&) {
+                               return nodes_[i]->pool().FlushAll();
+                             }});
   }
-  return Status::OK();
+  return RunNodeTasks(tracker, std::move(tasks));
 }
 
 Result<GammaMachine::FragmentCopy> GammaMachine::ServingCopy(
@@ -225,53 +236,72 @@ Status GammaMachine::LoadTuples(
   }
   catalog::Partitioner partitioner(&meta->partitioning, &meta->schema,
                                    config_.num_disk_nodes);
+  // Route every tuple once on the coordinator, then fan the appends out one
+  // host task per disk node: a node appends exactly the subsequence of
+  // tuples homed (or backed up) on it, in input order — the same per-node
+  // append sequence the sequential loop produced, so the stored pages are
+  // bit-identical for any thread count.
+  std::vector<int> targets(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    targets[i] = partitioner.NodeFor(tuples[i]);
+  }
   struct Undo {
-    int node;
     uint32_t file;
     Rid rid;
   };
-  std::vector<Undo> undo;
-  undo.reserve(tuples.size());
-  Status failed = Status::OK();
-  for (const std::vector<uint8_t>& tuple : tuples) {
-    const int target = partitioner.NodeFor(tuple);
-    const uint32_t fid = meta->per_node_file[static_cast<size_t>(target)];
-    auto rid_or = nodes_[static_cast<size_t>(target)]->file(fid).Append(tuple);
-    if (!rid_or.ok()) {
-      failed = rid_or.status();
-      break;
-    }
-    undo.push_back({target, fid, *rid_or});
-    if (meta->backed_up) {
-      const int host = (target + 1) % config_.num_disk_nodes;
-      const uint32_t bfid =
-          meta->per_node_backup_file[static_cast<size_t>(target)];
-      auto brid_or =
-          nodes_[static_cast<size_t>(host)]->file(bfid).Append(tuple);
-      if (!brid_or.ok()) {
-        failed = brid_or.status();
-        break;
-      }
-      undo.push_back({host, bfid, *brid_or});
-    }
+  std::vector<std::vector<Undo>> undo(
+      static_cast<size_t>(config_.num_disk_nodes));
+  std::vector<NodeTask> tasks;
+  tasks.reserve(static_cast<size_t>(config_.num_disk_nodes));
+  for (int n = 0; n < config_.num_disk_nodes; ++n) {
+    tasks.push_back(NodeTask{
+        n, [&, n](sim::CostTracker&) -> Status {
+          storage::StorageManager& sm = *nodes_[static_cast<size_t>(n)];
+          std::vector<Undo>& mine = undo[static_cast<size_t>(n)];
+          for (size_t i = 0; i < tuples.size(); ++i) {
+            if (targets[i] == n) {
+              const uint32_t fid = meta->per_node_file[static_cast<size_t>(n)];
+              auto rid_or = sm.file(fid).Append(tuples[i]);
+              if (!rid_or.ok()) return rid_or.status();
+              mine.push_back({fid, *rid_or});
+            }
+            if (meta->backed_up &&
+                (targets[i] + 1) % config_.num_disk_nodes == n) {
+              const uint32_t bfid =
+                  meta->per_node_backup_file[static_cast<size_t>(targets[i])];
+              auto brid_or = sm.file(bfid).Append(tuples[i]);
+              if (!brid_or.ok()) return brid_or.status();
+              mine.push_back({bfid, *brid_or});
+            }
+          }
+          return Status::OK();
+        }});
   }
+  Status failed = RunNodeTasks(nullptr, std::move(tasks));
   if (failed.ok()) {
     // Loading is not a measured query: settle the pools now (uncharged) so
     // no load-time dirty page is written back on a later query's budget,
     // and so measured queries start cold. A node dying during this settle
     // fails the load too — the caller must see that the batch didn't land.
-    for (auto& node : nodes_) {
-      if (Status st = node->pool().Invalidate(); !st.ok() && failed.ok()) {
-        failed = st;
-      }
+    std::vector<NodeTask> settles;
+    settles.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      settles.push_back(NodeTask{static_cast<int>(i),
+                                 [this, i](sim::CostTracker&) {
+                                   return nodes_[i]->pool().Invalidate();
+                                 }});
     }
+    failed = RunNodeTasks(nullptr, std::move(settles));
   }
   if (!failed.ok()) {
     // All-or-nothing: tombstone everything this call appended while the
     // touched pages are still cached, then settle the pools (best effort on
     // a node that died mid-load — its data is lost with it regardless).
-    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-      nodes_[static_cast<size_t>(it->node)]->file(it->file).Delete(it->rid);
+    for (int n = 0; n < config_.num_disk_nodes; ++n) {
+      std::vector<Undo>& mine = undo[static_cast<size_t>(n)];
+      for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
+        nodes_[static_cast<size_t>(n)]->file(it->file).Delete(it->rid);
+      }
     }
     for (auto& node : nodes_) node->pool().Invalidate();
     return failed;
@@ -300,64 +330,88 @@ Status GammaMachine::BuildIndex(const std::string& name, int attr,
   index.attr = attr;
   index.clustered = clustered;
 
+  // Each node builds its fragment's index (and, for a clustered index, its
+  // reordered fragment) independently; the per-node file and index ids land
+  // in preassigned slots, so the catalog sees them in node order regardless
+  // of which host thread finished first.
+  std::vector<storage::FileId> new_files(
+      static_cast<size_t>(config_.num_disk_nodes), catalog::kNoFile);
+  std::vector<storage::IndexId> new_indices(
+      static_cast<size_t>(config_.num_disk_nodes));
+  std::vector<NodeTask> tasks;
+  tasks.reserve(static_cast<size_t>(config_.num_disk_nodes));
   for (int i = 0; i < config_.num_disk_nodes; ++i) {
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(i)];
-    storage::HeapFile& fragment =
-        sm.file(meta->per_node_file[static_cast<size_t>(i)]);
+    tasks.push_back(NodeTask{i, [&, i](sim::CostTracker&) -> Status {
+      storage::StorageManager& sm = *nodes_[static_cast<size_t>(i)];
+      storage::HeapFile& fragment =
+          sm.file(meta->per_node_file[static_cast<size_t>(i)]);
 
-    std::vector<std::pair<int32_t, Rid>> entries;
-    entries.reserve(fragment.num_tuples());
+      std::vector<std::pair<int32_t, Rid>> entries;
+      entries.reserve(fragment.num_tuples());
 
-    if (clustered) {
-      // Physically reorder the fragment into key order, then index it.
-      std::vector<std::vector<uint8_t>> tuples;
-      tuples.reserve(fragment.num_tuples());
-      GAMMA_RETURN_NOT_OK(
-          fragment.Scan([&](Rid, std::span<const uint8_t> tuple) {
-            tuples.emplace_back(tuple.begin(), tuple.end());
-            return true;
-          }));
-      std::stable_sort(tuples.begin(), tuples.end(),
-                       [&](const std::vector<uint8_t>& a,
-                           const std::vector<uint8_t>& b) {
-                         return TupleView(&meta->schema, a)
-                                    .GetInt(static_cast<size_t>(attr)) <
-                                TupleView(&meta->schema, b)
-                                    .GetInt(static_cast<size_t>(attr));
-                       });
-      const storage::FileId sorted_id = sm.CreateFile();
-      storage::HeapFile& sorted = sm.file(sorted_id);
-      for (const std::vector<uint8_t>& tuple : tuples) {
-        GAMMA_ASSIGN_OR_RETURN(const Rid rid, sorted.Append(tuple));
-        entries.emplace_back(
-            TupleView(&meta->schema, tuple).GetInt(static_cast<size_t>(attr)),
-            rid);
+      if (clustered) {
+        // Physically reorder the fragment into key order, then index it.
+        std::vector<std::vector<uint8_t>> tuples;
+        tuples.reserve(fragment.num_tuples());
+        GAMMA_RETURN_NOT_OK(
+            fragment.Scan([&](Rid, std::span<const uint8_t> tuple) {
+              tuples.emplace_back(tuple.begin(), tuple.end());
+              return true;
+            }));
+        std::stable_sort(tuples.begin(), tuples.end(),
+                         [&](const std::vector<uint8_t>& a,
+                             const std::vector<uint8_t>& b) {
+                           return TupleView(&meta->schema, a)
+                                      .GetInt(static_cast<size_t>(attr)) <
+                                  TupleView(&meta->schema, b)
+                                      .GetInt(static_cast<size_t>(attr));
+                         });
+        const storage::FileId sorted_id = sm.CreateFile();
+        storage::HeapFile& sorted = sm.file(sorted_id);
+        for (const std::vector<uint8_t>& tuple : tuples) {
+          GAMMA_ASSIGN_OR_RETURN(const Rid rid, sorted.Append(tuple));
+          entries.emplace_back(TupleView(&meta->schema, tuple)
+                                   .GetInt(static_cast<size_t>(attr)),
+                               rid);
+        }
+        new_files[static_cast<size_t>(i)] = sorted_id;
+      } else {
+        GAMMA_RETURN_NOT_OK(
+            fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
+              entries.emplace_back(TupleView(&meta->schema, tuple)
+                                       .GetInt(static_cast<size_t>(attr)),
+                                   rid);
+              return true;
+            }));
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.first != b.first) return a.first < b.first;
+                    return a.second < b.second;
+                  });
       }
-      sm.DropFile(meta->per_node_file[static_cast<size_t>(i)]);
-      meta->per_node_file[static_cast<size_t>(i)] = sorted_id;
-    } else {
-      GAMMA_RETURN_NOT_OK(
-          fragment.Scan([&](Rid rid, std::span<const uint8_t> tuple) {
-            entries.emplace_back(TupleView(&meta->schema, tuple)
-                                     .GetInt(static_cast<size_t>(attr)),
-                                 rid);
-            return true;
-          }));
-      std::sort(entries.begin(), entries.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.first != b.first) return a.first < b.first;
-                  return a.second < b.second;
-                });
-    }
 
-    std::vector<storage::BTree::Entry> btree_entries;
-    btree_entries.reserve(entries.size());
-    for (const auto& [key, rid] : entries) {
-      btree_entries.push_back(storage::BTree::Entry{key, rid});
+      std::vector<storage::BTree::Entry> btree_entries;
+      btree_entries.reserve(entries.size());
+      for (const auto& [key, rid] : entries) {
+        btree_entries.push_back(storage::BTree::Entry{key, rid});
+      }
+      const storage::IndexId index_id = sm.CreateIndex();
+      GAMMA_RETURN_NOT_OK(sm.index(index_id).BulkLoad(btree_entries));
+      new_indices[static_cast<size_t>(i)] = index_id;
+      return Status::OK();
+    }});
+  }
+  GAMMA_RETURN_NOT_OK(RunNodeTasks(nullptr, std::move(tasks)));
+
+  // Commit the build on the coordinator, in node order.
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    if (clustered) {
+      storage::StorageManager& sm = *nodes_[static_cast<size_t>(i)];
+      sm.DropFile(meta->per_node_file[static_cast<size_t>(i)]);
+      meta->per_node_file[static_cast<size_t>(i)] =
+          new_files[static_cast<size_t>(i)];
     }
-    const storage::IndexId index_id = sm.CreateIndex();
-    GAMMA_RETURN_NOT_OK(sm.index(index_id).BulkLoad(btree_entries));
-    index.per_node_index.push_back(index_id);
+    index.per_node_index.push_back(new_indices[static_cast<size_t>(i)]);
   }
 
   meta->indices.push_back(std::move(index));
@@ -529,78 +583,129 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
   }
 
   tracker.BeginPhase("select", sim::PhaseKind::kPipelined);
-  for (size_t s = 0; s < sources.size(); ++s) {
-    const FragmentCopy& src = sources[s];
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
-    GAMMA_CHECK(sm.locks()
-                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
-                    .ok());
 
-    // Build this source's split table: store destinations rotated by the
-    // source index so concurrent round-robin streams interleave evenly, or
-    // a single host destination for host-bound results.
-    std::vector<SplitTable::Destination> dests;
-    if (query.store_result) {
-      for (size_t d = 0; d < stores.size(); ++d) {
-        const size_t rotated = (d + s) % stores.size();
-        const int store_node = store_nodes[rotated];
-        dests.push_back(SplitTable::Destination{
-            store_node, [consumer = stores[rotated].get(), &log,
-                         store_node](std::span<const uint8_t> t) {
-              consumer->Consume(t);
-              log.Append(store_node, static_cast<uint32_t>(t.size()));
-            }});
-      }
-    } else {
-      dests.push_back(SplitTable::Destination{
-          config_.host_node(), [&result](std::span<const uint8_t> t) {
-            result.returned.emplace_back(t.begin(), t.end());
+  // Producer subphase: one host task per serving node scans its fragments
+  // and routes each selected tuple through the split table into the
+  // per-(source, consumer) exchange cell — the same routing decisions and
+  // network charges as direct delivery, buffered so the consumer side can
+  // replay them in canonical order after the barrier.
+  exec::Exchange ex(sources.size(),
+                    query.store_result ? stores.size() : size_t{1},
+                    meta->schema.tuple_size());
+  {
+    std::vector<NodeTask> scan_tasks;
+    for (const NodeGroup& group : GroupByServingNode(sources)) {
+      scan_tasks.push_back(NodeTask{
+          group.node, [&, group](sim::CostTracker& shard) -> Status {
+            storage::StorageManager& sm =
+                *nodes_[static_cast<size_t>(group.node)];
+            for (size_t s : group.members) {
+              const FragmentCopy& src = sources[s];
+              GAMMA_CHECK(sm.locks()
+                              .Acquire(txn, LockName::File(src.file),
+                                       LockMode::kShared)
+                              .ok());
+
+              // Store destinations rotated by the source index so concurrent
+              // round-robin streams interleave evenly, or a single host
+              // destination for host-bound results.
+              std::vector<SplitTable::Destination> dests;
+              if (query.store_result) {
+                for (size_t d = 0; d < stores.size(); ++d) {
+                  const size_t rotated = (d + s) % stores.size();
+                  dests.push_back(SplitTable::Destination{
+                      store_nodes[rotated],
+                      [&ex, s, rotated](std::span<const uint8_t> t) {
+                        ex.Append(s, rotated, t);
+                      }});
+                }
+              } else {
+                dests.push_back(SplitTable::Destination{
+                    config_.host_node(),
+                    [&ex, s](std::span<const uint8_t> t) {
+                      ex.Append(s, 0, t);
+                    }});
+              }
+              SplitTable split(src.node, &meta->schema,
+                               exec::RouteSpec::RoundRobin(),
+                               std::move(dests), &shard);
+              const exec::TupleSink emit =
+                  [&split](std::span<const uint8_t> t) { split.Send(t); };
+
+              const storage::HeapFile& fragment = sm.file(src.file);
+              // Backups carry no indexes: a backup-served fragment is always
+              // scanned.
+              const AccessPath path =
+                  src.backup ? AccessPath::kFileScan : decision.path;
+              switch (path) {
+                case AccessPath::kFileScan:
+                  GAMMA_RETURN_NOT_OK(exec::SelectScan(fragment, meta->schema,
+                                                       query.predicate,
+                                                       sm.charge(), emit)
+                                          .status());
+                  break;
+                case AccessPath::kClusteredIndex:
+                  GAMMA_RETURN_NOT_OK(
+                      exec::ClusteredIndexSelect(
+                          fragment,
+                          sm.index(decision.index->per_node_index
+                                       [static_cast<size_t>(src.node)]),
+                          decision.index->attr, meta->schema, query.predicate,
+                          sm.charge(), emit)
+                          .status());
+                  break;
+                case AccessPath::kNonClusteredIndex:
+                  GAMMA_RETURN_NOT_OK(
+                      exec::NonClusteredIndexSelect(
+                          fragment,
+                          sm.index(decision.index->per_node_index
+                                       [static_cast<size_t>(src.node)]),
+                          decision.index->attr, meta->schema, query.predicate,
+                          sm.charge(), emit)
+                          .status());
+                  break;
+                case AccessPath::kAuto:
+                  GAMMA_CHECK_MSG(false, "unresolved access path");
+              }
+              split.Close();
+              shard.ChargeControlMessage(src.node, config_.scheduler_node(),
+                                         /*blocking=*/false);
+            }
+            return Status::OK();
           }});
     }
-    SplitTable split(src.node, &meta->schema, exec::RouteSpec::RoundRobin(),
-                     std::move(dests), &tracker);
-    const exec::TupleSink emit = [&split](std::span<const uint8_t> t) {
-      split.Send(t);
-    };
-
-    const storage::HeapFile& fragment = sm.file(src.file);
-    // Backups carry no indexes: a backup-served fragment is always scanned.
-    const AccessPath path =
-        src.backup ? AccessPath::kFileScan : decision.path;
-    switch (path) {
-      case AccessPath::kFileScan:
-        GAMMA_RETURN_NOT_OK(exec::SelectScan(fragment, meta->schema,
-                                             query.predicate, sm.charge(),
-                                             emit)
-                                .status());
-        break;
-      case AccessPath::kClusteredIndex:
-        GAMMA_RETURN_NOT_OK(
-            exec::ClusteredIndexSelect(
-                fragment,
-                sm.index(decision.index
-                             ->per_node_index[static_cast<size_t>(src.node)]),
-                decision.index->attr, meta->schema, query.predicate,
-                sm.charge(), emit)
-                .status());
-        break;
-      case AccessPath::kNonClusteredIndex:
-        GAMMA_RETURN_NOT_OK(
-            exec::NonClusteredIndexSelect(
-                fragment,
-                sm.index(decision.index
-                             ->per_node_index[static_cast<size_t>(src.node)]),
-                decision.index->attr, meta->schema, query.predicate,
-                sm.charge(), emit)
-                .status());
-        break;
-      case AccessPath::kAuto:
-        GAMMA_CHECK_MSG(false, "unresolved access path");
-    }
-    split.Close();
-    tracker.ChargeControlMessage(src.node, config_.scheduler_node(),
-                                 /*blocking=*/false);
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(scan_tasks)));
   }
+
+  // Consumer subphase: each store site drains its exchange column in
+  // ascending source order — exactly the arrival order the sequential
+  // source loop produced — appending to its result fragment and logging.
+  if (query.store_result) {
+    std::vector<NodeTask> store_tasks;
+    for (size_t d = 0; d < stores.size(); ++d) {
+      const int store_node = store_nodes[d];
+      store_tasks.push_back(NodeTask{
+          store_node, [&, d, store_node](sim::CostTracker& shard) {
+            log.BindNode(store_node, &shard);
+            ex.Drain(d, [&, store_node](std::span<const uint8_t> t) {
+              stores[d]->Consume(t);
+              log.Append(store_node, static_cast<uint32_t>(t.size()));
+            });
+            log.BindNode(store_node, nullptr);
+            return Status::OK();
+          }});
+    }
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(store_tasks)));
+    log.Settle();
+  } else {
+    // Host-bound results are gathered by the coordinator (the host is not a
+    // simulated storage node; its packet costs were charged at the split).
+    ex.Drain(0, [&result](std::span<const uint8_t> t) {
+      result.returned.emplace_back(t.begin(), t.end());
+    });
+  }
+  ex.Clear();
+
   for (const auto& store : stores) {
     GAMMA_RETURN_NOT_OK(store->status());
   }
@@ -723,7 +828,12 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   }
 
   // Per-site result split tables (join output is declustered round-robin to
-  // the store operators; stays open across overflow rounds).
+  // the store operators; stays open across overflow rounds). Result tuples
+  // buffer in the (site, store) exchange; after every barrier where sites
+  // emitted, `drain_results` replays them to the store operators (or the
+  // host) in ascending site order.
+  exec::Exchange res_ex(nsites, query.store_result ? stores.size() : size_t{1},
+                        result_schema.tuple_size());
   std::vector<std::unique_ptr<SplitTable>> result_splits;
   std::vector<exec::TupleSink> result_sinks;
   for (size_t j = 0; j < nsites; ++j) {
@@ -731,18 +841,16 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
     if (query.store_result) {
       for (size_t d = 0; d < stores.size(); ++d) {
         const size_t rotated = (d + j) % stores.size();
-        const int store_node = store_nodes[rotated];
         dests.push_back(SplitTable::Destination{
-            store_node, [consumer = stores[rotated].get(), &log,
-                         store_node](std::span<const uint8_t> t) {
-              consumer->Consume(t);
-              log.Append(store_node, static_cast<uint32_t>(t.size()));
+            store_nodes[rotated],
+            [&res_ex, j, rotated](std::span<const uint8_t> t) {
+              res_ex.Append(j, rotated, t);
             }});
       }
     } else {
       dests.push_back(SplitTable::Destination{
-          config_.host_node(), [&result](std::span<const uint8_t> t) {
-            result.returned.emplace_back(t.begin(), t.end());
+          config_.host_node(), [&res_ex, j](std::span<const uint8_t> t) {
+            res_ex.Append(j, 0, t);
           }});
     }
     result_splits.push_back(std::make_unique<SplitTable>(
@@ -753,6 +861,51 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
           split->Send(t);
         });
   }
+  auto drain_results = [&]() -> Status {
+    if (query.store_result) {
+      std::vector<NodeTask> store_tasks;
+      for (size_t d = 0; d < stores.size(); ++d) {
+        const int store_node = store_nodes[d];
+        store_tasks.push_back(NodeTask{
+            store_node, [&, d, store_node](sim::CostTracker& shard) {
+              log.BindNode(store_node, &shard);
+              res_ex.Drain(d, [&, store_node](std::span<const uint8_t> t) {
+                stores[d]->Consume(t);
+                log.Append(store_node, static_cast<uint32_t>(t.size()));
+              });
+              log.BindNode(store_node, nullptr);
+              return Status::OK();
+            }});
+      }
+      GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(store_tasks)));
+      log.Settle();
+    } else {
+      res_ex.Drain(0, [&result](std::span<const uint8_t> t) {
+        result.returned.emplace_back(t.begin(), t.end());
+      });
+    }
+    res_ex.Clear();
+    return Status::OK();
+  };
+  // Runs `body(j, shard)` as one host task per join site, with site j's
+  // result split rebound to that task's shard (probe/bucket/merge work emits
+  // result tuples through it) and restored afterwards.
+  auto run_site_tasks =
+      [&](const std::function<Status(size_t, sim::CostTracker&)>& body)
+      -> Status {
+    std::vector<NodeTask> tasks;
+    tasks.reserve(nsites);
+    for (size_t j = 0; j < nsites; ++j) {
+      tasks.push_back(NodeTask{
+          join_nodes[j], [&, j](sim::CostTracker& shard) {
+            result_splits[j]->BindTracker(&shard);
+            const Status st = body(j, shard);
+            result_splits[j]->BindTracker(&tracker);
+            return st;
+          }});
+    }
+    return RunNodeTasks(&tracker, std::move(tasks));
+  };
 
   // Join sites: Simple (Gamma's algorithm), Hybrid (the §8 replacement), or
   // sort-merge (the Teradata-style alternative).
@@ -860,66 +1013,118 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   };
 
   // --- Build phase: select inner at every serving site, split on the join
-  // attribute to the join sites. ---
+  // attribute to the join sites. Producers buffer into the (fragment, site)
+  // exchange; after the barrier each site drains its column in ascending
+  // fragment order — the arrival order of the sequential loop. ---
   tracker.BeginPhase("build", sim::PhaseKind::kPipelined);
-  for (int f = 0; f < config_.num_disk_nodes; ++f) {
-    const FragmentCopy& src = inner_sources[static_cast<size_t>(f)];
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
-    GAMMA_CHECK(sm.locks()
-                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
-                    .ok());
-    std::vector<SplitTable::Destination> dests;
-    for (size_t j = 0; j < nsites; ++j) {
-      dests.push_back(SplitTable::Destination{join_nodes[j], build_deliver(j)});
-    }
-    SplitTable split(src.node, &inner->schema,
-                     exec::RouteSpec::HashAttr(query.inner_attr, routing_salt),
-                     std::move(dests), &tracker);
-    GAMMA_RETURN_NOT_OK(
-        exec::SelectScan(
-            sm.file(src.file), inner->schema, query.inner_pred, sm.charge(),
-            [&](std::span<const uint8_t> t) {
-              if (filter != nullptr) {
-                filter->Insert(
-                    TupleView(&inner->schema, t)
-                        .GetInt(static_cast<size_t>(query.inner_attr)));
+  exec::Exchange build_ex(static_cast<size_t>(config_.num_disk_nodes), nsites,
+                          inner->schema.tuple_size());
+  {
+    std::vector<NodeTask> scan_tasks;
+    for (const NodeGroup& group : GroupByServingNode(inner_sources)) {
+      scan_tasks.push_back(NodeTask{
+          group.node, [&, group](sim::CostTracker& shard) -> Status {
+            storage::StorageManager& sm =
+                *nodes_[static_cast<size_t>(group.node)];
+            for (size_t f : group.members) {
+              const FragmentCopy& src = inner_sources[f];
+              GAMMA_CHECK(sm.locks()
+                              .Acquire(txn, LockName::File(src.file),
+                                       LockMode::kShared)
+                              .ok());
+              std::vector<SplitTable::Destination> dests;
+              for (size_t j = 0; j < nsites; ++j) {
+                dests.push_back(SplitTable::Destination{
+                    join_nodes[j], [&build_ex, f, j](std::span<const uint8_t> t) {
+                      build_ex.Append(f, j, t);
+                    }});
               }
-              split.Send(t);
-            })
-            .status());
-    split.Close();
-    tracker.ChargeControlMessage(src.node, config_.scheduler_node(), false);
+              SplitTable split(
+                  src.node, &inner->schema,
+                  exec::RouteSpec::HashAttr(query.inner_attr, routing_salt),
+                  std::move(dests), &shard);
+              GAMMA_RETURN_NOT_OK(
+                  exec::SelectScan(
+                      sm.file(src.file), inner->schema, query.inner_pred,
+                      sm.charge(),
+                      [&](std::span<const uint8_t> t) {
+                        if (filter != nullptr) {
+                          filter->Insert(
+                              TupleView(&inner->schema, t)
+                                  .GetInt(
+                                      static_cast<size_t>(query.inner_attr)));
+                        }
+                        split.Send(t);
+                      })
+                      .status());
+              split.Close();
+              shard.ChargeControlMessage(src.node, config_.scheduler_node(),
+                                         false);
+            }
+            return Status::OK();
+          }});
+    }
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(scan_tasks)));
   }
+  GAMMA_RETURN_NOT_OK(run_site_tasks([&](size_t j, sim::CostTracker&) {
+    build_ex.Drain(j, build_deliver(j));
+    return Status::OK();
+  }));
+  build_ex.Clear();
   GAMMA_RETURN_NOT_OK(check_sites());
   GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
 
   // --- Probe phase: select outer, split with the same hash, probe. ---
   tracker.BeginPhase("probe", sim::PhaseKind::kPipelined);
-  for (int f = 0; f < config_.num_disk_nodes; ++f) {
-    const FragmentCopy& src = outer_sources[static_cast<size_t>(f)];
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
-    GAMMA_CHECK(sm.locks()
-                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
-                    .ok());
-    std::vector<SplitTable::Destination> dests;
-    for (size_t j = 0; j < nsites; ++j) {
-      dests.push_back(SplitTable::Destination{join_nodes[j], probe_deliver(j)});
+  exec::Exchange probe_ex(static_cast<size_t>(config_.num_disk_nodes), nsites,
+                          outer->schema.tuple_size());
+  {
+    std::vector<NodeTask> scan_tasks;
+    for (const NodeGroup& group : GroupByServingNode(outer_sources)) {
+      scan_tasks.push_back(NodeTask{
+          group.node, [&, group](sim::CostTracker& shard) -> Status {
+            storage::StorageManager& sm =
+                *nodes_[static_cast<size_t>(group.node)];
+            for (size_t f : group.members) {
+              const FragmentCopy& src = outer_sources[f];
+              GAMMA_CHECK(sm.locks()
+                              .Acquire(txn, LockName::File(src.file),
+                                       LockMode::kShared)
+                              .ok());
+              std::vector<SplitTable::Destination> dests;
+              for (size_t j = 0; j < nsites; ++j) {
+                dests.push_back(SplitTable::Destination{
+                    join_nodes[j], [&probe_ex, f, j](std::span<const uint8_t> t) {
+                      probe_ex.Append(f, j, t);
+                    }});
+              }
+              SplitTable split(
+                  src.node, &outer->schema,
+                  exec::RouteSpec::HashAttr(query.outer_attr, routing_salt),
+                  std::move(dests), &shard, filter.get(), query.outer_attr);
+              GAMMA_RETURN_NOT_OK(
+                  exec::SelectScan(sm.file(src.file), outer->schema,
+                                   query.outer_pred, sm.charge(),
+                                   [&split](std::span<const uint8_t> t) {
+                                     split.Send(t);
+                                   })
+                      .status());
+              split.Close();
+              shard.ChargeControlMessage(src.node, config_.scheduler_node(),
+                                         false);
+            }
+            return Status::OK();
+          }});
     }
-    SplitTable split(src.node, &outer->schema,
-                     exec::RouteSpec::HashAttr(query.outer_attr, routing_salt),
-                     std::move(dests), &tracker, filter.get(),
-                     query.outer_attr);
-    GAMMA_RETURN_NOT_OK(
-        exec::SelectScan(sm.file(src.file), outer->schema, query.outer_pred,
-                         sm.charge(),
-                         [&split](std::span<const uint8_t> t) {
-                           split.Send(t);
-                         })
-            .status());
-    split.Close();
-    tracker.ChargeControlMessage(src.node, config_.scheduler_node(), false);
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(scan_tasks)));
   }
+  GAMMA_RETURN_NOT_OK(run_site_tasks([&](size_t j, sim::CostTracker&) {
+    probe_ex.Drain(j, probe_deliver(j));
+    return Status::OK();
+  }));
+  probe_ex.Clear();
+  GAMMA_RETURN_NOT_OK(drain_results());
   GAMMA_RETURN_NOT_OK(check_sites());
   GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
@@ -927,10 +1132,10 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   if (query.algorithm == JoinAlgorithm::kHybridHash) {
     // Hybrid: spooled buckets are joined locally, one extra read each.
     tracker.BeginPhase("hybrid_buckets", sim::PhaseKind::kPipelined);
-    for (size_t j = 0; j < nsites; ++j) {
-      GAMMA_RETURN_NOT_OK(
-          hybrid_sites[j]->FinishSpooledBuckets(result_sinks[j]));
-    }
+    GAMMA_RETURN_NOT_OK(run_site_tasks([&](size_t j, sim::CostTracker&) {
+      return hybrid_sites[j]->FinishSpooledBuckets(result_sinks[j]);
+    }));
+    GAMMA_RETURN_NOT_OK(drain_results());
     GAMMA_RETURN_NOT_OK(check_sites());
     GAMMA_RETURN_NOT_OK(FlushAllPools());
     tracker.EndPhase();
@@ -939,7 +1144,7 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
     // attribute and merges them; memory bounds the run size, never the
     // join, so there are no overflow rounds.
     tracker.BeginPhase("sort_merge", sim::PhaseKind::kPipelined);
-    for (size_t j = 0; j < nsites; ++j) {
+    GAMMA_RETURN_NOT_OK(run_site_tasks([&](size_t j, sim::CostTracker&) {
       MergeJoinSite& site = *merge_sites[j];
       storage::StorageManager& sm = site.sm();
       const storage::FileId sorted_build = exec::ExternalSort(
@@ -954,7 +1159,9 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
                           result_sinks[j]);
       sm.DropFile(sorted_build);
       sm.DropFile(sorted_probe);
-    }
+      return Status::OK();
+    }));
+    GAMMA_RETURN_NOT_OK(drain_results());
     GAMMA_RETURN_NOT_OK(check_sites());
     GAMMA_RETURN_NOT_OK(FlushAllPools());
     tracker.EndPhase();
@@ -990,25 +1197,36 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
 
       tracker.BeginPhase("overflow_build_" + std::to_string(round),
                          sim::PhaseKind::kPipelined);
-      for (size_t j = 0; j < nsites; ++j) {
-        storage::StorageManager& sm =
-            *nodes_[static_cast<size_t>(join_nodes[j])];
-        std::vector<SplitTable::Destination> dests;
-        for (size_t k = 0; k < nsites; ++k) {
-          dests.push_back(
-              SplitTable::Destination{join_nodes[k], build_deliver(k)});
-        }
-        SplitTable split(
-            join_nodes[j], &inner->schema,
-            exec::RouteSpec::HashAttr(query.inner_attr, round_salt),
-            std::move(dests), &tracker);
-        GAMMA_RETURN_NOT_OK(simple_sites[j]->prev_build_spool().Scan(
-            [&](Rid, std::span<const uint8_t> t) {
-              sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
-              split.Send(t);
-              return true;
+      {
+        exec::Exchange oex(nsites, nsites, inner->schema.tuple_size());
+        GAMMA_RETURN_NOT_OK(
+            run_site_tasks([&](size_t j, sim::CostTracker& shard) -> Status {
+              storage::StorageManager& sm =
+                  *nodes_[static_cast<size_t>(join_nodes[j])];
+              std::vector<SplitTable::Destination> dests;
+              for (size_t k = 0; k < nsites; ++k) {
+                dests.push_back(SplitTable::Destination{
+                    join_nodes[k], [&oex, j, k](std::span<const uint8_t> t) {
+                      oex.Append(j, k, t);
+                    }});
+              }
+              SplitTable split(
+                  join_nodes[j], &inner->schema,
+                  exec::RouteSpec::HashAttr(query.inner_attr, round_salt),
+                  std::move(dests), &shard);
+              GAMMA_RETURN_NOT_OK(simple_sites[j]->prev_build_spool().Scan(
+                  [&](Rid, std::span<const uint8_t> t) {
+                    sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
+                    split.Send(t);
+                    return true;
+                  }));
+              split.Close();
+              return Status::OK();
             }));
-        split.Close();
+        GAMMA_RETURN_NOT_OK(run_site_tasks([&](size_t k, sim::CostTracker&) {
+          oex.Drain(k, build_deliver(k));
+          return Status::OK();
+        }));
       }
       GAMMA_RETURN_NOT_OK(check_sites());
       GAMMA_RETURN_NOT_OK(FlushAllPools());
@@ -1016,25 +1234,37 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
 
       tracker.BeginPhase("overflow_probe_" + std::to_string(round),
                          sim::PhaseKind::kPipelined);
-      for (size_t j = 0; j < nsites; ++j) {
-        storage::StorageManager& sm =
-            *nodes_[static_cast<size_t>(join_nodes[j])];
-        std::vector<SplitTable::Destination> dests;
-        for (size_t k = 0; k < nsites; ++k) {
-          dests.push_back(
-              SplitTable::Destination{join_nodes[k], probe_deliver(k)});
-        }
-        SplitTable split(
-            join_nodes[j], &outer->schema,
-            exec::RouteSpec::HashAttr(query.outer_attr, round_salt),
-            std::move(dests), &tracker);
-        GAMMA_RETURN_NOT_OK(simple_sites[j]->prev_probe_spool().Scan(
-            [&](Rid, std::span<const uint8_t> t) {
-              sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
-              split.Send(t);
-              return true;
+      {
+        exec::Exchange oex(nsites, nsites, outer->schema.tuple_size());
+        GAMMA_RETURN_NOT_OK(
+            run_site_tasks([&](size_t j, sim::CostTracker& shard) -> Status {
+              storage::StorageManager& sm =
+                  *nodes_[static_cast<size_t>(join_nodes[j])];
+              std::vector<SplitTable::Destination> dests;
+              for (size_t k = 0; k < nsites; ++k) {
+                dests.push_back(SplitTable::Destination{
+                    join_nodes[k], [&oex, j, k](std::span<const uint8_t> t) {
+                      oex.Append(j, k, t);
+                    }});
+              }
+              SplitTable split(
+                  join_nodes[j], &outer->schema,
+                  exec::RouteSpec::HashAttr(query.outer_attr, round_salt),
+                  std::move(dests), &shard);
+              GAMMA_RETURN_NOT_OK(simple_sites[j]->prev_probe_spool().Scan(
+                  [&](Rid, std::span<const uint8_t> t) {
+                    sm.charge().Cpu(config_.hw.cost.instr_per_tuple_scan);
+                    split.Send(t);
+                    return true;
+                  }));
+              split.Close();
+              return Status::OK();
             }));
-        split.Close();
+        GAMMA_RETURN_NOT_OK(run_site_tasks([&](size_t k, sim::CostTracker&) {
+          oex.Drain(k, probe_deliver(k));
+          return Status::OK();
+        }));
+        GAMMA_RETURN_NOT_OK(drain_results());
       }
       GAMMA_RETURN_NOT_OK(check_sites());
       GAMMA_RETURN_NOT_OK(FlushAllPools());
@@ -1045,6 +1275,7 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   // Final packets / end-of-stream from the join operators to the stores.
   tracker.BeginPhase("finalize", sim::PhaseKind::kPipelined);
   for (auto& split : result_splits) split->Close();
+  GAMMA_RETURN_NOT_OK(drain_results());
   GAMMA_RETURN_NOT_OK(check_sites());
   if (query.store_result && config_.enable_logging) {
     for (int node : store_nodes) log.Commit(node);

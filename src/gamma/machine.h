@@ -190,8 +190,37 @@ class GammaMachine {
     bool dismissed_ = false;
   };
 
+  /// One unit of host-parallel work: `body` runs on some pool thread with
+  /// exclusive ownership of node `owner`'s storage (owner < 0: no storage),
+  /// charging simulated costs into a private CostTracker shard.
+  struct NodeTask {
+    int owner;
+    std::function<Status(sim::CostTracker& shard)> body;
+  };
+
+  /// Participating fragments grouped by serving node (failover can map two
+  /// fragments onto one survivor; both must run in that node's task).
+  struct NodeGroup {
+    int node;
+    std::vector<size_t> members;  // indices into the sources vector
+  };
+
+  /// Runs `tasks` on the host pool (inline, in order, with one thread) and
+  /// barriers. Each task's node is bound to the task's shard for the
+  /// duration; afterwards shards are merged into `tracker` and nodes
+  /// rebound to it in task order, so accounting is byte-identical for every
+  /// thread count. Returns the first non-OK task status, in task order —
+  /// all tasks run to completion either way (an abort discards their work).
+  /// `tracker` may be null (uncharged work, e.g. loading).
+  Status RunNodeTasks(sim::CostTracker* tracker, std::vector<NodeTask> tasks);
+
+  static std::vector<NodeGroup> GroupByServingNode(
+      const std::vector<FragmentCopy>& sources);
+
   /// Binds every node's ChargeContext to `tracker` (or clears with null).
   void BindAll(sim::CostTracker* tracker);
+  /// Flushes every node's pool, one host task per node, charging whatever
+  /// tracker the nodes are currently bound to.
   Status FlushAllPools();
 
   /// Resolves which copy serves `fragment`, or Unavailable when neither the

@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "common/macros.h"
 #include "exec/aggregate.h"
+#include "exec/exchange.h"
 #include "exec/select.h"
 #include "exec/split_table.h"
 #include "gamma/machine.h"
@@ -76,26 +77,41 @@ Result<QueryResult> GammaMachine::RunAggregateAttempt(
   tracker.ChargeScheduling(1, static_cast<uint32_t>(sources.size()));
   tracker.ChargeScheduling(1, static_cast<uint32_t>(merge_sites.size()));
 
-  // --- Phase 1: local aggregation wherever each fragment is served. ---
-  std::vector<std::unique_ptr<GroupedAggregator>> locals;
+  // --- Phase 1: local aggregation wherever each fragment is served, one
+  // host task per serving node. ---
+  std::vector<std::unique_ptr<GroupedAggregator>> locals(
+      static_cast<size_t>(ndisk));
   tracker.BeginPhase("local_agg", sim::PhaseKind::kPipelined);
-  for (int f = 0; f < ndisk; ++f) {
-    const FragmentCopy& src = sources[static_cast<size_t>(f)];
-    storage::StorageManager& sm = *nodes_[static_cast<size_t>(src.node)];
-    GAMMA_CHECK(sm.locks()
-                    .Acquire(txn, LockName::File(src.file), LockMode::kShared)
-                    .ok());
-    locals.push_back(std::make_unique<GroupedAggregator>(
-        query.group_attr, query.value_attr, query.func, &meta->schema,
-        &sm.charge()));
-    GAMMA_RETURN_NOT_OK(
-        exec::SelectScan(sm.file(src.file), meta->schema, query.predicate,
-                         sm.charge(),
-                         [&](std::span<const uint8_t> t) {
-                           locals.back()->Consume(t);
-                         })
-            .status());
-    tracker.ChargeControlMessage(src.node, config_.scheduler_node(), false);
+  {
+    std::vector<NodeTask> tasks;
+    for (const NodeGroup& group : GroupByServingNode(sources)) {
+      tasks.push_back(NodeTask{
+          group.node, [&, group](sim::CostTracker& shard) -> Status {
+            storage::StorageManager& sm =
+                *nodes_[static_cast<size_t>(group.node)];
+            for (size_t f : group.members) {
+              const FragmentCopy& src = sources[f];
+              GAMMA_CHECK(sm.locks()
+                              .Acquire(txn, LockName::File(src.file),
+                                       LockMode::kShared)
+                              .ok());
+              locals[f] = std::make_unique<GroupedAggregator>(
+                  query.group_attr, query.value_attr, query.func,
+                  &meta->schema, &sm.charge());
+              GAMMA_RETURN_NOT_OK(
+                  exec::SelectScan(sm.file(src.file), meta->schema,
+                                   query.predicate, sm.charge(),
+                                   [&](std::span<const uint8_t> t) {
+                                     locals[f]->Consume(t);
+                                   })
+                      .status());
+              shard.ChargeControlMessage(src.node, config_.scheduler_node(),
+                                         false);
+            }
+            return Status::OK();
+          }});
+    }
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(tasks)));
   }
   GAMMA_RETURN_NOT_OK(FlushAllPools());
   tracker.EndPhase();
@@ -111,54 +127,98 @@ Result<QueryResult> GammaMachine::RunAggregateAttempt(
   }
   const uint64_t salt = next_salt_++;
   tracker.BeginPhase("global_agg", sim::PhaseKind::kPipelined);
-  for (int f = 0; f < ndisk; ++f) {
-    const FragmentCopy& src = sources[static_cast<size_t>(f)];
-    std::vector<SplitTable::Destination> dests;
-    for (size_t d = 0; d < merge_sites.size(); ++d) {
-      dests.push_back(SplitTable::Destination{
-          merge_sites[d], [&, d](std::span<const uint8_t> partial) {
-            int32_t group;
-            AggState state;
-            std::memcpy(&group, partial.data(), sizeof(group));
-            std::memcpy(&state, partial.data() + sizeof(group),
-                        sizeof(state));
-            globals[d]->MergeGroup(group, state);
+  {
+    // Producers: each serving node ships its fragments' partials through the
+    // split into the (fragment, merge-site) exchange.
+    exec::Exchange agg_ex(static_cast<size_t>(ndisk), merge_sites.size(),
+                          partial_schema.tuple_size());
+    std::vector<NodeTask> tasks;
+    for (const NodeGroup& group : GroupByServingNode(sources)) {
+      tasks.push_back(NodeTask{
+          group.node, [&, group](sim::CostTracker& shard) -> Status {
+            for (size_t f : group.members) {
+              const FragmentCopy& src = sources[f];
+              std::vector<SplitTable::Destination> dests;
+              for (size_t d = 0; d < merge_sites.size(); ++d) {
+                dests.push_back(SplitTable::Destination{
+                    merge_sites[d],
+                    [&agg_ex, f, d](std::span<const uint8_t> partial) {
+                      agg_ex.Append(f, d, partial);
+                    }});
+              }
+              SplitTable split(src.node, &partial_schema,
+                               query.group_attr < 0
+                                   ? exec::RouteSpec::Single(0)
+                                   : exec::RouteSpec::HashAttr(0, salt),
+                               std::move(dests), &shard);
+              catalog::TupleBuilder builder(&partial_schema);
+              for (const auto& [group_key, state] : locals[f]->groups()) {
+                builder.SetInt(0, group_key);
+                builder.SetChar(
+                    1, std::string_view(
+                           reinterpret_cast<const char*>(&state),
+                           sizeof(state)));
+                split.Send(builder.bytes());
+              }
+              split.Close();
+            }
+            return Status::OK();
           }});
     }
-    SplitTable split(src.node, &partial_schema,
-                     query.group_attr < 0
-                         ? exec::RouteSpec::Single(0)
-                         : exec::RouteSpec::HashAttr(0, salt),
-                     std::move(dests), &tracker);
-    catalog::TupleBuilder builder(&partial_schema);
-    for (const auto& [group, state] : locals[static_cast<size_t>(f)]->groups()) {
-      builder.SetInt(0, group);
-      builder.SetChar(1, std::string_view(
-                             reinterpret_cast<const char*>(&state),
-                             sizeof(state)));
-      split.Send(builder.bytes());
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(tasks)));
+    // Consumers: each merge site drains its column in ascending fragment
+    // order and folds the partials into its global aggregator.
+    std::vector<NodeTask> merges;
+    for (size_t d = 0; d < merge_sites.size(); ++d) {
+      merges.push_back(NodeTask{
+          merge_sites[d], [&, d](sim::CostTracker&) {
+            agg_ex.Drain(d, [&, d](std::span<const uint8_t> partial) {
+              int32_t group;
+              AggState state;
+              std::memcpy(&group, partial.data(), sizeof(group));
+              std::memcpy(&state, partial.data() + sizeof(group),
+                          sizeof(state));
+              globals[d]->MergeGroup(group, state);
+            });
+            return Status::OK();
+          }});
     }
-    split.Close();
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(merges)));
   }
   tracker.EndPhase();
 
   // --- Phase 3: return final values to the host. ---
   QueryResult result;
   tracker.BeginPhase("return", sim::PhaseKind::kPipelined);
-  for (size_t d = 0; d < merge_sites.size(); ++d) {
-    if (globals[d]->num_groups() == 0) continue;
-    std::vector<SplitTable::Destination> dests;
-    dests.push_back(SplitTable::Destination{
-        config_.host_node(), [&result](std::span<const uint8_t> t) {
-          result.returned.emplace_back(t.begin(), t.end());
-        }});
-    SplitTable split(merge_sites[d], &result_schema, exec::RouteSpec::Single(0),
-                     std::move(dests), &tracker);
-    globals[d]->EmitResults(
-        [&split](std::span<const uint8_t> t) { split.Send(t); });
-    split.Close();
-    tracker.ChargeControlMessage(merge_sites[d], config_.scheduler_node(),
-                                 false);
+  {
+    exec::Exchange ret_ex(merge_sites.size(), 1, result_schema.tuple_size());
+    std::vector<NodeTask> tasks;
+    for (size_t d = 0; d < merge_sites.size(); ++d) {
+      tasks.push_back(NodeTask{
+          merge_sites[d], [&, d](sim::CostTracker& shard) {
+            // Sites that received no groups send nothing (not even the
+            // end-of-stream split, matching the sequential schedule).
+            if (globals[d]->num_groups() == 0) return Status::OK();
+            std::vector<SplitTable::Destination> dests;
+            dests.push_back(SplitTable::Destination{
+                config_.host_node(), [&ret_ex, d](std::span<const uint8_t> t) {
+                  ret_ex.Append(d, 0, t);
+                }});
+            SplitTable split(merge_sites[d], &result_schema,
+                             exec::RouteSpec::Single(0), std::move(dests),
+                             &shard);
+            globals[d]->EmitResults(
+                [&split](std::span<const uint8_t> t) { split.Send(t); });
+            split.Close();
+            shard.ChargeControlMessage(merge_sites[d],
+                                       config_.scheduler_node(), false);
+            return Status::OK();
+          }});
+    }
+    GAMMA_RETURN_NOT_OK(RunNodeTasks(&tracker, std::move(tasks)));
+    ret_ex.Drain(0, [&result](std::span<const uint8_t> t) {
+      result.returned.emplace_back(t.begin(), t.end());
+    });
   }
   tracker.EndPhase();
 

@@ -1,0 +1,86 @@
+// Host-parallel task runner of GammaMachine: maps one phase's independent
+// per-node work onto the process-wide worker pool, with deterministic cost
+// accounting.
+//
+// Determinism contract: each task charges into a private CostTracker shard
+// (a full node-slot vector with no phases of its own); after the barrier the
+// shards are merged into the query tracker *in task order*. With one host
+// thread the same tasks run inline in the same order, so every simulated
+// time, counter and answer is byte-identical for any thread count — the
+// schedule decides only which core does the work, never what is charged.
+
+#include <memory>
+
+#include "common/macros.h"
+#include "gamma/machine.h"
+#include "sim/host_pool.h"
+
+namespace gammadb::gamma {
+
+std::vector<GammaMachine::NodeGroup> GammaMachine::GroupByServingNode(
+    const std::vector<FragmentCopy>& sources) {
+  std::vector<NodeGroup> groups;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const int node = sources[s].node;
+    NodeGroup* group = nullptr;
+    for (NodeGroup& existing : groups) {
+      if (existing.node == node) {
+        group = &existing;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      // Keep groups in ascending node order: it is the canonical merge
+      // order, and with failover off it equals fragment order.
+      size_t at = 0;
+      while (at < groups.size() && groups[at].node < node) ++at;
+      groups.insert(groups.begin() + static_cast<std::ptrdiff_t>(at),
+                    NodeGroup{node, {}});
+      group = &groups[at];
+    }
+    group->members.push_back(s);
+  }
+  return groups;
+}
+
+Status GammaMachine::RunNodeTasks(sim::CostTracker* tracker,
+                                  std::vector<NodeTask> tasks) {
+  const size_t n = tasks.size();
+  std::vector<std::unique_ptr<sim::CostTracker>> shards(n);
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::function<void()>> thunks;
+  thunks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards[i] =
+        std::make_unique<sim::CostTracker>(config_.hw, config_.tracker_nodes());
+    shards[i]->AttachFaultInjector(faults_.get());
+    thunks.push_back([this, i, tracker, &tasks, &shards, &statuses] {
+      const NodeTask& task = tasks[i];
+      if (task.owner >= 0) {
+        storage::StorageManager& sm = *nodes_[static_cast<size_t>(task.owner)];
+        sm.BeginExclusive();
+        if (tracker != nullptr) sm.BindTracker(shards[i].get(), task.owner);
+        statuses[i] = task.body(*shards[i]);
+        sm.EndExclusive();
+      } else {
+        statuses[i] = task.body(*shards[i]);
+      }
+    });
+  }
+  sim::HostPool::Instance().RunAll(thunks);
+  // Barrier passed: merge shards and restore the node bindings, in task
+  // order (callers build tasks in canonical node order).
+  for (size_t i = 0; i < n; ++i) {
+    if (tracker != nullptr) tracker->MergeUsage(*shards[i]);
+    if (tasks[i].owner >= 0) {
+      nodes_[static_cast<size_t>(tasks[i].owner)]->BindTracker(tracker,
+                                                               tasks[i].owner);
+    }
+  }
+  for (const Status& status : statuses) {
+    GAMMA_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace gammadb::gamma

@@ -11,14 +11,26 @@ RecoveryLog::RecoveryLog(sim::CostTracker* tracker, int recovery_node,
       page_size_(page_size) {
   if (tracker_ != nullptr) {
     GAMMA_CHECK(recovery_node >= 0 && recovery_node < tracker->num_nodes());
-    pending_.resize(static_cast<size_t>(tracker->num_nodes()), 0);
+    const size_t n = static_cast<size_t>(tracker->num_nodes());
+    pending_.resize(n, 0);
+    unsettled_.resize(n, 0);
+    overrides_.resize(n, nullptr);
+    records_.resize(n, 0);
+    bytes_.resize(n, 0);
   }
 }
 
-void RecoveryLog::ShipPacket(int src_node, uint64_t bytes) {
-  tracker_->ChargeDataPacket(src_node, recovery_node_, bytes);
-  // Server side: copy into the log buffer; write full log pages
-  // sequentially.
+sim::CostTracker* RecoveryLog::TrackerFor(int src_node) const {
+  sim::CostTracker* shard = overrides_[static_cast<size_t>(src_node)];
+  return shard != nullptr ? shard : tracker_;
+}
+
+void RecoveryLog::BindNode(int src_node, sim::CostTracker* shard) {
+  if (tracker_ == nullptr) return;
+  overrides_[static_cast<size_t>(src_node)] = shard;
+}
+
+void RecoveryLog::ApplyToServer(uint64_t bytes) {
   tracker_->ChargeCpu(recovery_node_,
                       tracker_->hw().cost.instr_per_tuple_copy);
   server_pending_ += bytes;
@@ -26,23 +38,51 @@ void RecoveryLog::ShipPacket(int src_node, uint64_t bytes) {
     tracker_->ChargeDiskWrite(recovery_node_, page_size_,
                               /*sequential=*/true);
     server_pending_ -= page_size_;
-    ++stats_.log_pages_written;
+    ++log_pages_written_;
+  }
+}
+
+void RecoveryLog::ShipPacket(int src_node, uint64_t bytes) {
+  sim::CostTracker* sink = TrackerFor(src_node);
+  sink->ChargeDataPacket(src_node, recovery_node_, bytes);
+  if (sink == tracker_) {
+    ApplyToServer(bytes);
+  } else {
+    // A task shard is driving this source: the server's sequential log is
+    // shared across sources, so its accounting waits for the next Settle().
+    // The receive-side packet charge above lands in the shard's slot for
+    // the recovery node and merges like any other usage.
+    unsettled_[static_cast<size_t>(src_node)] += bytes;
   }
 }
 
 void RecoveryLog::Append(int src_node, uint32_t payload_bytes) {
   const uint32_t record = kRecordHeaderBytes + payload_bytes;
-  ++stats_.records;
-  stats_.bytes += record;
-  if (tracker_ == nullptr) return;
+  if (tracker_ == nullptr) {
+    untracked_records_.fetch_add(1, std::memory_order_relaxed);
+    untracked_bytes_.fetch_add(record, std::memory_order_relaxed);
+    return;
+  }
+  ++records_[static_cast<size_t>(src_node)];
+  bytes_[static_cast<size_t>(src_node)] += record;
   // Building the record is cheap; shipping dominates.
-  tracker_->ChargeCpu(src_node, tracker_->hw().cost.instr_per_tuple_copy);
+  sim::CostTracker* sink = TrackerFor(src_node);
+  sink->ChargeCpu(src_node, sink->hw().cost.instr_per_tuple_copy);
   uint64_t& pending = pending_[static_cast<size_t>(src_node)];
   pending += record;
-  const uint64_t payload = tracker_->hw().net.packet_payload_bytes;
+  const uint64_t payload = sink->hw().net.packet_payload_bytes;
   while (pending >= payload) {
     ShipPacket(src_node, payload);
     pending -= payload;
+  }
+}
+
+void RecoveryLog::Settle() {
+  if (tracker_ == nullptr) return;
+  for (size_t node = 0; node < unsettled_.size(); ++node) {
+    if (unsettled_[node] == 0) continue;
+    ApplyToServer(unsettled_[node]);
+    unsettled_[node] = 0;
   }
 }
 
@@ -53,17 +93,31 @@ void RecoveryLog::Commit(int src_node) {
     ShipPacket(src_node, pending);
     pending = 0;
   }
+  Settle();
   if (server_pending_ > 0) {
     // Force the log tail (partial page) at commit.
     tracker_->ChargeDiskWrite(recovery_node_, page_size_,
                               /*sequential=*/true);
     server_pending_ = 0;
-    ++stats_.log_pages_written;
-    ++stats_.forced_flushes;
+    ++log_pages_written_;
+    ++forced_flushes_;
   }
   // Commit acknowledgement round trip.
   tracker_->ChargeControlMessage(src_node, recovery_node_, /*blocking=*/true);
   tracker_->ChargeControlMessage(recovery_node_, src_node, /*blocking=*/false);
+}
+
+RecoveryLog::Stats RecoveryLog::stats() const {
+  Stats total;
+  total.records = untracked_records_.load(std::memory_order_relaxed);
+  total.bytes = untracked_bytes_.load(std::memory_order_relaxed);
+  for (size_t node = 0; node < records_.size(); ++node) {
+    total.records += records_[node];
+    total.bytes += bytes_[node];
+  }
+  total.log_pages_written = log_pages_written_;
+  total.forced_flushes = forced_flushes_;
+  return total;
 }
 
 }  // namespace gammadb::gamma

@@ -1,6 +1,7 @@
 #ifndef GAMMA_GAMMA_RECOVERY_LOG_H_
 #define GAMMA_GAMMA_RECOVERY_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,14 @@ namespace gammadb::gamma {
 /// operator ships log records (packed into network packets) to a dedicated
 /// recovery processor, which appends them to a sequential log; commit forces
 /// the tail of the log and acknowledges.
+///
+/// Host-parallel execution: store operators on different nodes append log
+/// records concurrently, so all per-source state (pending bytes, record
+/// counters, the charging sink) is per node, and the *server-side* work —
+/// sequential log-page writes fed by every source — is deferred while any
+/// source is rebound to a task shard (BindNode) and applied in canonical
+/// node order at Settle(). The sequential coordinator path (no BindNode
+/// calls) applies server work immediately, exactly as before.
 ///
 /// Enabled via GammaConfig::enable_logging; the ablation bench
 /// `extension_recovery_server` measures what this full-recovery path costs
@@ -42,28 +51,59 @@ class RecoveryLog {
   RecoveryLog(const RecoveryLog&) = delete;
   RecoveryLog& operator=(const RecoveryLog&) = delete;
 
+  /// Redirects `src_node`'s charging to a host-parallel task shard (null
+  /// restores the query tracker). While bound, the node's shipped packets
+  /// accumulate toward the next Settle() instead of being applied to the
+  /// server log immediately.
+  void BindNode(int src_node, sim::CostTracker* shard);
+
   /// Logs one record of `payload_bytes` (tuple image(s)) from `src_node`.
   /// Full packets are shipped to the recovery server as they fill; the
   /// server appends them to the sequential log as pages fill.
   void Append(int src_node, uint32_t payload_bytes);
 
+  /// Applies packets shipped by task-bound sources to the server's
+  /// sequential log, in canonical node order, charging the query tracker.
+  /// The machine calls this at every phase barrier where stores logged;
+  /// no-op when nothing is deferred.
+  void Settle();
+
   /// Commit point for `src_node`: flushes its partial packet, forces the
   /// log tail, and waits for the acknowledgement.
   void Commit(int src_node);
 
-  const Stats& stats() const { return stats_; }
+  /// Counters aggregated over the per-node streams.
+  Stats stats() const;
 
  private:
+  sim::CostTracker* TrackerFor(int src_node) const;
   void ShipPacket(int src_node, uint64_t bytes);
+  /// Server side: copy `bytes` into the log buffer, write full pages.
+  void ApplyToServer(uint64_t bytes);
 
   sim::CostTracker* tracker_;
   int recovery_node_;
   uint32_t page_size_;
   /// Unshipped log bytes per source node.
   std::vector<uint64_t> pending_;
+  /// Shipped bytes per source awaiting server-side settlement (only used
+  /// while the source is bound to a shard).
+  std::vector<uint64_t> unsettled_;
+  /// Task-shard overrides per source node (null = the query tracker).
+  std::vector<sim::CostTracker*> overrides_;
+  /// Per-source record/byte counters (single writer: the owning task).
+  std::vector<uint64_t> records_;
+  std::vector<uint64_t> bytes_;
   /// Bytes accumulated at the server toward the next log page.
   uint64_t server_pending_ = 0;
-  Stats stats_;
+  uint64_t log_pages_written_ = 0;
+  uint64_t forced_flushes_ = 0;
+  /// Record/byte counters used when no tracker is attached (logging off:
+  /// there are no per-node vectors to write into). Atomic because parallel
+  /// store tasks bump them concurrently; relaxed increments commute, so the
+  /// totals stay deterministic.
+  std::atomic<uint64_t> untracked_records_{0};
+  std::atomic<uint64_t> untracked_bytes_{0};
 };
 
 }  // namespace gammadb::gamma

@@ -219,6 +219,17 @@ void CostTracker::ChargeScheduling(uint32_t num_operators,
   metrics_.scheduling_sec += msgs * hw_.net.control_msg_sec;
 }
 
+void CostTracker::MergeUsage(const CostTracker& shard) {
+  GAMMA_CHECK_MSG(in_phase_, "MergeUsage outside a phase");
+  GAMMA_CHECK(shard.nodes_.size() == nodes_.size());
+  GAMMA_CHECK_MSG(shard.metrics_.phases.empty() && !shard.in_phase_,
+                  "shard trackers never run phases of their own");
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].Add(shard.nodes_[i]);
+  }
+  phase_ring_bytes_ += shard.phase_ring_bytes_;
+}
+
 QueryMetrics CostTracker::Finish() {
   GAMMA_CHECK_MSG(!in_phase_, "Finish inside an open phase");
   return std::move(metrics_);

@@ -147,6 +147,15 @@ class CostTracker {
 
   void AddOverflowRound() { ++metrics_.overflow_rounds; }
 
+  /// Adds another tracker's accumulated per-node usage (and pending ring
+  /// bytes) into the current open phase. This is how the host-parallel
+  /// executor folds the private shard each node task charged into back into
+  /// the query's tracker: shards are merged in canonical node order at every
+  /// phase barrier, so the result is independent of how the tasks were
+  /// scheduled onto host threads. `shard` must have the same node count and
+  /// must not have closed any phase of its own.
+  void MergeUsage(const CostTracker& shard);
+
   /// Usage accumulated so far for `node` in the current phase (test hook).
   const NodeUsage& current(int node) const { return nodes_.at(node); }
 

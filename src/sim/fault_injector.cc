@@ -7,17 +7,27 @@ namespace gammadb::sim {
 
 namespace {
 
-/// Stream seed for node i: hash the master seed with the node id so nearby
-/// seeds do not produce correlated schedules.
+/// Disk stream seed for node i: hash the master seed with the node id so
+/// nearby seeds do not produce correlated schedules. (Unchanged from the
+/// sequential injector, so disk fault schedules are reproducible across
+/// versions.)
 uint64_t NodeSeed(uint64_t master, uint64_t node) {
   const uint64_t key[2] = {master, node};
   return HashBytes(key, sizeof(key), 0xFA017);
 }
 
+/// Packet stream seed for sender i: a third key word keeps every sender's
+/// packet stream independent of all the disk streams.
+uint64_t PacketSeed(uint64_t master, uint64_t node) {
+  const uint64_t key[3] = {master, node, 0x9AC4E7};
+  return HashBytes(key, sizeof(key), 0xFA017);
+}
+
 }  // namespace
 
-FaultInjector::FaultInjector(const FaultConfig& config, int num_disk_nodes)
-    : config_(config), packet_rng_(NodeSeed(config.seed, 0xFFFF)) {
+FaultInjector::FaultInjector(const FaultConfig& config, int num_disk_nodes,
+                             int num_packet_nodes)
+    : config_(config) {
   GAMMA_CHECK(num_disk_nodes > 0);
   GAMMA_CHECK(config.transient_read_prob >= 0 &&
               config.transient_read_prob < 1);
@@ -28,6 +38,14 @@ FaultInjector::FaultInjector(const FaultConfig& config, int num_disk_nodes)
   nodes_.reserve(static_cast<size_t>(num_disk_nodes));
   for (int i = 0; i < num_disk_nodes; ++i) {
     nodes_.emplace_back(NodeSeed(config.seed, static_cast<uint64_t>(i)));
+  }
+  const int packet_count =
+      num_packet_nodes < 0 ? num_disk_nodes : num_packet_nodes;
+  GAMMA_CHECK(packet_count >= num_disk_nodes);
+  packet_nodes_.reserve(static_cast<size_t>(packet_count));
+  for (int i = 0; i < packet_count; ++i) {
+    packet_nodes_.emplace_back(
+        PacketSeed(config.seed, static_cast<uint64_t>(i)));
   }
 }
 
@@ -72,12 +90,12 @@ DiskFault FaultInjector::OnRead(int i) {
   TickOps(state);
   if (config_.transient_read_prob > 0 &&
       state.rng.NextDouble() < config_.transient_read_prob) {
-    ++stats_.transient_read_faults;
+    ++state.stats.transient_read_faults;
     return DiskFault::kTransient;
   }
   if (config_.corrupt_read_prob > 0 &&
       state.rng.NextDouble() < config_.corrupt_read_prob) {
-    ++stats_.corrupted_reads;
+    ++state.stats.corrupted_reads;
     return DiskFault::kCorrupt;
   }
   return DiskFault::kNone;
@@ -88,19 +106,36 @@ DiskFault FaultInjector::OnWrite(int i) {
   TickOps(state);
   if (config_.transient_write_prob > 0 &&
       state.rng.NextDouble() < config_.transient_write_prob) {
-    ++stats_.transient_write_faults;
+    ++state.stats.transient_write_faults;
     return DiskFault::kTransient;
   }
   return DiskFault::kNone;
 }
 
-bool FaultInjector::OnPacket(int /*src_node*/) {
+bool FaultInjector::OnPacket(int src_node) {
   if (config_.drop_packet_prob <= 0) return false;
-  if (packet_rng_.NextDouble() < config_.drop_packet_prob) {
-    ++stats_.packets_dropped;
+  GAMMA_CHECK_MSG(
+      src_node >= 0 && static_cast<size_t>(src_node) < packet_nodes_.size(),
+      "fault injector: packet sender out of range");
+  PacketState& state = packet_nodes_[static_cast<size_t>(src_node)];
+  if (state.rng.NextDouble() < config_.drop_packet_prob) {
+    ++state.dropped;
     return true;
   }
   return false;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  Stats total;
+  for (const NodeState& state : nodes_) {
+    total.transient_read_faults += state.stats.transient_read_faults;
+    total.transient_write_faults += state.stats.transient_write_faults;
+    total.corrupted_reads += state.stats.corrupted_reads;
+  }
+  for (const PacketState& state : packet_nodes_) {
+    total.packets_dropped += state.dropped;
+  }
+  return total;
 }
 
 }  // namespace gammadb::sim

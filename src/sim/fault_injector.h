@@ -41,6 +41,14 @@ enum class DiskFault {
 /// (config.seed, node), so a node's fault schedule depends only on the
 /// sequence of operations *on that node* — replays are bit-for-bit
 /// reproducible regardless of how operations interleave across nodes.
+/// Packet drops likewise draw from a per-sender stream seeded from
+/// (config.seed, sender, stream tag), so the drop schedule a node sees
+/// depends only on its own packet sequence — a requirement of the
+/// host-parallel executor, where nodes send concurrently and a shared
+/// stream's draw order would vary with thread scheduling. Per-node streams
+/// and counters also make the draw paths thread-safe under the executor's
+/// one-task-per-node discipline without any locking.
+///
 /// Storage charging points (SimulatedDisk) consult OnRead/OnWrite; the cost
 /// tracker's packet path consults OnPacket.
 ///
@@ -56,7 +64,11 @@ class FaultInjector {
     uint64_t packets_dropped = 0;
   };
 
-  FaultInjector(const FaultConfig& config, int num_disk_nodes);
+  /// `num_packet_nodes` bounds the sender indices OnPacket accepts (the
+  /// machine passes its tracker node count: query nodes + scheduler + host +
+  /// recovery server all send packets). Defaults to the disk-node count.
+  FaultInjector(const FaultConfig& config, int num_disk_nodes,
+                int num_packet_nodes = -1);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -91,10 +103,11 @@ class FaultInjector {
   DiskFault OnWrite(int node);
 
   /// True when one data packet sent by `node` should be charged a
-  /// retransmission.
+  /// retransmission. Draws from `node`'s own packet stream.
   bool OnPacket(int node);
 
-  const Stats& stats() const { return stats_; }
+  /// Counters aggregated over the per-node streams.
+  Stats stats() const;
 
  private:
   struct NodeState {
@@ -103,8 +116,17 @@ class FaultInjector {
     uint64_t ops = 0;
     /// Node dies when ops reaches this count. UINT64_MAX = never.
     uint64_t death_at_ops = UINT64_MAX;
+    Stats stats;
 
     explicit NodeState(uint64_t seed) : rng(seed) {}
+  };
+
+  /// One sender's packet-drop stream (every tracker node can send).
+  struct PacketState {
+    Rng rng;
+    uint64_t dropped = 0;
+
+    explicit PacketState(uint64_t seed) : rng(seed) {}
   };
 
   NodeState& node(int i);
@@ -113,10 +135,7 @@ class FaultInjector {
 
   FaultConfig config_;
   std::vector<NodeState> nodes_;
-  /// Packet drops draw from their own stream so disk and network schedules
-  /// stay independent.
-  Rng packet_rng_;
-  Stats stats_;
+  std::vector<PacketState> packet_nodes_;
 };
 
 }  // namespace gammadb::sim

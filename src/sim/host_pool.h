@@ -1,0 +1,75 @@
+#ifndef GAMMA_SIM_HOST_POOL_H_
+#define GAMMA_SIM_HOST_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gammadb::sim {
+
+/// \brief Fixed pool of host worker threads that runs one batch of
+/// independent tasks per call — the substrate the Gamma machine uses to run
+/// its simulated nodes' per-phase work on real cores.
+///
+/// The pool is a process-wide singleton sized from GAMMA_HOST_THREADS
+/// (default: hardware_concurrency). With 1 thread every batch runs inline on
+/// the calling thread, in task order, with no worker handoff — the
+/// sequential reference schedule. With N threads the same tasks run
+/// concurrently; the caller is responsible for making tasks independent
+/// (the machine layer gives each task exclusive ownership of one node's
+/// storage and a private cost shard, merging shards in canonical order at
+/// the barrier RunAll provides).
+///
+/// RunAll is a full barrier: it returns only after every task has finished.
+/// The calling thread participates in the work, so a pool of size N uses
+/// N-1 workers. Nested RunAll from inside a task degrades to inline
+/// execution (no deadlock, same results).
+class HostPool {
+ public:
+  static HostPool& Instance();
+
+  HostPool(const HostPool&) = delete;
+  HostPool& operator=(const HostPool&) = delete;
+
+  /// Threads the pool schedules over (>= 1).
+  int num_threads() const { return num_threads_; }
+
+  /// Resizes the pool (test / bench hook; also how --threads is applied).
+  /// Must not be called while a RunAll is in flight.
+  void set_num_threads(int n);
+
+  /// Runs every task to completion. Tasks may run in any order on any
+  /// thread; the call itself is the barrier.
+  void RunAll(const std::vector<std::function<void()>>& tasks);
+
+  /// GAMMA_HOST_THREADS when set and valid, else hardware_concurrency.
+  static int DefaultThreads();
+
+ private:
+  HostPool();
+  ~HostPool();
+
+  void StartWorkers(int count);
+  void StopWorkers();
+  void WorkerLoop();
+  void DrainTasks();
+
+  std::vector<std::thread> workers_;
+  int num_threads_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<std::function<void()>>* tasks_ = nullptr;
+  size_t next_task_ = 0;
+  size_t tasks_done_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_HOST_POOL_H_

@@ -1,10 +1,12 @@
 #ifndef GAMMA_STORAGE_STORAGE_MANAGER_H_
 #define GAMMA_STORAGE_STORAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 
+#include "common/macros.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
@@ -38,6 +40,16 @@ class StorageManager {
   void BindTracker(sim::CostTracker* tracker, int node);
   const ChargeContext& charge() const { return charge_; }
 
+  /// Single-writer-per-node invariant of the host-parallel executor: a task
+  /// claims the node's storage for the duration of one parallel step.
+  /// Two live claims mean two tasks were scheduled onto one node — a
+  /// scheduling bug, aborted loudly rather than raced through.
+  void BeginExclusive() {
+    GAMMA_CHECK_MSG(!exclusive_.exchange(true, std::memory_order_acquire),
+                    "two host tasks claimed one node's storage");
+  }
+  void EndExclusive() { exclusive_.store(false, std::memory_order_release); }
+
   BufferPool& pool() { return pool_; }
   LockManager& locks() { return locks_; }
   SimulatedDisk& disk() { return disk_; }
@@ -63,6 +75,7 @@ class StorageManager {
   std::unordered_map<IndexId, std::unique_ptr<BTree>> indices_;
   FileId next_file_id_ = 1;
   IndexId next_index_id_ = 1;
+  std::atomic<bool> exclusive_{false};
 };
 
 }  // namespace gammadb::storage

@@ -1,0 +1,237 @@
+// Determinism tests for the host-parallel node executor: the same queries
+// run with 1 host thread (the sequential reference schedule) and with
+// several host threads must produce byte-identical answers, bit-identical
+// simulated times, and field-identical metrics — including recovery-log and
+// fault-injection statistics under an injected fault schedule.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gamma/machine.h"
+#include "sim/host_pool.h"
+#include "test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+using exec::QueryResult;
+
+constexpr int kManyThreads = 4;
+
+gamma::GammaConfig ParallelConfig() {
+  gamma::GammaConfig config;
+  config.num_disk_nodes = 4;
+  config.num_diskless_nodes = 4;
+  config.join_memory_total = 4 << 20;
+  config.chained_declustering = true;
+  return config;
+}
+
+/// Runs `body` with the host pool set to `threads`, restoring the previous
+/// width afterwards.
+template <typename Fn>
+auto WithThreads(int threads, Fn&& body) {
+  auto& pool = sim::HostPool::Instance();
+  const int prev = pool.num_threads();
+  pool.set_num_threads(threads);
+  auto result = body();
+  pool.set_num_threads(prev);
+  return result;
+}
+
+/// Exact (bitwise for doubles) equality over every metrics field the cost
+/// model reports. The parallel executor merges per-task shards in canonical
+/// node order, so even floating-point sums must match the 1-thread run.
+void ExpectMetricsEq(const sim::QueryMetrics& a, const sim::QueryMetrics& b) {
+  EXPECT_EQ(a.scheduling_sec, b.scheduling_sec);
+  EXPECT_EQ(a.scheduling_msgs, b.scheduling_msgs);
+  EXPECT_EQ(a.overflow_rounds, b.overflow_rounds);
+  EXPECT_EQ(a.log_records, b.log_records);
+  EXPECT_EQ(a.log_forced_flushes, b.log_forced_flushes);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (size_t p = 0; p < a.phases.size(); ++p) {
+    const sim::PhaseMetrics& pa = a.phases[p];
+    const sim::PhaseMetrics& pb = b.phases[p];
+    EXPECT_EQ(pa.name, pb.name);
+    EXPECT_EQ(pa.kind, pb.kind);
+    EXPECT_EQ(pa.elapsed_sec, pb.elapsed_sec) << pa.name;
+    EXPECT_EQ(pa.ring_bytes, pb.ring_bytes) << pa.name;
+    EXPECT_EQ(pa.ring_limited, pb.ring_limited) << pa.name;
+    EXPECT_EQ(pa.bottleneck_node, pb.bottleneck_node) << pa.name;
+    EXPECT_EQ(pa.bottleneck_resource, pb.bottleneck_resource) << pa.name;
+    ASSERT_EQ(pa.per_node.size(), pb.per_node.size());
+    for (size_t i = 0; i < pa.per_node.size(); ++i) {
+      const sim::NodeUsage& ua = pa.per_node[i];
+      const sim::NodeUsage& ub = pb.per_node[i];
+      EXPECT_EQ(ua.disk_sec, ub.disk_sec) << pa.name << " node " << i;
+      EXPECT_EQ(ua.cpu_sec, ub.cpu_sec) << pa.name << " node " << i;
+      EXPECT_EQ(ua.net_sec, ub.net_sec) << pa.name << " node " << i;
+      EXPECT_EQ(ua.serial_sec, ub.serial_sec) << pa.name << " node " << i;
+      EXPECT_EQ(ua.seq_page_ios, ub.seq_page_ios);
+      EXPECT_EQ(ua.rand_page_ios, ub.rand_page_ios);
+      EXPECT_EQ(ua.pages_read, ub.pages_read);
+      EXPECT_EQ(ua.pages_written, ub.pages_written);
+      EXPECT_EQ(ua.buffer_hits, ub.buffer_hits);
+      EXPECT_EQ(ua.packets_sent, ub.packets_sent);
+      EXPECT_EQ(ua.packets_short_circuited, ub.packets_short_circuited);
+      EXPECT_EQ(ua.packets_retransmitted, ub.packets_retransmitted);
+      EXPECT_EQ(ua.bytes_sent, ub.bytes_sent);
+      EXPECT_EQ(ua.bytes_short_circuited, ub.bytes_short_circuited);
+      EXPECT_EQ(ua.control_msgs, ub.control_msgs);
+    }
+  }
+}
+
+struct RunOutput {
+  QueryResult result;
+  std::vector<std::vector<uint8_t>> stored;  // result relation, if any
+  sim::FaultInjector::Stats fault_stats;
+};
+
+/// Builds a fresh machine, loads the benchmark relations, and runs `query`,
+/// all under one host-pool width — end-to-end, so load and index fan-out are
+/// covered by the determinism check too.
+RunOutput RunEndToEnd(
+    const gamma::GammaConfig& config,
+    const std::function<Result<QueryResult>(gamma::GammaMachine&)>& query) {
+  gamma::GammaMachine machine(config);
+  GAMMA_CHECK(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(
+      machine.LoadTuples("A", wis::GenerateWisconsin(2000, 7)).ok());
+  GAMMA_CHECK(machine
+                  .CreateRelation("B", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(
+      machine.LoadTuples("B", wis::GenerateWisconsin(1000, 8)).ok());
+
+  auto result = query(machine);
+  GAMMA_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  RunOutput out{*std::move(result), {}, machine.faults().stats()};
+  if (!out.result.result_relation.empty()) {
+    out.stored = *machine.ReadRelation(out.result.result_relation);
+  }
+  return out;
+}
+
+void ExpectRunsIdentical(
+    const gamma::GammaConfig& config,
+    const std::function<Result<QueryResult>(gamma::GammaMachine&)>& query) {
+  const RunOutput one =
+      WithThreads(1, [&] { return RunEndToEnd(config, query); });
+  const RunOutput many =
+      WithThreads(kManyThreads, [&] { return RunEndToEnd(config, query); });
+
+  // Byte-identical answers, in order — not just as multisets.
+  EXPECT_EQ(one.result.returned, many.result.returned);
+  EXPECT_EQ(one.stored, many.stored);
+  EXPECT_EQ(one.result.result_tuples, many.result.result_tuples);
+  EXPECT_EQ(one.result.failover_retries, many.result.failover_retries);
+  // Bit-identical simulated time and field-identical accounting.
+  EXPECT_EQ(one.result.seconds(), many.result.seconds());
+  ExpectMetricsEq(one.result.metrics, many.result.metrics);
+  // Identical injected-fault draws.
+  EXPECT_EQ(one.fault_stats.transient_read_faults,
+            many.fault_stats.transient_read_faults);
+  EXPECT_EQ(one.fault_stats.transient_write_faults,
+            many.fault_stats.transient_write_faults);
+  EXPECT_EQ(one.fault_stats.corrupted_reads, many.fault_stats.corrupted_reads);
+  EXPECT_EQ(one.fault_stats.packets_dropped, many.fault_stats.packets_dropped);
+}
+
+// Table 1's shape: a 10% range selection returned to the host, and the
+// same selection stored declustered across all nodes.
+TEST(ParallelExecutorTest, SelectionIdenticalAcrossThreadCounts) {
+  for (const bool store : {false, true}) {
+    ExpectRunsIdentical(ParallelConfig(), [store](gamma::GammaMachine& m) {
+      gamma::SelectQuery query;
+      query.relation = "A";
+      query.predicate = Predicate::Range(wis::kUnique2, 100, 299);
+      query.store_result = store;
+      return m.RunSelect(query);
+    });
+  }
+}
+
+// Table 2's shape: joinABprime on the partitioning attribute plus the
+// non-partitioning variant that repartitions both inputs.
+TEST(ParallelExecutorTest, JoinIdenticalAcrossThreadCounts) {
+  for (const int attr : {wis::kUnique1, wis::kUnique2}) {
+    ExpectRunsIdentical(ParallelConfig(), [attr](gamma::GammaMachine& m) {
+      gamma::JoinQuery join;
+      join.outer = "A";
+      join.inner = "B";
+      join.outer_attr = attr;
+      join.inner_attr = attr;
+      join.mode = gamma::JoinMode::kAllnodes;
+      return m.RunJoin(join);
+    });
+  }
+}
+
+TEST(ParallelExecutorTest, AggregateIdenticalAcrossThreadCounts) {
+  ExpectRunsIdentical(ParallelConfig(), [](gamma::GammaMachine& m) {
+    gamma::AggregateQuery query;
+    query.relation = "A";
+    query.group_attr = wis::kTen;
+    query.value_attr = wis::kUnique1;
+    query.func = exec::AggFunc::kSum;
+    return m.RunAggregate(query);
+  });
+}
+
+// Injected transient faults, dropped packets, and recovery logging: the
+// deterministic fault schedule and the per-query log statistics must not
+// depend on the host-pool width.
+TEST(ParallelExecutorTest, FaultScheduleAndLogStatsIdentical) {
+  gamma::GammaConfig config = ParallelConfig();
+  config.enable_logging = true;
+  config.fault.transient_read_prob = 0.02;
+  config.fault.drop_packet_prob = 0.05;
+
+  ExpectRunsIdentical(config, [](gamma::GammaMachine& m) {
+    gamma::SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(wis::kUnique1, 0, 999);
+    query.store_result = true;
+    return m.RunSelect(query);
+  });
+  ExpectRunsIdentical(config, [](gamma::GammaMachine& m) {
+    gamma::JoinQuery join;
+    join.outer = "A";
+    join.inner = "B";
+    join.outer_attr = wis::kUnique1;
+    join.inner_attr = wis::kUnique1;
+    join.mode = gamma::JoinMode::kLocal;
+    return m.RunJoin(join);
+  });
+}
+
+// A node death mid-join: the abort point, the failover retry, and the
+// backup-served answer all replay identically at any thread count.
+TEST(ParallelExecutorTest, FailoverIdenticalAcrossThreadCounts) {
+  ExpectRunsIdentical(ParallelConfig(), [](gamma::GammaMachine& m) {
+    m.KillNodeAfterOps(1, 10);
+    gamma::JoinQuery join;
+    join.outer = "A";
+    join.inner = "B";
+    join.outer_attr = wis::kUnique1;
+    join.inner_attr = wis::kUnique1;
+    join.mode = gamma::JoinMode::kLocal;
+    return m.RunJoin(join);
+  });
+}
+
+}  // namespace
+}  // namespace gammadb
