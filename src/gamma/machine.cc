@@ -89,7 +89,9 @@ class MergeJoinSite {
 
 }  // namespace
 
-GammaMachine::GammaMachine(GammaConfig config) : config_(config) {
+GammaMachine::GammaMachine(GammaConfig config)
+    : config_(config),
+      txns_(config.tracker_nodes(), config.scheduler_node()) {
   GAMMA_CHECK(config_.num_disk_nodes > 0);
   GAMMA_CHECK(config_.num_diskless_nodes >= 0);
   // Disk fault streams cover the disk nodes; packet-drop streams cover every
@@ -153,9 +155,78 @@ std::vector<int> GammaMachine::LiveDiskNodes() const {
   return live;
 }
 
+std::vector<txn::LockManager::Grant> GammaMachine::CommitTxn(uint64_t txn) {
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  return txns_.Commit(txn);
+}
+
+std::vector<txn::LockManager::Grant> GammaMachine::AbortTxn(uint64_t txn) {
+  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  return txns_.Abort(txn);
+}
+
+Status GammaMachine::DropRelation(const std::string& name) {
+  GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(name));
+  for (int i = 0; i < config_.num_disk_nodes; ++i) {
+    const uint32_t fid = meta->per_node_file[static_cast<size_t>(i)];
+    if (fid != catalog::kNoFile) nodes_[static_cast<size_t>(i)]->DropFile(fid);
+  }
+  if (meta->backed_up) {
+    for (int i = 0; i < config_.num_disk_nodes; ++i) {
+      const uint32_t fid = meta->per_node_backup_file[static_cast<size_t>(i)];
+      if (fid == catalog::kNoFile) continue;
+      nodes_[static_cast<size_t>((i + 1) % config_.num_disk_nodes)]->DropFile(
+          fid);
+    }
+  }
+  catalog_.Drop(name);
+  stats_.Drop(name);
+  return Status::OK();
+}
+
+Status GammaMachine::AcquireTxnLock(sim::CostTracker* tracker, uint64_t txn,
+                                    int charge_node, txn::LockId id,
+                                    txn::LockMode mode) {
+  if (tracker != nullptr) {
+    tracker->ChargeCpu(charge_node, tracker->hw().cost.instr_per_lock);
+  }
+  const txn::TxnManager::AcquireResult res = txns_.Acquire(txn, id, mode);
+  // The machine runs one statement at a time, so a conflict can only be with
+  // another *open* transaction: under fail-fast 2PL that is a precondition
+  // failure the caller resolves (the workload scheduler never lets real
+  // execution reach a conflicting footprint).
+  switch (res.outcome) {
+    case txn::TxnManager::AcquireResult::Outcome::kGranted:
+      return Status::OK();
+    case txn::TxnManager::AcquireResult::Outcome::kAbortedSelf:
+      return Status::FailedPrecondition(
+          "transaction " + std::to_string(txn) +
+          " aborted as deadlock victim requesting " + id.ToString());
+    case txn::TxnManager::AcquireResult::Outcome::kBlocked:
+    default:
+      // Fail fast instead of blocking a real thread: cancel the queued wait
+      // so the transaction can abort/retry.
+      txns_.Abort(txn);
+      return Status::FailedPrecondition(
+          "lock conflict on " + id.ToString() + " (" + txn::ModeName(mode) +
+          ") for transaction " + std::to_string(txn));
+  }
+}
+
+void GammaMachine::FillLockMetrics(uint64_t txn,
+                                   sim::QueryMetrics* metrics) const {
+  const txn::TxnStats stats = txns_.StatsFor(txn);
+  metrics->locks_acquired = stats.locks_acquired;
+  metrics->lock_waits = stats.lock_waits;
+  metrics->lock_wait_sec = stats.lock_wait_sec;
+  metrics->deadlocks = stats.deadlocks;
+  metrics->lock_aborts = stats.aborts;
+}
+
 void GammaMachine::AbortQuery(uint64_t txn,
                               const std::string& partial_result) {
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  txns_.Abort(txn);
   // A failed query's dirty pages are not durable state; drop them instead of
   // flushing (a dead node could not accept them anyway).
   for (auto& node : nodes_) node->pool().Discard();
@@ -533,7 +604,7 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
                   config_.recovery_node(), config_.page_size);
-  const uint64_t txn = next_txn_id_++;
+  const uint64_t txn = txns_.Begin();
   QueryGuard guard(this, txn);
 
   const AccessDecision decision = ChooseAccessPath(*meta, query);
@@ -583,6 +654,24 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
   }
 
   tracker.BeginPhase("select", sim::PhaseKind::kPipelined);
+
+  // Transaction footprint (multi-granularity 2PL, coordinator-side):
+  // intention-shared on the relation at the scheduler's lock table, shared on
+  // every participating fragment at the fragment's home table. Charged
+  // inside the phase so the lock-manager CPU shows up in the cost model.
+  {
+    const uint32_t rel = txns_.RelationId(meta->name);
+    GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, config_.scheduler_node(),
+                                       txn::LockId::Relation(rel),
+                                       txn::LockMode::kIS));
+    for (int f : fragments) {
+      const txn::LockId id =
+          txn::LockId::Fragment(rel, static_cast<uint32_t>(f));
+      GAMMA_RETURN_NOT_OK(
+          AcquireTxnLock(&tracker, txn, txns_.TableFor(id), id,
+                         txn::LockMode::kS));
+    }
+  }
 
   // Producer subphase: one host task per serving node scans its fragments
   // and routes each selected tuple through the split table into the
@@ -732,6 +821,8 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
   result.metrics = tracker.Finish();
   result.metrics.log_records = log.stats().records;
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
+  FillLockMetrics(txn, &result.metrics);
+  txns_.Commit(txn);
   return result;
 }
 
@@ -782,7 +873,7 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
                   config_.recovery_node(), config_.page_size);
-  const uint64_t txn = next_txn_id_++;
+  const uint64_t txn = txns_.Begin();
   QueryGuard guard(this, txn);
 
   // Resolve the serving copy of every fragment of both inputs up front.
@@ -1017,6 +1108,23 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   // exchange; after the barrier each site drains its column in ascending
   // fragment order — the arrival order of the sequential loop. ---
   tracker.BeginPhase("build", sim::PhaseKind::kPipelined);
+
+  // 2PL footprint for both inputs: intention-shared on each relation, shared
+  // on every fragment (ascending relation then fragment order, the canonical
+  // order that keeps single-statement transactions deadlock-free).
+  for (const RelationMeta* rel_meta : {inner, outer}) {
+    const uint32_t rel = txns_.RelationId(rel_meta->name);
+    GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, config_.scheduler_node(),
+                                       txn::LockId::Relation(rel),
+                                       txn::LockMode::kIS));
+    for (int f = 0; f < config_.num_disk_nodes; ++f) {
+      const txn::LockId id =
+          txn::LockId::Fragment(rel, static_cast<uint32_t>(f));
+      GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(id),
+                                         id, txn::LockMode::kS));
+    }
+  }
+
   exec::Exchange build_ex(static_cast<size_t>(config_.num_disk_nodes), nsites,
                           inner->schema.tuple_size());
   {
@@ -1304,6 +1412,8 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
   result.metrics = tracker.Finish();
   result.metrics.log_records = log.stats().records;
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
+  FillLockMetrics(txn, &result.metrics);
+  txns_.Commit(txn);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "sim/fault_injector.h"
 #include "sim/hardware.h"
 #include "storage/storage_manager.h"
+#include "txn/txn_manager.h"
 
 namespace gammadb::gamma {
 
@@ -129,9 +130,34 @@ class GammaMachine {
   Result<QueryResult> RunSelect(const SelectQuery& query);
   Result<QueryResult> RunJoin(const JoinQuery& query);
   Result<QueryResult> RunAggregate(const AggregateQuery& query);
-  Result<QueryResult> RunAppend(const AppendQuery& query);
-  Result<QueryResult> RunDelete(const DeleteQuery& query);
-  Result<QueryResult> RunModify(const ModifyQuery& query);
+  /// Updates optionally run inside an externally managed transaction
+  /// (`txn` from BeginTxn): its locks are then held to CommitTxn/AbortTxn
+  /// rather than released at statement end, and a 2PL conflict with another
+  /// open transaction fails the statement with FailedPrecondition (the
+  /// blocking/queueing discipline lives in the workload scheduler, which
+  /// resolves conflicts in simulated time before executing for real).
+  /// `txn` 0 (the default) auto-commits the statement.
+  Result<QueryResult> RunAppend(const AppendQuery& query, uint64_t txn = 0);
+  Result<QueryResult> RunDelete(const DeleteQuery& query, uint64_t txn = 0);
+  Result<QueryResult> RunModify(const ModifyQuery& query, uint64_t txn = 0);
+
+  // --- Multi-user transactions (2PL) ---
+
+  txn::TxnManager& txns() { return txns_; }
+  const txn::TxnManager& txns() const { return txns_; }
+
+  /// Starts an explicit transaction for use with the update queries above.
+  uint64_t BeginTxn() { return txns_.Begin(); }
+  /// Commits / aborts an explicit transaction: releases its storage-level
+  /// locks on every node and its 2PL locks in every table. Returns the
+  /// lock requests that became grantable (for the workload scheduler to
+  /// wake the corresponding blocked clients).
+  std::vector<txn::LockManager::Grant> CommitTxn(uint64_t txn);
+  std::vector<txn::LockManager::Grant> AbortTxn(uint64_t txn);
+
+  /// Drops a relation and its fragment/backup files (uncharged; used by the
+  /// workload driver to discard profiled result relations).
+  Status DropRelation(const std::string& name);
 
   // --- Test / verification hooks (uncharged) ---
 
@@ -273,6 +299,18 @@ class GammaMachine {
   std::vector<int> ParticipatingNodes(const catalog::RelationMeta& meta,
                                       const exec::Predicate& pred) const;
 
+  /// Takes one 2PL lock for `txn`, charging the lock-manager CPU path at
+  /// `charge_node` into the tracker's open phase. Fails with
+  /// FailedPrecondition on a conflict with another open transaction (the
+  /// machine itself never blocks; waiting is simulated by the workload
+  /// scheduler, which pre-acquires the footprint before executing).
+  Status AcquireTxnLock(sim::CostTracker* tracker, uint64_t txn,
+                        int charge_node, txn::LockId id, txn::LockMode mode);
+
+  /// Copies the transaction's 2PL counters into `metrics` (call before the
+  /// txn commits — stats vanish with the transaction).
+  void FillLockMetrics(uint64_t txn, sim::QueryMetrics* metrics) const;
+
   std::string FreshResultName();
 
   GammaConfig config_;
@@ -280,8 +318,11 @@ class GammaMachine {
   catalog::Catalog catalog_;
   opt::StatisticsCatalog stats_;
   std::vector<std::unique_ptr<storage::StorageManager>> nodes_;
+  /// 2PL lock tables: one per tracker node (fragment/page locks live in the
+  /// fragment's table, relation locks in the scheduler's), ids shared with
+  /// the storage-level lock managers. Only coordinator threads call it.
+  txn::TxnManager txns_;
   uint64_t next_result_id_ = 1;
-  uint64_t next_txn_id_ = 1;
   uint64_t next_salt_ = 0xBEEF;
 };
 

@@ -56,7 +56,7 @@ Result<QueryResult> GammaMachine::RunAggregateAttempt(
   tracker.AttachFaultInjector(faults_.get());
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
-  const uint64_t txn = next_txn_id_++;
+  const uint64_t txn = txns_.Begin();
   QueryGuard guard(this, txn);
   const int ndisk = config_.num_disk_nodes;
 
@@ -82,6 +82,21 @@ Result<QueryResult> GammaMachine::RunAggregateAttempt(
   std::vector<std::unique_ptr<GroupedAggregator>> locals(
       static_cast<size_t>(ndisk));
   tracker.BeginPhase("local_agg", sim::PhaseKind::kPipelined);
+
+  // 2PL footprint: IS on the relation, S on every scanned fragment.
+  {
+    const uint32_t rel = txns_.RelationId(meta->name);
+    GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, config_.scheduler_node(),
+                                       txn::LockId::Relation(rel),
+                                       txn::LockMode::kIS));
+    for (int f = 0; f < ndisk; ++f) {
+      const txn::LockId id =
+          txn::LockId::Fragment(rel, static_cast<uint32_t>(f));
+      GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(id),
+                                         id, txn::LockMode::kS));
+    }
+  }
+
   {
     std::vector<NodeTask> tasks;
     for (const NodeGroup& group : GroupByServingNode(sources)) {
@@ -227,6 +242,8 @@ Result<QueryResult> GammaMachine::RunAggregateAttempt(
   guard.Dismiss();
   BindAll(nullptr);
   result.metrics = tracker.Finish();
+  FillLockMetrics(txn, &result.metrics);
+  txns_.Commit(txn);
   return result;
 }
 

@@ -105,7 +105,8 @@ Status GammaMachine::UpdateInBackup(const RelationMeta& meta, int fragment,
   return backup.Update(match, new_tuple);
 }
 
-Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
+Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
+                                            uint64_t external_txn) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.tuple.size() != meta->schema.tuple_size()) {
     return Status::InvalidArgument("tuple size does not match schema");
@@ -133,13 +134,19 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
                                " is down");
   }
 
+  if (external_txn != 0 && !txns_.IsActive(external_txn)) {
+    return Status::FailedPrecondition("append under unknown transaction " +
+                                      std::to_string(external_txn));
+  }
+
   sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
   tracker.AttachFaultInjector(faults_.get());
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
                   config_.recovery_node(), config_.page_size);
-  const uint64_t txn = next_txn_id_++;
+  const bool auto_commit = external_txn == 0;
+  const uint64_t txn = auto_commit ? txns_.Begin() : external_txn;
   QueryGuard guard(this, txn);
 
   // Host submits to the scheduler, which initiates one update operator at
@@ -149,6 +156,20 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
   tracker.ChargeScheduling(1, 1);
 
   tracker.BeginPhase("append", sim::PhaseKind::kSequential);
+
+  // 2PL footprint: intention-exclusive on relation and home fragment; the
+  // page-level X lock follows once the append picks the page.
+  const uint32_t rel = txns_.RelationId(meta->name);
+  GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, config_.scheduler_node(),
+                                     txn::LockId::Relation(rel),
+                                     txn::LockMode::kIX));
+  {
+    const txn::LockId fl =
+        txn::LockId::Fragment(rel, static_cast<uint32_t>(target));
+    GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(fl), fl,
+                                       txn::LockMode::kIX));
+  }
+
   storage::StorageManager& sm = *nodes_[static_cast<size_t>(target)];
   const uint32_t fid = meta->per_node_file[static_cast<size_t>(target)];
   storage::HeapFile& fragment = sm.file(fid);
@@ -159,6 +180,12 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
                   .ok());
   sm.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
   GAMMA_ASSIGN_OR_RETURN(const Rid rid, fragment.Append(query.tuple));
+  {
+    const txn::LockId pl = txn::LockId::Page(
+        rel, static_cast<uint32_t>(target), rid.page_index);
+    GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(pl), pl,
+                                       txn::LockMode::kX));
+  }
   DeferredUpdateFile deferred(&sm.charge(), config_.page_size);
   for (const IndexMeta& index : meta->indices) {
     deferred.LogInsert(
@@ -206,7 +233,9 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
                                true);
   tracker.EndPhase();
 
-  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  if (auto_commit) {
+    for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  }
   meta->num_tuples += 1;
   stats_.OnAppend(query.relation, meta->schema, query.tuple);
   QueryResult result;
@@ -216,10 +245,13 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query) {
   result.metrics = tracker.Finish();
   result.metrics.log_records = log.stats().records;
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
+  FillLockMetrics(txn, &result.metrics);
+  if (auto_commit) txns_.Commit(txn);
   return result;
 }
 
-Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
+Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query,
+                                            uint64_t external_txn) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.key_attr < 0 ||
       static_cast<size_t>(query.key_attr) >= meta->schema.num_attrs()) {
@@ -237,13 +269,19 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
     }
   }
 
+  if (external_txn != 0 && !txns_.IsActive(external_txn)) {
+    return Status::FailedPrecondition("delete under unknown transaction " +
+                                      std::to_string(external_txn));
+  }
+
   sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
   tracker.AttachFaultInjector(faults_.get());
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
                   config_.recovery_node(), config_.page_size);
-  const uint64_t txn = next_txn_id_++;
+  const bool auto_commit = external_txn == 0;
+  const uint64_t txn = auto_commit ? txns_.Begin() : external_txn;
   QueryGuard guard(this, txn);
 
   tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
@@ -252,6 +290,10 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
 
   uint64_t deleted = 0;
   tracker.BeginPhase("delete", sim::PhaseKind::kSequential);
+  const uint32_t rel = txns_.RelationId(meta->name);
+  GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, config_.scheduler_node(),
+                                     txn::LockId::Relation(rel),
+                                     txn::LockMode::kIX));
   for (int node : parts) {
     storage::StorageManager& sm = *nodes_[static_cast<size_t>(node)];
     storage::HeapFile& fragment =
@@ -271,6 +313,12 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
             return true;
           }));
     }
+    {
+      const txn::LockId fl =
+          txn::LockId::Fragment(rel, static_cast<uint32_t>(node));
+      GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(fl),
+                                         fl, txn::LockMode::kIX));
+    }
     DeferredUpdateFile deferred(&sm.charge(), config_.page_size);
     for (const Rid rid : rids) {
       GAMMA_ASSIGN_OR_RETURN(const std::vector<uint8_t> tuple,
@@ -283,6 +331,12 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
                                    rid.page_index, rid.slot),
                                LockMode::kExclusive)
                       .ok());
+      {
+        const txn::LockId pl = txn::LockId::Page(
+            rel, static_cast<uint32_t>(node), rid.page_index);
+        GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(pl),
+                                           pl, txn::LockMode::kX));
+      }
       GAMMA_RETURN_NOT_OK(fragment.Delete(rid));
       for (const IndexMeta& idx : meta->indices) {
         deferred.LogDelete(
@@ -306,7 +360,9 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
                                true);
   tracker.EndPhase();
 
-  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  if (auto_commit) {
+    for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  }
   meta->num_tuples -= deleted;
   stats_.OnDelete(query.relation, deleted);
   QueryResult result;
@@ -316,10 +372,13 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query) {
   result.metrics = tracker.Finish();
   result.metrics.log_records = log.stats().records;
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
+  FillLockMetrics(txn, &result.metrics);
+  if (auto_commit) txns_.Commit(txn);
   return result;
 }
 
-Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
+Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query,
+                                            uint64_t external_txn) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.locate_attr < 0 ||
       static_cast<size_t>(query.locate_attr) >= meta->schema.num_attrs() ||
@@ -346,13 +405,19 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
     }
   }
 
+  if (external_txn != 0 && !txns_.IsActive(external_txn)) {
+    return Status::FailedPrecondition("modify under unknown transaction " +
+                                      std::to_string(external_txn));
+  }
+
   sim::CostTracker tracker(config_.hw, config_.tracker_nodes());
   tracker.AttachFaultInjector(faults_.get());
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
                   config_.recovery_node(), config_.page_size);
-  const uint64_t txn = next_txn_id_++;
+  const bool auto_commit = external_txn == 0;
+  const uint64_t txn = auto_commit ? txns_.Begin() : external_txn;
   QueryGuard guard(this, txn);
 
   tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
@@ -361,6 +426,10 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
 
   uint64_t modified = 0;
   tracker.BeginPhase("modify", sim::PhaseKind::kSequential);
+  const uint32_t rel = txns_.RelationId(meta->name);
+  GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, config_.scheduler_node(),
+                                     txn::LockId::Relation(rel),
+                                     txn::LockMode::kIX));
   for (int node : parts) {
     storage::StorageManager& sm = *nodes_[static_cast<size_t>(node)];
     storage::HeapFile& fragment =
@@ -382,6 +451,12 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
           }));
     }
 
+    {
+      const txn::LockId fl =
+          txn::LockId::Fragment(rel, static_cast<uint32_t>(node));
+      GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(fl),
+                                         fl, txn::LockMode::kIX));
+    }
     for (const Rid rid : rids) {
       GAMMA_ASSIGN_OR_RETURN(const std::vector<uint8_t> old_tuple,
                              fragment.Fetch(rid, AccessIntent::kRandom));
@@ -398,6 +473,12 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
                                    rid.page_index, rid.slot),
                                LockMode::kExclusive)
                       .ok());
+      {
+        const txn::LockId pl = txn::LockId::Page(
+            rel, static_cast<uint32_t>(node), rid.page_index);
+        GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn, txns_.TableFor(pl),
+                                           pl, txn::LockMode::kX));
+      }
 
       if (relocates) {
         // The partitioning attribute changed: delete here, re-insert at the
@@ -436,11 +517,25 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
                                          new_home)]),
                                  LockMode::kExclusive)
                         .ok());
+        {
+          const txn::LockId fl =
+              txn::LockId::Fragment(rel, static_cast<uint32_t>(new_home));
+          GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn,
+                                             txns_.TableFor(fl), fl,
+                                             txn::LockMode::kIX));
+        }
         dst.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
         GAMMA_ASSIGN_OR_RETURN(
             const Rid new_rid,
             dst.file(meta->per_node_file[static_cast<size_t>(new_home)])
                 .Append(new_tuple));
+        {
+          const txn::LockId pl = txn::LockId::Page(
+              rel, static_cast<uint32_t>(new_home), new_rid.page_index);
+          GAMMA_RETURN_NOT_OK(AcquireTxnLock(&tracker, txn,
+                                             txns_.TableFor(pl), pl,
+                                             txn::LockMode::kX));
+        }
         DeferredUpdateFile deferred_new(&dst.charge(), config_.page_size);
         for (const IndexMeta& idx : meta->indices) {
           deferred_new.LogInsert(
@@ -506,7 +601,9 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
                                true);
   tracker.EndPhase();
 
-  for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  if (auto_commit) {
+    for (auto& node : nodes_) node->locks().ReleaseAll(txn);
+  }
   if (modified > 0) {
     stats_.OnModify(query.relation, meta->schema, query.target_attr,
                     query.new_value);
@@ -518,6 +615,8 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query) {
   result.metrics = tracker.Finish();
   result.metrics.log_records = log.stats().records;
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
+  FillLockMetrics(txn, &result.metrics);
+  if (auto_commit) txns_.Commit(txn);
   return result;
 }
 

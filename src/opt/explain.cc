@@ -50,13 +50,15 @@ std::string RenderPlanWithActuals(const PlanNode& root,
                                   const exec::QueryResult& result) {
   std::string out = RenderPlan(root);
   const sim::NodeUsage totals = result.metrics.Totals();
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "actual: %s, %" PRIu64 " tuples, %" PRIu64
-                " page I/Os, %" PRIu64 " packets\n",
+                " page I/Os, %" PRIu64 " packets, %" PRIu64 " locks (%" PRIu64
+                " waits)\n",
                 FormatSeconds(result.seconds()).c_str(), result.result_tuples,
                 totals.pages_read + totals.pages_written,
-                totals.packets_sent + totals.packets_short_circuited);
+                totals.packets_sent + totals.packets_short_circuited,
+                result.metrics.locks_acquired, result.metrics.lock_waits);
   out.append(buf);
   return out;
 }

@@ -75,6 +75,13 @@ struct QueryMetrics {
   uint64_t log_records = 0;
   /// Commit-time forced flushes of the recovery log for this query.
   uint64_t log_forced_flushes = 0;
+  /// Concurrency-control counters for the transaction this query ran under
+  /// (all zero when the machine executes single-user, pre-2PL paths).
+  uint64_t locks_acquired = 0;
+  uint64_t lock_waits = 0;
+  double lock_wait_sec = 0;
+  uint64_t deadlocks = 0;
+  uint64_t lock_aborts = 0;
   std::vector<PhaseMetrics> phases;
 
   double TotalSec() const;

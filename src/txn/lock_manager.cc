@@ -1,0 +1,223 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace gammadb::txn {
+
+namespace {
+
+constexpr int Idx(LockMode m) { return static_cast<int>(m); }
+
+// Rows: held, columns: requested (IS, IX, S, SIX, X).
+constexpr bool kCompatible[5][5] = {
+    /* IS  */ {true, true, true, true, false},
+    /* IX  */ {true, true, false, false, false},
+    /* S   */ {true, false, true, false, false},
+    /* SIX */ {true, false, false, false, false},
+    /* X   */ {false, false, false, false, false},
+};
+
+}  // namespace
+
+bool Compatible(LockMode held, LockMode requested) {
+  return kCompatible[Idx(held)][Idx(requested)];
+}
+
+LockMode Supremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  // The only incomparable pair below X is {S, IX}; their join is SIX.
+  const auto covers = [](LockMode hi, LockMode lo) {
+    if (hi == lo) return true;
+    switch (hi) {
+      case LockMode::kIS:
+        return false;
+      case LockMode::kIX:
+      case LockMode::kS:
+        return lo == LockMode::kIS;
+      case LockMode::kSIX:
+        return lo == LockMode::kIS || lo == LockMode::kIX ||
+               lo == LockMode::kS;
+      case LockMode::kX:
+        return true;
+    }
+    return false;
+  };
+  if (covers(a, b)) return a;
+  if (covers(b, a)) return b;
+  return LockMode::kSIX;
+}
+
+const char* ModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+std::string LockId::ToString() const {
+  std::string out = "rel" + std::to_string(relation);
+  if (level == Level::kRelation) return out;
+  out += "/frag" + std::to_string(fragment);
+  if (level == Level::kFragment) return out;
+  out += "/page" + std::to_string(page);
+  return out;
+}
+
+bool LockManager::CanGrant(const Entry& entry, uint64_t txn, LockMode mode) {
+  for (const Req& g : entry.granted) {
+    if (g.txn == txn) continue;
+    if (!Compatible(g.mode, mode)) return false;
+  }
+  return true;
+}
+
+LockManager::Outcome LockManager::Acquire(uint64_t txn, LockId id,
+                                          LockMode mode) {
+  GAMMA_CHECK_MSG(wait_key_.find(txn) == wait_key_.end(),
+                  "transaction already has a waiting lock request");
+  ++acquisitions_;
+  const uint64_t key = id.Encode();
+  Entry& entry = table_[key];
+  entry.id = id;
+
+  auto held = std::find_if(entry.granted.begin(), entry.granted.end(),
+                           [txn](const Req& g) { return g.txn == txn; });
+  if (held != entry.granted.end()) {
+    const LockMode target = Supremum(held->mode, mode);
+    if (target == held->mode) return Outcome::kGranted;  // re-entrant
+    if (CanGrant(entry, txn, target)) {
+      held->mode = target;
+      ++upgrades_;
+      return Outcome::kGranted;
+    }
+    // Upgrade must wait for the other holders to drain; it jumps the queue
+    // (it already holds the lock, so waiters behind can never be granted
+    // ahead of it anyway).
+    entry.waiting.push_front(Req{txn, target, /*upgrade=*/true});
+    wait_key_[txn] = key;
+    ++waits_;
+    ++upgrades_;
+    return Outcome::kWait;
+  }
+
+  if (entry.waiting.empty() && CanGrant(entry, txn, mode)) {
+    entry.granted.push_back(Req{txn, mode, false});
+    held_[txn].push_back(key);
+    return Outcome::kGranted;
+  }
+  // Conflicting, or queued behind earlier waiters (strict FIFO keeps the
+  // grant order deterministic and starvation-free).
+  entry.waiting.push_back(Req{txn, mode, /*upgrade=*/false});
+  wait_key_[txn] = key;
+  ++waits_;
+  return Outcome::kWait;
+}
+
+void LockManager::PromoteWaiters(Entry& entry, std::vector<Grant>* grants) {
+  while (!entry.waiting.empty()) {
+    const Req front = entry.waiting.front();
+    if (!CanGrant(entry, front.txn, front.mode)) break;
+    if (front.upgrade) {
+      auto held = std::find_if(entry.granted.begin(), entry.granted.end(),
+                               [&](const Req& g) { return g.txn == front.txn; });
+      GAMMA_CHECK(held != entry.granted.end());
+      held->mode = front.mode;
+    } else {
+      entry.granted.push_back(Req{front.txn, front.mode, false});
+      held_[front.txn].push_back(entry.id.Encode());
+    }
+    wait_key_.erase(front.txn);
+    entry.waiting.pop_front();
+    if (grants != nullptr) grants->push_back(Grant{front.txn, entry.id});
+  }
+}
+
+void LockManager::CancelWait(uint64_t txn, std::vector<Grant>* grants) {
+  auto it = wait_key_.find(txn);
+  if (it == wait_key_.end()) return;
+  auto entry_it = table_.find(it->second);
+  GAMMA_CHECK(entry_it != table_.end());
+  Entry& entry = entry_it->second;
+  entry.waiting.erase(
+      std::remove_if(entry.waiting.begin(), entry.waiting.end(),
+                     [txn](const Req& w) { return w.txn == txn; }),
+      entry.waiting.end());
+  wait_key_.erase(it);
+  // Removing a blocked front request can unblock the queue behind it.
+  PromoteWaiters(entry, grants);
+  if (entry.granted.empty() && entry.waiting.empty()) table_.erase(entry_it);
+}
+
+void LockManager::Release(uint64_t txn, std::vector<Grant>* grants) {
+  CancelWait(txn, grants);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const uint64_t key : it->second) {
+    auto entry_it = table_.find(key);
+    if (entry_it == table_.end()) continue;
+    Entry& entry = entry_it->second;
+    entry.granted.erase(
+        std::remove_if(entry.granted.begin(), entry.granted.end(),
+                       [txn](const Req& g) { return g.txn == txn; }),
+        entry.granted.end());
+    PromoteWaiters(entry, grants);
+    if (entry.granted.empty() && entry.waiting.empty()) {
+      table_.erase(entry_it);
+    }
+  }
+  held_.erase(it);
+}
+
+std::vector<uint64_t> LockManager::Blockers(uint64_t txn) const {
+  std::vector<uint64_t> out;
+  auto it = wait_key_.find(txn);
+  if (it == wait_key_.end()) return out;
+  auto entry_it = table_.find(it->second);
+  GAMMA_CHECK(entry_it != table_.end());
+  const Entry& entry = entry_it->second;
+  LockMode requested = LockMode::kIS;
+  for (const Req& w : entry.waiting) {
+    if (w.txn == txn) {
+      requested = w.mode;
+      break;
+    }
+  }
+  for (const Req& g : entry.granted) {
+    if (g.txn != txn && !Compatible(g.mode, requested)) out.push_back(g.txn);
+  }
+  for (const Req& w : entry.waiting) {
+    if (w.txn == txn) break;
+    out.push_back(w.txn);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool LockManager::HoldsAtLeast(uint64_t txn, LockId id, LockMode mode) const {
+  auto entry_it = table_.find(id.Encode());
+  if (entry_it == table_.end()) return false;
+  for (const Req& g : entry_it->second.granted) {
+    if (g.txn == txn) return Supremum(g.mode, mode) == g.mode;
+  }
+  return false;
+}
+
+size_t LockManager::held_count(uint64_t txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace gammadb::txn

@@ -12,6 +12,7 @@
 
 #include "gamma/machine.h"
 #include "sim/host_pool.h"
+#include "sim/workload.h"
 #include "test_util.h"
 #include "wisconsin/wisconsin.h"
 
@@ -54,6 +55,11 @@ void ExpectMetricsEq(const sim::QueryMetrics& a, const sim::QueryMetrics& b) {
   EXPECT_EQ(a.overflow_rounds, b.overflow_rounds);
   EXPECT_EQ(a.log_records, b.log_records);
   EXPECT_EQ(a.log_forced_flushes, b.log_forced_flushes);
+  EXPECT_EQ(a.locks_acquired, b.locks_acquired);
+  EXPECT_EQ(a.lock_waits, b.lock_waits);
+  EXPECT_EQ(a.lock_wait_sec, b.lock_wait_sec);
+  EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.lock_aborts, b.lock_aborts);
   ASSERT_EQ(a.phases.size(), b.phases.size());
   for (size_t p = 0; p < a.phases.size(); ++p) {
     const sim::PhaseMetrics& pa = a.phases[p];
@@ -231,6 +237,138 @@ TEST(ParallelExecutorTest, FailoverIdenticalAcrossThreadCounts) {
     join.mode = gamma::JoinMode::kLocal;
     return m.RunJoin(join);
   });
+}
+
+// The discrete-event concurrent workload: reads replayed from profiles,
+// update transactions executed for real at commit, deadlocks and retries
+// included. The whole report — simulated clock, commit order, per-class
+// percentiles — and the mutated relation must not depend on the host-pool
+// width.
+struct MixOutput {
+  sim::WorkloadReport report;
+  std::vector<std::vector<uint8_t>> final_a;
+};
+
+MixOutput RunConcurrentMix() {
+  gamma::GammaMachine machine(ParallelConfig());
+  GAMMA_CHECK(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("A", wis::GenerateWisconsin(2000, 7)).ok());
+  GAMMA_CHECK(machine
+                  .CreateRelation("B", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("B", wis::GenerateWisconsin(1000, 8)).ok());
+
+  gamma::SelectQuery select;
+  select.relation = "A";
+  select.predicate = Predicate::Range(wis::kUnique1, 0, 199);
+  const auto select_profile = sim::ProfileStatement(machine, select);
+  GAMMA_CHECK(select_profile.ok());
+  gamma::JoinQuery join;
+  join.outer = "A";
+  join.inner = "B";
+  join.outer_attr = wis::kUnique2;
+  join.inner_attr = wis::kUnique2;
+  join.mode = gamma::JoinMode::kRemote;
+  const auto join_profile = sim::ProfileStatement(machine, join);
+  GAMMA_CHECK(join_profile.ok());
+
+  sim::TxnSpec select_spec;
+  select_spec.label = "select";
+  select_spec.statements = {select};
+  select_spec.profiles = {*select_profile};
+  sim::TxnSpec join_spec;
+  join_spec.label = "join";
+  join_spec.statements = {join};
+  join_spec.profiles = {*join_profile};
+
+  auto modify = [](const std::string& rel, int32_t from, int32_t to) {
+    gamma::ModifyQuery q;
+    q.relation = rel;
+    q.locate_attr = wis::kUnique2;  // non-partitioning: X on every fragment
+    q.locate_key = from;
+    q.target_attr = wis::kUnique2;
+    q.new_value = to;
+    return q;
+  };
+  sim::TxnSpec upd_ab;
+  upd_ab.label = "upd_ab";
+  upd_ab.statements = {modify("A", 10, 2010), modify("B", 10, 2010)};
+  upd_ab.execute_real = true;
+  sim::TxnSpec upd_ba;
+  upd_ba.label = "upd_ba";
+  upd_ba.statements = {modify("B", 20, 2020), modify("A", 20, 2020)};
+  upd_ba.execute_real = true;
+
+  sim::WorkloadOptions options;
+  options.seed = 7;
+  sim::WorkloadDriver driver(&machine, options);
+  sim::ClientSpec reader;
+  reader.script = {select_spec, join_spec};
+  reader.loops = 2;
+  driver.AddClient(reader);
+  sim::ClientSpec reader2;
+  reader2.script = {join_spec, select_spec};
+  reader2.loops = 2;
+  driver.AddClient(reader2);
+  sim::ClientSpec writer_ab;
+  writer_ab.script = {upd_ab};
+  writer_ab.loops = 3;
+  driver.AddClient(writer_ab);
+  sim::ClientSpec writer_ba;
+  writer_ba.script = {upd_ba};
+  writer_ba.loops = 3;
+  driver.AddClient(writer_ba);
+
+  MixOutput out;
+  out.report = driver.Run();
+  out.final_a = *machine.ReadRelation("A");
+  return out;
+}
+
+TEST(ParallelExecutorTest, ConcurrentMixIdenticalAcrossThreadCounts) {
+  const MixOutput one = WithThreads(1, [] { return RunConcurrentMix(); });
+  const MixOutput many =
+      WithThreads(kManyThreads, [] { return RunConcurrentMix(); });
+
+  EXPECT_EQ(one.report.end_sec, many.report.end_sec);
+  EXPECT_EQ(one.report.committed, many.report.committed);
+  EXPECT_EQ(one.report.deadlocks, many.report.deadlocks);
+  EXPECT_EQ(one.report.aborted_retries, many.report.aborted_retries);
+  EXPECT_EQ(one.report.lock_acquisitions, many.report.lock_acquisitions);
+  EXPECT_EQ(one.report.lock_waits, many.report.lock_waits);
+  EXPECT_EQ(one.report.lock_wait_sec, many.report.lock_wait_sec);
+  EXPECT_EQ(one.report.bottleneck, many.report.bottleneck);
+  EXPECT_EQ(one.report.bottleneck_utilization,
+            many.report.bottleneck_utilization);
+  ASSERT_EQ(one.report.classes.size(), many.report.classes.size());
+  for (size_t i = 0; i < one.report.classes.size(); ++i) {
+    const sim::ClassReport& ca = one.report.classes[i];
+    const sim::ClassReport& cb = many.report.classes[i];
+    EXPECT_EQ(ca.label, cb.label);
+    EXPECT_EQ(ca.committed, cb.committed);
+    EXPECT_EQ(ca.measured, cb.measured);
+    EXPECT_EQ(ca.throughput_per_sec, cb.throughput_per_sec);
+    EXPECT_EQ(ca.mean_response_sec, cb.mean_response_sec);
+    EXPECT_EQ(ca.p50_response_sec, cb.p50_response_sec);
+    EXPECT_EQ(ca.p95_response_sec, cb.p95_response_sec);
+  }
+  ASSERT_EQ(one.report.commit_log.size(), many.report.commit_log.size());
+  for (size_t i = 0; i < one.report.commit_log.size(); ++i) {
+    EXPECT_EQ(one.report.commit_log[i].client,
+              many.report.commit_log[i].client);
+    EXPECT_EQ(one.report.commit_log[i].script_pos,
+              many.report.commit_log[i].script_pos);
+    EXPECT_EQ(one.report.commit_log[i].label, many.report.commit_log[i].label);
+  }
+  // All four transaction classes ran to completion.
+  EXPECT_EQ(one.report.committed, 2u * 2 + 2u * 2 + 3 + 3);
+  EXPECT_EQ(one.final_a, many.final_a);
 }
 
 }  // namespace
