@@ -21,6 +21,8 @@ run_suite() {
 if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   echo "== plain build =="
   run_suite build
+  echo "== recovery smoke (crash replay + node reintegration, 10k) =="
+  GAMMA_BENCH_SIZES=10000 ./build/bench/extension_recovery_server
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
@@ -31,6 +33,9 @@ fi
 if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   echo "== thread-sanitized build (TSan, 4 host threads) =="
   GAMMA_HOST_THREADS=4 run_suite build-tsan -DGAMMA_SANITIZE=thread
+  echo "== recovery smoke under TSan =="
+  GAMMA_HOST_THREADS=4 GAMMA_BENCH_SIZES=10000 \
+    ./build-tsan/bench/extension_recovery_server
 fi
 
 echo "All checks passed."

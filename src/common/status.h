@@ -76,6 +76,9 @@ class Status {
 
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }

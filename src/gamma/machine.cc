@@ -107,6 +107,9 @@ GammaMachine::GammaMachine(GammaConfig config)
         config_.page_size, config_.buffer_pool_bytes,
         disk_node ? faults_.get() : nullptr, disk_node ? i : -1));
   }
+  if (config_.enable_logging) {
+    wal_ = std::make_unique<WalStore>(config_.tracker_nodes());
+  }
 }
 
 void GammaMachine::BindAll(sim::CostTracker* tracker) {
@@ -156,11 +159,26 @@ std::vector<int> GammaMachine::LiveDiskNodes() const {
 }
 
 std::vector<txn::LockManager::Grant> GammaMachine::CommitTxn(uint64_t txn) {
+  // The transaction's statements each forced their log records and pages at
+  // statement end, so the commit point only seals the winner marker.
+  if (wal_ != nullptr && !wal_->IsCommitted(txn) &&
+      wal_->HasDataRecords(txn)) {
+    wal_->NoteCommit(txn);
+    if (config_.checkpoint_every_commits > 0 &&
+        wal_->commits_since_checkpoint() >= config_.checkpoint_every_commits) {
+      wal_->Checkpoint();
+    }
+  }
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
   return txns_.Commit(txn);
 }
 
 std::vector<txn::LockManager::Grant> GammaMachine::AbortTxn(uint64_t txn) {
+  if (wal_ != nullptr && !wal_->IsCommitted(txn) &&
+      wal_->HasDataRecords(txn)) {
+    UndoTransaction(txn, /*close=*/true);
+    for (auto& node : nodes_) node->pool().Invalidate();
+  }
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
   return txns_.Abort(txn);
 }
@@ -223,13 +241,34 @@ void GammaMachine::FillLockMetrics(uint64_t txn,
   metrics->lock_aborts = stats.aborts;
 }
 
-void GammaMachine::AbortQuery(uint64_t txn,
-                              const std::string& partial_result) {
+void GammaMachine::AbortQuery(uint64_t txn, const std::string& partial_result,
+                              uint64_t wal_txn, bool wal_crashed) {
   for (auto& node : nodes_) node->locks().ReleaseAll(txn);
   txns_.Abort(txn);
   // A failed query's dirty pages are not durable state; drop them instead of
   // flushing (a dead node could not accept them anyway).
   for (auto& node : nodes_) node->pool().Discard();
+  BindAll(nullptr);
+  if (wal_ != nullptr && wal_txn != 0) {
+    if (wal_crashed) {
+      // The node died at its commit point: undo the statement's effects on
+      // the nodes still alive (so failover reads never see them), but leave
+      // the records open as a loser — the dead node's copies are
+      // unreachable until Recover()/ReintegrateNode() finishes the job.
+      wal_->DiscardStaged();
+      UndoTransaction(wal_txn, /*close=*/false);
+    } else {
+      // Clean abort: reverse whatever the statement already sealed — the
+      // pool Discard above dropped unflushed effects, but records of pages
+      // that were evicted (or force-flushed before a later step failed)
+      // survived on disk. Undo is test-and-apply, so already-dropped
+      // effects are skipped.
+      UndoTransaction(wal_txn, /*close=*/true);
+    }
+    // The undo ran uncharged; settle its pages off-budget so the next
+    // measured query does not pay for them.
+    for (auto& node : nodes_) node->pool().Invalidate();
+  }
   if (!partial_result.empty() && catalog_.Contains(partial_result)) {
     auto meta_or = catalog_.Get(partial_result);
     if (meta_or.ok()) {
@@ -249,15 +288,36 @@ void GammaMachine::AbortQuery(uint64_t txn,
 
 Result<QueryResult> GammaMachine::RunWithFailover(
     const std::function<Result<QueryResult>()>& attempt) {
-  Result<QueryResult> first = attempt();
-  if (first.ok() || !first.status().IsUnavailable()) return first;
-  // A node died mid-flight: the attempt was aborted cleanly (locks released,
-  // partial result dropped). Retry once — fragment routing now resolves to
-  // the chained backups. A second Unavailable means some fragment truly has
-  // no surviving copy, and is reported to the host.
-  Result<QueryResult> second = attempt();
-  if (second.ok()) second->failover_retries = 1;
-  return second;
+  if (crashed_) {
+    return Status::Unavailable(
+        "machine crashed: run Recover() before issuing queries");
+  }
+  Result<QueryResult> result = attempt();
+  const uint32_t budget =
+      config_.failover_max_retries > 0
+          ? static_cast<uint32_t>(config_.failover_max_retries)
+          : 0;
+  uint32_t retries = 0;
+  double backoff_sec = 0;
+  while (!result.ok() && result.status().IsUnavailable() &&
+         retries < budget) {
+    // A node died mid-flight: the attempt was aborted cleanly (locks
+    // released, partial result dropped). Wait out the simulated
+    // reconfiguration delay, then retry — fragment routing now resolves to
+    // the chained backups. Unavailable after the final retry means some
+    // fragment truly has no surviving copy, and is reported to the host.
+    backoff_sec +=
+        config_.failover_backoff_base_sec * static_cast<double>(1u << retries);
+    ++retries;
+    result = attempt();
+  }
+  if (result.ok() && retries > 0) {
+    result->failover_retries = retries;
+    result->metrics.failover_retries = retries;
+    result->metrics.failover_backoff_sec = backoff_sec;
+    result->metrics.scheduling_sec += backoff_sec;
+  }
+  return result;
 }
 
 std::string GammaMachine::FreshResultName() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "common/result.h"
 #include "common/units.h"
 #include "gamma/query.h"
+#include "gamma/wal.h"
 #include "opt/statistics.h"
 #include "sim/fault_injector.h"
 #include "sim/hardware.h"
@@ -19,6 +21,8 @@
 #include "txn/txn_manager.h"
 
 namespace gammadb::gamma {
+
+class RecoveryLog;
 
 /// \brief Configuration of one simulated Gamma machine.
 ///
@@ -41,7 +45,18 @@ struct GammaConfig {
   double host_setup_sec = 0.04;
   /// Ship log records for every stored/updated tuple to a dedicated
   /// recovery server (the §8 plan; the evaluated Gamma ran without it).
+  /// Also keeps the replayable write-ahead log that Crash()/Recover() and
+  /// node reintegration replay.
   bool enable_logging = false;
+  /// A statement that hits Unavailable mid-flight (a node died under it) is
+  /// retried against the surviving configuration up to this many times.
+  int failover_max_retries = 3;
+  /// Simulated reconfiguration wait before failover retry k:
+  /// base * 2^(k-1) seconds, charged to scheduling.
+  double failover_backoff_base_sec = 0.05;
+  /// With logging on, the recovery server writes a fuzzy checkpoint after
+  /// this many sealed commit records (0 = only explicit Checkpoint calls).
+  uint64_t checkpoint_every_commits = 32;
   /// Seeded fault schedule (transient I/O errors, page corruption, dropped
   /// packets, node deaths) consulted by every disk node and data packet.
   /// The default config injects nothing.
@@ -104,7 +119,76 @@ class GammaMachine {
     faults_->KillNodeAfterOps(node, disk_ops);
   }
   void ReviveNode(int node) { faults_->ReviveNode(node); }
+  /// Kills disk node `node` at its `commits`-th upcoming commit point —
+  /// after the statement's log records are forced but before the commit
+  /// record lands, leaving a durable loser for Recover() to undo.
+  void KillNodeAtCommit(int node, uint64_t commits) {
+    faults_->KillNodeAtCommit(node, commits);
+  }
   bool NodeAlive(int node) const { return !faults_->IsDead(node); }
+
+  // --- Crash, recovery and reintegration (requires enable_logging) ---
+
+  struct RecoveryReport {
+    /// Retained log records the analysis pass scanned.
+    uint64_t log_records_scanned = 0;
+    /// Bytes of log read back during replay.
+    uint64_t log_bytes_replayed = 0;
+    /// Distinct committed transactions seen in the retained log.
+    uint64_t winners = 0;
+    /// Transactions with data records but no commit — undone.
+    uint64_t losers = 0;
+    /// Redo applications (committed effects missing from disk; normally 0 —
+    /// commit forces every page, so redo is verification).
+    uint64_t records_redone = 0;
+    /// Loser records physically reversed.
+    uint64_t records_undone = 0;
+    /// Simulated time the recovery pass took.
+    double recovery_sec = 0;
+  };
+
+  struct RebuildReport {
+    int node = -1;
+    /// Primary fragments rebuilt from their chained backups.
+    uint64_t fragments_rebuilt = 0;
+    /// Tuples copied into rebuilt primary fragments.
+    uint64_t tuples_copied = 0;
+    /// Bytes shipped backup-host -> rebuilt node.
+    uint64_t bytes_shipped = 0;
+    /// Committed-but-unmirrored log records replayed into the node's stale
+    /// backup fragments (the log tail it missed while dead).
+    uint64_t log_records_replayed = 0;
+    /// Aborted-statement records reversed on the node's own fragments
+    /// (effects that crashed onto its disk before it died).
+    uint64_t records_undone = 0;
+    /// Simulated time the rebuild took.
+    double rebuild_sec = 0;
+  };
+
+  /// The machine-lifetime write-ahead log (null when logging is off).
+  WalStore* wal() { return wal_.get(); }
+  bool crashed() const { return crashed_; }
+
+  /// Simulates a whole-machine crash: every buffer pool, lock table and
+  /// open transaction vanishes; disks and the recovery server's log
+  /// survive. Queries fail until Recover() runs.
+  void Crash();
+
+  /// ARIES-style restart: scans the retained log from the last checkpoint,
+  /// redoes committed work missing from disk, undoes losers, and reopens
+  /// the machine. Deterministic and charged (see RecoveryReport).
+  Result<RecoveryReport> Recover();
+
+  /// Writes a fuzzy checkpoint now (also triggered automatically every
+  /// `checkpoint_every_commits` commits). Returns its begin LSN.
+  Result<uint64_t> Checkpoint();
+
+  /// Brings a dead disk node back into service: revives it, rebuilds its
+  /// primary fragments from their chained backups (catalog flips back to
+  /// the primary once each copy lands), replays the committed log tail
+  /// into its stale backup fragments, and reverses aborted-statement
+  /// effects stranded on its disk.
+  Result<RebuildReport> ReintegrateNode(int node);
 
   // --- Loading (not part of any measured query) ---
 
@@ -200,19 +284,30 @@ class GammaMachine {
     QueryGuard(const QueryGuard&) = delete;
     QueryGuard& operator=(const QueryGuard&) = delete;
     ~QueryGuard() {
-      if (!dismissed_) machine_->AbortQuery(txn_, partial_result_);
+      if (!dismissed_) {
+        machine_->AbortQuery(txn_, partial_result_, wal_txn_, crashed_);
+      }
     }
 
     /// Registers the result relation to drop if the query aborts.
     void set_partial_result(const std::string& name) {
       partial_result_ = name;
     }
+    /// Registers the WAL transaction whose sealed records a clean abort
+    /// must reverse and close.
+    void set_wal_txn(uint64_t wal_txn) { wal_txn_ = wal_txn; }
+    /// Marks the abort as a crash (node died at the commit point): sealed
+    /// records stay in the log as losers for Recover() instead of being
+    /// compensated now.
+    void set_crashed() { crashed_ = true; }
     void Dismiss() { dismissed_ = true; }
 
    private:
     GammaMachine* machine_;
     uint64_t txn_;
+    uint64_t wal_txn_ = 0;
     std::string partial_result_;
+    bool crashed_ = false;
     bool dismissed_ = false;
   };
 
@@ -259,10 +354,15 @@ class GammaMachine {
 
   /// Backout path shared by the failed-query guards: release `txn`'s locks,
   /// drop un-flushed pages, delete the partial result relation, unbind.
-  void AbortQuery(uint64_t txn, const std::string& partial_result);
+  /// When `wal_txn` is set and the abort is clean (not `wal_crashed`), the
+  /// transaction's sealed log records are reversed and compensated.
+  void AbortQuery(uint64_t txn, const std::string& partial_result,
+                  uint64_t wal_txn = 0, bool wal_crashed = false);
 
-  /// Runs `attempt`; if it reports Unavailable (a node died mid-flight),
-  /// re-runs it exactly once against the surviving configuration.
+  /// Runs `attempt`; while it reports Unavailable (a node died mid-flight),
+  /// re-runs it against the surviving configuration up to
+  /// `failover_max_retries` times, charging exponential backoff between
+  /// retries.
   Result<QueryResult> RunWithFailover(
       const std::function<Result<QueryResult>()>& attempt);
 
@@ -272,16 +372,51 @@ class GammaMachine {
 
   /// Removes the backup copy of a tuple deleted from `fragment` (located by
   /// content match — backups have no indexes), charging the shipping packet
-  /// and the scan.
+  /// and the scan. `deleted_rid`, when given, receives the backup rid (the
+  /// WAL logs it so undo can restore the copy in place).
   Status DeleteFromBackup(const catalog::RelationMeta& meta, int fragment,
                           std::span<const uint8_t> tuple,
-                          sim::CostTracker* tracker);
+                          sim::CostTracker* tracker,
+                          storage::Rid* deleted_rid = nullptr);
 
   /// In-place rewrite of the backup copy of a modified tuple.
   Status UpdateInBackup(const catalog::RelationMeta& meta, int fragment,
                         std::span<const uint8_t> old_tuple,
                         std::span<const uint8_t> new_tuple,
-                        sim::CostTracker* tracker);
+                        sim::CostTracker* tracker,
+                        storage::Rid* updated_rid = nullptr);
+
+  // --- Recovery internals (machine_recovery.cc) ---
+
+  /// Fresh WAL transaction id for an auto-commit statement (high bit set so
+  /// it can never collide with a TxnManager id).
+  uint64_t StatementWalTxn();
+
+  /// Re-applies one committed log record missing from the serving copies
+  /// (test-and-apply redo; a no-op when the forced pages already hold the
+  /// effect). Bumps `*applied` and records the relation in `touched` only
+  /// when something changed.
+  Status RedoRecord(const WalRecord& record, uint64_t* applied,
+                    std::set<std::string>* touched);
+
+  /// Reverses one loser record on the primary (and, when mirrored, the
+  /// backup), maintaining index entries incrementally so rids never move.
+  Status UndoRecord(const WalRecord& record, uint64_t* undone,
+                    std::set<std::string>* touched);
+
+  /// Physically reverses every sealed record of `wal_txn` wherever it is
+  /// reachable (dead nodes are skipped). `close` additionally compensates
+  /// the transaction in the log (clean abort); a crashed statement leaves
+  /// it open so Recover()/ReintegrateNode() finish the job.
+  void UndoTransaction(uint64_t wal_txn, bool close);
+
+  /// Writes a fuzzy checkpoint when the commit cadence is due, charging the
+  /// checkpoint records through `log` from `src_node`.
+  void MaybeAutoCheckpoint(RecoveryLog* log, int src_node);
+
+  /// Resets `name`'s cardinality from its serving fragment copies and
+  /// recomputes its statistics (after undo changed tuple counts).
+  void RecountRelation(const std::string& name);
 
   /// §5.1 optimizer: clustered index when the predicate is on its attribute;
   /// non-clustered only when selectivity is low enough to beat a scan.
@@ -322,6 +457,12 @@ class GammaMachine {
   /// fragment's table, relation locks in the scheduler's), ids shared with
   /// the storage-level lock managers. Only coordinator threads call it.
   txn::TxnManager txns_;
+  /// Replayable write-ahead log kept by the recovery server (only when
+  /// `enable_logging`); survives Crash().
+  std::unique_ptr<WalStore> wal_;
+  /// Set by Crash(), cleared by Recover(); queries refuse while set.
+  bool crashed_ = false;
+  uint64_t next_statement_txn_ = 1;
   uint64_t next_result_id_ = 1;
   uint64_t next_salt_ = 0xBEEF;
 };

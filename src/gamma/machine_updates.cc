@@ -38,7 +38,8 @@ int32_t AttrOf(const catalog::Schema& schema,
 
 Status GammaMachine::DeleteFromBackup(const RelationMeta& meta, int fragment,
                                       std::span<const uint8_t> tuple,
-                                      sim::CostTracker* tracker) {
+                                      sim::CostTracker* tracker,
+                                      Rid* deleted_rid) {
   const int host = (fragment + 1) % config_.num_disk_nodes;
   if (faults_->IsDead(host)) {
     return Status::Unavailable("backup site " + std::to_string(host) +
@@ -68,13 +69,15 @@ Status GammaMachine::DeleteFromBackup(const RelationMeta& meta, int fragment,
                               std::to_string(fragment) + " of " + meta.name +
                               " is missing a tuple");
   }
+  if (deleted_rid != nullptr) *deleted_rid = match;
   return backup.Delete(match);
 }
 
 Status GammaMachine::UpdateInBackup(const RelationMeta& meta, int fragment,
                                     std::span<const uint8_t> old_tuple,
                                     std::span<const uint8_t> new_tuple,
-                                    sim::CostTracker* tracker) {
+                                    sim::CostTracker* tracker,
+                                    Rid* updated_rid) {
   const int host = (fragment + 1) % config_.num_disk_nodes;
   if (faults_->IsDead(host)) {
     return Status::Unavailable("backup site " + std::to_string(host) +
@@ -102,11 +105,16 @@ Status GammaMachine::UpdateInBackup(const RelationMeta& meta, int fragment,
                               std::to_string(fragment) + " of " + meta.name +
                               " is missing a tuple");
   }
+  if (updated_rid != nullptr) *updated_rid = match;
   return backup.Update(match, new_tuple);
 }
 
 Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
                                             uint64_t external_txn) {
+  if (crashed_) {
+    return Status::Unavailable(
+        "machine crashed: run Recover() before issuing queries");
+  }
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.tuple.size() != meta->schema.tuple_size()) {
     return Status::InvalidArgument("tuple size does not match schema");
@@ -128,7 +136,12 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
                                " is down");
   }
   const int backup_host = (target + 1) % config_.num_disk_nodes;
-  if (meta->backed_up && faults_->IsDead(backup_host)) {
+  // Without the replayable log, a dead backup host blocks the write (the
+  // mirror would silently diverge). With logging on, the write proceeds and
+  // its records carry mirrored=false — reintegration replays them into the
+  // stale backup when the host returns.
+  const bool mirror = meta->backed_up && !faults_->IsDead(backup_host);
+  if (meta->backed_up && !mirror && wal_ == nullptr) {
     return Status::Unavailable("append to " + query.relation +
                                ": backup site " + std::to_string(backup_host) +
                                " is down");
@@ -144,10 +157,15 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
-                  config_.recovery_node(), config_.page_size);
+                  config_.recovery_node(), config_.page_size, wal_.get());
   const bool auto_commit = external_txn == 0;
   const uint64_t txn = auto_commit ? txns_.Begin() : external_txn;
   QueryGuard guard(this, txn);
+  const uint64_t wal_txn =
+      wal_ != nullptr ? (auto_commit ? StatementWalTxn() : txn) : 0;
+  const uint32_t wal_rel =
+      wal_ != nullptr ? wal_->InternRelation(meta->name) : 0;
+  guard.set_wal_txn(wal_txn);
 
   // Host submits to the scheduler, which initiates one update operator at
   // the tuple's home site.
@@ -199,7 +217,7 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
   }
   storage::HeapFile* backup_file = nullptr;
   Rid backup_rid{};
-  if (meta->backed_up) {
+  if (mirror) {
     // Mirror into the chained backup at (target + 1) % n.
     storage::StorageManager& bsm = *nodes_[static_cast<size_t>(backup_host)];
     const uint32_t bfid =
@@ -218,8 +236,10 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
     backup_rid = *brid_or;
   }
   if (config_.enable_logging) {
-    log.Append(target, static_cast<uint32_t>(query.tuple.size()));
-    log.Commit(target);
+    // Write-ahead: the record and the force precede the page flushes below.
+    log.LogInsert(target, wal_txn, wal_rel, target, rid, query.tuple, mirror,
+                  backup_rid);
+    log.ForceTail(target);
   }
   if (Status st = FlushAllPools(); !st.ok()) {
     // The commit-time force failed: tombstone this append (both copies)
@@ -227,6 +247,24 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
     if (backup_file != nullptr) backup_file->Delete(backup_rid);
     fragment.Delete(rid);
     return st;
+  }
+  if (config_.enable_logging) {
+    if (auto_commit) {
+      // Commit point: the log is forced and the pages are durable, but the
+      // winner marker has not been sealed — a death here leaves a loser.
+      if (faults_->OnCommitPoint(target)) {
+        guard.set_crashed();
+        return Status::Unavailable("append to " + query.relation +
+                                   ": home site " + std::to_string(target) +
+                                   " died at its commit point");
+      }
+      log.LogCommit(target, wal_txn);
+      MaybeAutoCheckpoint(&log, target);
+    } else {
+      // The statement's records are forced; the commit marker waits for
+      // CommitTxn.
+      log.Commit(target);
+    }
   }
   tracker.ChargeControlMessage(target, config_.scheduler_node(), true);
   tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
@@ -252,6 +290,10 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
 
 Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query,
                                             uint64_t external_txn) {
+  if (crashed_) {
+    return Status::Unavailable(
+        "machine crashed: run Recover() before issuing queries");
+  }
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.key_attr < 0 ||
       static_cast<size_t>(query.key_attr) >= meta->schema.num_attrs()) {
@@ -279,10 +321,15 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query,
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
-                  config_.recovery_node(), config_.page_size);
+                  config_.recovery_node(), config_.page_size, wal_.get());
   const bool auto_commit = external_txn == 0;
   const uint64_t txn = auto_commit ? txns_.Begin() : external_txn;
   QueryGuard guard(this, txn);
+  const uint64_t wal_txn =
+      wal_ != nullptr ? (auto_commit ? StatementWalTxn() : txn) : 0;
+  const uint32_t wal_rel =
+      wal_ != nullptr ? wal_->InternRelation(meta->name) : 0;
+  guard.set_wal_txn(wal_txn);
 
   tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
                                true);
@@ -343,19 +390,46 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query,
             &sm.index(idx.per_node_index[static_cast<size_t>(node)]),
             AttrOf(meta->schema, tuple, idx.attr), rid);
       }
+      bool mirrored = false;
+      Rid backup_rid{};
       if (meta->backed_up) {
-        GAMMA_RETURN_NOT_OK(DeleteFromBackup(*meta, node, tuple, &tracker));
+        const int bhost = (node + 1) % config_.num_disk_nodes;
+        if (wal_ == nullptr || !faults_->IsDead(bhost)) {
+          GAMMA_RETURN_NOT_OK(
+              DeleteFromBackup(*meta, node, tuple, &tracker, &backup_rid));
+          mirrored = true;
+        }
+        // else: the backup host is down but the log keeps the record with
+        // mirrored=false; reintegration replays it into the stale copy.
       }
       if (config_.enable_logging) {
-        log.Append(node, static_cast<uint32_t>(tuple.size()));
-        log.Commit(node);
+        log.LogDelete(node, wal_txn, wal_rel, node, rid, tuple, mirrored,
+                      backup_rid);
       }
       ++deleted;
     }
     GAMMA_RETURN_NOT_OK(deferred.Commit());
+    if (config_.enable_logging && deleted > 0) log.ForceTail(node);
     tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
   }
   GAMMA_RETURN_NOT_OK(FlushAllPools());
+  if (config_.enable_logging && deleted > 0) {
+    const int commit_site = parts.empty() ? 0 : parts.front();
+    if (auto_commit) {
+      for (int node : parts) {
+        if (faults_->OnCommitPoint(node)) {
+          guard.set_crashed();
+          return Status::Unavailable(
+              "delete from " + query.relation + ": site " +
+              std::to_string(node) + " died at its commit point");
+        }
+      }
+      log.LogCommit(commit_site, wal_txn);
+      MaybeAutoCheckpoint(&log, commit_site);
+    } else {
+      log.Commit(commit_site);
+    }
+  }
   tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
                                true);
   tracker.EndPhase();
@@ -379,6 +453,10 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query,
 
 Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query,
                                             uint64_t external_txn) {
+  if (crashed_) {
+    return Status::Unavailable(
+        "machine crashed: run Recover() before issuing queries");
+  }
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   if (query.locate_attr < 0 ||
       static_cast<size_t>(query.locate_attr) >= meta->schema.num_attrs() ||
@@ -415,10 +493,15 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query,
   BindAll(&tracker);
   tracker.ChargeHostSetup(config_.host_setup_sec);
   RecoveryLog log(config_.enable_logging ? &tracker : nullptr,
-                  config_.recovery_node(), config_.page_size);
+                  config_.recovery_node(), config_.page_size, wal_.get());
   const bool auto_commit = external_txn == 0;
   const uint64_t txn = auto_commit ? txns_.Begin() : external_txn;
   QueryGuard guard(this, txn);
+  const uint64_t wal_txn =
+      wal_ != nullptr ? (auto_commit ? StatementWalTxn() : txn) : 0;
+  const uint32_t wal_rel =
+      wal_ != nullptr ? wal_->InternRelation(meta->name) : 0;
+  guard.set_wal_txn(wal_txn);
 
   tracker.ChargeControlMessage(config_.host_node(), config_.scheduler_node(),
                                true);
@@ -543,28 +626,51 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query,
               AttrOf(meta->schema, new_tuple, idx.attr), new_rid);
         }
         GAMMA_RETURN_NOT_OK(deferred_new.Commit());
+        bool old_mirrored = false;
+        bool new_mirrored = false;
+        Rid old_backup_rid{};
+        Rid new_backup_rid{};
         if (meta->backed_up) {
           // The backup copy moves with the tuple: out of this fragment's
-          // chain, into the new home fragment's chain.
-          GAMMA_RETURN_NOT_OK(
-              DeleteFromBackup(*meta, node, old_tuple, &tracker));
+          // chain, into the new home fragment's chain. A dead backup host on
+          // either end blocks the write unless the log can carry the
+          // mirrored=false record for reintegration to replay.
+          const int old_backup_host = (node + 1) % config_.num_disk_nodes;
+          if (wal_ == nullptr || !faults_->IsDead(old_backup_host)) {
+            GAMMA_RETURN_NOT_OK(DeleteFromBackup(*meta, node, old_tuple,
+                                                 &tracker, &old_backup_rid));
+            old_mirrored = true;
+          }
           const int new_backup_host =
               (new_home + 1) % config_.num_disk_nodes;
           if (faults_->IsDead(new_backup_host)) {
-            return Status::Unavailable(
-                "modify of " + query.relation + ": backup site " +
-                std::to_string(new_backup_host) + " is down");
+            if (wal_ == nullptr) {
+              return Status::Unavailable(
+                  "modify of " + query.relation + ": backup site " +
+                  std::to_string(new_backup_host) + " is down");
+            }
+          } else {
+            storage::StorageManager& bsm =
+                *nodes_[static_cast<size_t>(new_backup_host)];
+            tracker.ChargeDataPacket(new_home, new_backup_host,
+                                     new_tuple.size());
+            bsm.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
+            auto brid_or =
+                bsm.file(meta->per_node_backup_file[static_cast<size_t>(
+                             new_home)])
+                    .Append(new_tuple);
+            GAMMA_RETURN_NOT_OK(brid_or.status());
+            new_backup_rid = *brid_or;
+            new_mirrored = true;
           }
-          storage::StorageManager& bsm =
-              *nodes_[static_cast<size_t>(new_backup_host)];
-          tracker.ChargeDataPacket(new_home, new_backup_host,
-                                   new_tuple.size());
-          bsm.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
-          auto brid_or =
-              bsm.file(
-                     meta->per_node_backup_file[static_cast<size_t>(new_home)])
-                  .Append(new_tuple);
-          GAMMA_RETURN_NOT_OK(brid_or.status());
+        }
+        if (config_.enable_logging) {
+          // A relocation is logically delete-here + insert-there; two
+          // records keep undo and reintegration site-local.
+          log.LogDelete(node, wal_txn, wal_rel, node, rid, old_tuple,
+                        old_mirrored, old_backup_rid);
+          log.LogInsert(new_home, wal_txn, wal_rel, new_home, new_rid,
+                        new_tuple, new_mirrored, new_backup_rid);
         }
       } else {
         GAMMA_RETURN_NOT_OK(fragment.Update(rid, new_tuple));
@@ -582,21 +688,46 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query,
                              AttrOf(meta->schema, new_tuple, idx.attr), rid);
         }
         GAMMA_RETURN_NOT_OK(deferred.Commit());
+        bool mirrored = false;
+        Rid backup_rid{};
         if (meta->backed_up) {
-          GAMMA_RETURN_NOT_OK(
-              UpdateInBackup(*meta, node, old_tuple, new_tuple, &tracker));
+          const int bhost = (node + 1) % config_.num_disk_nodes;
+          if (wal_ == nullptr || !faults_->IsDead(bhost)) {
+            GAMMA_RETURN_NOT_OK(UpdateInBackup(*meta, node, old_tuple,
+                                               new_tuple, &tracker,
+                                               &backup_rid));
+            mirrored = true;
+          }
         }
-      }
-      if (config_.enable_logging) {
-        // Before and after images.
-        log.Append(node, static_cast<uint32_t>(2 * new_tuple.size()));
-        log.Commit(node);
+        if (config_.enable_logging) {
+          // Before and after images.
+          log.LogModify(node, wal_txn, wal_rel, node, rid, old_tuple,
+                        new_tuple, mirrored, backup_rid);
+        }
       }
       ++modified;
     }
+    if (config_.enable_logging && modified > 0) log.ForceTail(node);
     tracker.ChargeControlMessage(node, config_.scheduler_node(), true);
   }
   GAMMA_RETURN_NOT_OK(FlushAllPools());
+  if (config_.enable_logging && modified > 0) {
+    const int commit_site = parts.empty() ? 0 : parts.front();
+    if (auto_commit) {
+      for (int node : parts) {
+        if (faults_->OnCommitPoint(node)) {
+          guard.set_crashed();
+          return Status::Unavailable(
+              "modify of " + query.relation + ": site " +
+              std::to_string(node) + " died at its commit point");
+        }
+      }
+      log.LogCommit(commit_site, wal_txn);
+      MaybeAutoCheckpoint(&log, commit_site);
+    } else {
+      log.Commit(commit_site);
+    }
+  }
   tracker.ChargeControlMessage(config_.scheduler_node(), config_.host_node(),
                                true);
   tracker.EndPhase();

@@ -5,10 +5,11 @@
 namespace gammadb::gamma {
 
 RecoveryLog::RecoveryLog(sim::CostTracker* tracker, int recovery_node,
-                         uint32_t page_size)
+                         uint32_t page_size, WalStore* wal)
     : tracker_(tracker),
       recovery_node_(recovery_node),
-      page_size_(page_size) {
+      page_size_(page_size),
+      wal_(wal) {
   if (tracker_ != nullptr) {
     GAMMA_CHECK(recovery_node >= 0 && recovery_node < tracker->num_nodes());
     const size_t n = static_cast<size_t>(tracker->num_nodes());
@@ -78,6 +79,10 @@ void RecoveryLog::Append(int src_node, uint32_t payload_bytes) {
 }
 
 void RecoveryLog::Settle() {
+  // The staging side mirrors the charging side: records buffered by task-
+  // bound sources become durable log content in the same canonical order
+  // their packets are applied to the server's sequential log.
+  if (wal_ != nullptr) wal_->Seal();
   if (tracker_ == nullptr) return;
   for (size_t node = 0; node < unsettled_.size(); ++node) {
     if (unsettled_[node] == 0) continue;
@@ -87,6 +92,7 @@ void RecoveryLog::Settle() {
 }
 
 void RecoveryLog::Commit(int src_node) {
+  if (wal_ != nullptr) wal_->Seal();
   if (tracker_ == nullptr) return;
   uint64_t& pending = pending_[static_cast<size_t>(src_node)];
   if (pending > 0) {
@@ -105,6 +111,122 @@ void RecoveryLog::Commit(int src_node) {
   // Commit acknowledgement round trip.
   tracker_->ChargeControlMessage(src_node, recovery_node_, /*blocking=*/true);
   tracker_->ChargeControlMessage(recovery_node_, src_node, /*blocking=*/false);
+}
+
+void RecoveryLog::ForceTail(int src_node) {
+  if (wal_ != nullptr) wal_->Seal();
+  if (tracker_ == nullptr) return;
+  uint64_t& pending = pending_[static_cast<size_t>(src_node)];
+  if (pending > 0) {
+    ShipPacket(src_node, pending);
+    pending = 0;
+  }
+  Settle();
+  if (server_pending_ > 0) {
+    tracker_->ChargeDiskWrite(recovery_node_, page_size_,
+                              /*sequential=*/true);
+    server_pending_ = 0;
+    ++log_pages_written_;
+    ++forced_flushes_;
+  }
+}
+
+void RecoveryLog::AppendUncounted(int src_node, uint32_t payload_bytes) {
+  if (tracker_ == nullptr) return;
+  const uint32_t record = kRecordHeaderBytes + payload_bytes;
+  sim::CostTracker* sink = TrackerFor(src_node);
+  sink->ChargeCpu(src_node, sink->hw().cost.instr_per_tuple_copy);
+  uint64_t& pending = pending_[static_cast<size_t>(src_node)];
+  pending += record;
+  const uint64_t payload = sink->hw().net.packet_payload_bytes;
+  while (pending >= payload) {
+    ShipPacket(src_node, payload);
+    pending -= payload;
+  }
+}
+
+namespace {
+
+std::vector<uint8_t> CopyImage(std::span<const uint8_t> bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+}  // namespace
+
+void RecoveryLog::LogInsert(int src_node, uint64_t txn, uint32_t rel,
+                            int32_t fragment, storage::Rid rid,
+                            std::span<const uint8_t> tuple, bool mirrored,
+                            storage::Rid backup_rid) {
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.txn = txn;
+    record.kind = WalKind::kInsert;
+    record.rel = rel;
+    record.fragment = fragment;
+    record.rid = rid;
+    record.backup_rid = backup_rid;
+    record.mirrored = mirrored;
+    record.after = CopyImage(tuple);
+    wal_->Append(std::move(record));
+  }
+  Append(src_node, static_cast<uint32_t>(tuple.size()));
+}
+
+void RecoveryLog::LogDelete(int src_node, uint64_t txn, uint32_t rel,
+                            int32_t fragment, storage::Rid rid,
+                            std::span<const uint8_t> before, bool mirrored,
+                            storage::Rid backup_rid) {
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.txn = txn;
+    record.kind = WalKind::kDelete;
+    record.rel = rel;
+    record.fragment = fragment;
+    record.rid = rid;
+    record.backup_rid = backup_rid;
+    record.mirrored = mirrored;
+    record.before = CopyImage(before);
+    wal_->Append(std::move(record));
+  }
+  Append(src_node, static_cast<uint32_t>(before.size()));
+}
+
+void RecoveryLog::LogModify(int src_node, uint64_t txn, uint32_t rel,
+                            int32_t fragment, storage::Rid rid,
+                            std::span<const uint8_t> before,
+                            std::span<const uint8_t> after, bool mirrored,
+                            storage::Rid backup_rid) {
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.txn = txn;
+    record.kind = WalKind::kModify;
+    record.rel = rel;
+    record.fragment = fragment;
+    record.rid = rid;
+    record.backup_rid = backup_rid;
+    record.mirrored = mirrored;
+    record.before = CopyImage(before);
+    record.after = CopyImage(after);
+    wal_->Append(std::move(record));
+  }
+  Append(src_node, static_cast<uint32_t>(before.size() + after.size()));
+}
+
+void RecoveryLog::LogCommit(int src_node, uint64_t txn) {
+  if (wal_ != nullptr) {
+    wal_->Seal();
+    wal_->NoteCommit(txn);
+  }
+  // The commit record itself ships like any record but is excluded from the
+  // data-record stats; the force + acknowledgement are the classic commit.
+  AppendUncounted(src_node, 0);
+  Commit(src_node);
+}
+
+void RecoveryLog::ChargeCheckpoint(int src_node) {
+  AppendUncounted(src_node, 0);
+  AppendUncounted(src_node, 0);
+  ForceTail(src_node);
 }
 
 RecoveryLog::Stats RecoveryLog::stats() const {

@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "gamma/wal.h"
 #include "sim/cost_tracker.h"
+#include "storage/heap_file.h"
 
 namespace gammadb::gamma {
 
@@ -44,9 +47,11 @@ class RecoveryLog {
   static constexpr uint32_t kRecordHeaderBytes = 32;
 
   /// `recovery_node` is the dedicated processor's tracker index; `tracker`
-  /// may be null (logging disabled / unmeasured).
+  /// may be null (logging disabled / unmeasured). `wal`, when given, is the
+  /// machine-lifetime store the typed Log* calls stage replayable records
+  /// into (null = charge-only, the pre-recovery accounting mode).
   RecoveryLog(sim::CostTracker* tracker, int recovery_node,
-              uint32_t page_size);
+              uint32_t page_size, WalStore* wal = nullptr);
 
   RecoveryLog(const RecoveryLog&) = delete;
   RecoveryLog& operator=(const RecoveryLog&) = delete;
@@ -62,6 +67,44 @@ class RecoveryLog {
   /// server appends them to the sequential log as pages fill.
   void Append(int src_node, uint32_t payload_bytes);
 
+  // --- Typed records (charge exactly like Append, and seal the replayable
+  // --- content into the WalStore when one is attached). Update statements
+  // --- run on the coordinator thread, so records seal in program order and
+  // --- LSNs are identical for any host-pool width. ---
+
+  /// Tuple appended to fragment `fragment` of `rel` at `rid`.
+  void LogInsert(int src_node, uint64_t txn, uint32_t rel, int32_t fragment,
+                 storage::Rid rid, std::span<const uint8_t> tuple,
+                 bool mirrored, storage::Rid backup_rid = {});
+
+  /// Tuple deleted; `before` is the pre-image.
+  void LogDelete(int src_node, uint64_t txn, uint32_t rel, int32_t fragment,
+                 storage::Rid rid, std::span<const uint8_t> before,
+                 bool mirrored, storage::Rid backup_rid = {});
+
+  /// Tuple rewritten in place; logs before and after images (2x payload,
+  /// the historical charge for a modify).
+  void LogModify(int src_node, uint64_t txn, uint32_t rel, int32_t fragment,
+                 storage::Rid rid, std::span<const uint8_t> before,
+                 std::span<const uint8_t> after, bool mirrored,
+                 storage::Rid backup_rid = {});
+
+  /// Forces the log tail for `src_node`'s records *without* the commit
+  /// acknowledgement: flushes the partial packet, settles deferred server
+  /// work, and writes the partial log page. This is the data force of the
+  /// commit protocol — the statement's page writes may only proceed once it
+  /// completes (write-ahead rule).
+  void ForceTail(int src_node);
+
+  /// Seals the statement's commit record (winner marker) and runs the
+  /// classic commit step: force + acknowledgement round trip.
+  void LogCommit(int src_node, uint64_t txn);
+
+  /// Charges the fuzzy-checkpoint record pair (excluded from the
+  /// data-record stats, like commit markers) and forces the tail. The
+  /// caller seals the actual checkpoint via WalStore::Checkpoint().
+  void ChargeCheckpoint(int src_node);
+
   /// Applies packets shipped by task-bound sources to the server's
   /// sequential log, in canonical node order, charging the query tracker.
   /// The machine calls this at every phase barrier where stores logged;
@@ -75,15 +118,21 @@ class RecoveryLog {
   /// Counters aggregated over the per-node streams.
   Stats stats() const;
 
+  WalStore* wal() { return wal_; }
+
  private:
   sim::CostTracker* TrackerFor(int src_node) const;
   void ShipPacket(int src_node, uint64_t bytes);
   /// Server side: copy `bytes` into the log buffer, write full pages.
   void ApplyToServer(uint64_t bytes);
+  /// Charge path of Append without bumping the record/byte stats — used for
+  /// commit markers, which the metrics contract excludes from log_records.
+  void AppendUncounted(int src_node, uint32_t payload_bytes);
 
   sim::CostTracker* tracker_;
   int recovery_node_;
   uint32_t page_size_;
+  WalStore* wal_;
   /// Unshipped log bytes per source node.
   std::vector<uint64_t> pending_;
   /// Shipped bytes per source awaiting server-side settlement (only used

@@ -1,0 +1,176 @@
+#include "gamma/wal.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace gammadb::gamma {
+
+WalStore::WalStore(int num_nodes) : num_nodes_(num_nodes) {
+  GAMMA_CHECK(num_nodes > 0);
+  staged_.resize(static_cast<size_t>(num_nodes));
+}
+
+uint32_t WalStore::InternRelation(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(relation_names_.size());
+  relation_ids_.emplace(name, id);
+  relation_names_.push_back(name);
+  return id;
+}
+
+const std::string& WalStore::RelationName(uint32_t id) const {
+  static const std::string kUnknown;
+  if (id >= relation_names_.size()) return kUnknown;
+  return relation_names_[id];
+}
+
+void WalStore::Stage(int src_node, WalRecord record) {
+  GAMMA_CHECK(src_node >= 0 && src_node < num_nodes_);
+  staged_[static_cast<size_t>(src_node)].push_back(std::move(record));
+}
+
+void WalStore::SealOne(WalRecord&& record) {
+  record.lsn = next_lsn_++;
+  const uint64_t bytes = record.bytes();
+  total_bytes_ += bytes;
+  retained_bytes_ += bytes;
+  if (record.kind == WalKind::kCommit) {
+    committed_.insert(record.txn);
+    ++commits_since_checkpoint_;
+  }
+  log_.push_back(std::move(record));
+}
+
+void WalStore::Seal() {
+  for (std::vector<WalRecord>& buffer : staged_) {
+    for (WalRecord& record : buffer) SealOne(std::move(record));
+    buffer.clear();
+  }
+}
+
+void WalStore::DiscardStaged() {
+  for (std::vector<WalRecord>& buffer : staged_) buffer.clear();
+}
+
+uint64_t WalStore::Append(WalRecord record) {
+  SealOne(std::move(record));
+  return next_lsn_ - 1;
+}
+
+void WalStore::NoteCommit(uint64_t txn) {
+  WalRecord record;
+  record.txn = txn;
+  record.kind = WalKind::kCommit;
+  Append(std::move(record));
+}
+
+void WalStore::NoteCleanAbort(uint64_t txn) {
+  if (committed_.contains(txn)) return;  // too late: txn is a winner
+  DiscardStaged();
+  // Only transactions that actually logged something need closing.
+  bool logged = false;
+  for (const WalRecord& record : log_) {
+    if (record.txn == txn && record.kind != WalKind::kAbort) {
+      logged = true;
+      break;
+    }
+  }
+  if (!logged) return;
+  aborted_.insert(txn);
+  WalRecord record;
+  record.txn = txn;
+  record.kind = WalKind::kAbort;
+  Append(std::move(record));
+}
+
+bool WalStore::HasDataRecords(uint64_t txn) const {
+  for (const WalRecord& record : log_) {
+    switch (record.kind) {
+      case WalKind::kInsert:
+      case WalKind::kDelete:
+      case WalKind::kModify:
+        if (record.txn == txn) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+void WalStore::MarkMirrored(uint32_t rel, int32_t fragment,
+                            uint64_t upto_lsn) {
+  for (WalRecord& record : log_) {
+    if (record.lsn > upto_lsn) break;
+    if (record.rel == rel && record.fragment == fragment) {
+      record.mirrored = true;
+    }
+  }
+}
+
+std::vector<uint64_t> WalStore::OpenTxns() const {
+  std::set<uint64_t> open;
+  for (const WalRecord& record : log_) {
+    switch (record.kind) {
+      case WalKind::kInsert:
+      case WalKind::kDelete:
+      case WalKind::kModify:
+        if (!committed_.contains(record.txn) &&
+            !aborted_.contains(record.txn)) {
+          open.insert(record.txn);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return {open.begin(), open.end()};
+}
+
+uint64_t WalStore::Checkpoint() {
+  GAMMA_CHECK_MSG(
+      std::all_of(staged_.begin(), staged_.end(),
+                  [](const std::vector<WalRecord>& b) { return b.empty(); }),
+      "checkpoint with staged (unsealed) log records");
+  // The begin record carries the active-transaction table: the open
+  // transactions whose records the undo pass must still reach.
+  const std::vector<uint64_t> open = OpenTxns();
+  WalRecord begin;
+  begin.kind = WalKind::kCheckpointBegin;
+  const uint64_t begin_lsn = Append(std::move(begin));
+
+  // Truncation point: recovery needs (a) every record of an open
+  // transaction, (b) every committed record not yet mirrored into its
+  // chained backup (reintegration replays those), (c) the checkpoint itself.
+  uint64_t keep_from = begin_lsn;
+  for (const WalRecord& record : log_) {
+    const bool data = record.kind == WalKind::kInsert ||
+                      record.kind == WalKind::kDelete ||
+                      record.kind == WalKind::kModify;
+    if (!data) continue;
+    const bool open_txn =
+        !committed_.contains(record.txn) && !aborted_.contains(record.txn);
+    const bool unmirrored_winner =
+        committed_.contains(record.txn) && !record.mirrored;
+    if ((open_txn || unmirrored_winner) && record.lsn < keep_from) {
+      keep_from = record.lsn;
+    }
+  }
+  while (!log_.empty() && log_.front().lsn < keep_from) {
+    retained_bytes_ -= log_.front().bytes();
+    log_.pop_front();
+  }
+
+  WalRecord end;
+  end.kind = WalKind::kCheckpointEnd;
+  end.txn = static_cast<uint64_t>(open.size());
+  Append(std::move(end));
+  checkpoint_lsn_ = begin_lsn;
+  commits_since_checkpoint_ = 0;
+  return begin_lsn;
+}
+
+}  // namespace gammadb::gamma

@@ -60,6 +60,13 @@ std::string RenderPlanWithActuals(const PlanNode& root,
                 totals.packets_sent + totals.packets_short_circuited,
                 result.metrics.locks_acquired, result.metrics.lock_waits);
   out.append(buf);
+  if (result.metrics.failover_retries > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "actual: %u failover retries (%s backoff)\n",
+                  result.metrics.failover_retries,
+                  FormatSeconds(result.metrics.failover_backoff_sec).c_str());
+    out.append(buf);
+  }
   return out;
 }
 

@@ -82,6 +82,12 @@ struct QueryMetrics {
   double lock_wait_sec = 0;
   uint64_t deadlocks = 0;
   uint64_t lock_aborts = 0;
+  /// Failover retries this statement consumed before succeeding (0 on the
+  /// fault-free path).
+  uint32_t failover_retries = 0;
+  /// Simulated wall-clock spent backing off between failover retries
+  /// (also folded into scheduling_sec).
+  double failover_backoff_sec = 0;
   std::vector<PhaseMetrics> phases;
 
   double TotalSec() const;

@@ -62,10 +62,28 @@ void FaultInjector::KillNodeAfterOps(int i, uint64_t disk_ops) {
   state.death_at_ops = state.ops + disk_ops;
 }
 
+void FaultInjector::KillNodeAtCommit(int i, uint64_t commits) {
+  GAMMA_CHECK(commits > 0);
+  NodeState& state = node(i);
+  state.death_at_commit = state.commit_points + commits;
+}
+
+bool FaultInjector::OnCommitPoint(int i) {
+  NodeState& state = node(i);
+  if (state.dead) return true;
+  ++state.commit_points;
+  if (state.commit_points >= state.death_at_commit) {
+    state.dead = true;
+    return true;
+  }
+  return false;
+}
+
 void FaultInjector::ReviveNode(int i) {
   NodeState& state = node(i);
   state.dead = false;
   state.death_at_ops = UINT64_MAX;
+  state.death_at_commit = UINT64_MAX;
 }
 
 bool FaultInjector::IsDead(int i) const {

@@ -84,6 +84,17 @@ class FaultInjector {
   /// it — the deterministic mid-query failure.
   void KillNodeAfterOps(int node, uint64_t disk_ops);
 
+  /// Declares the node dead at its `commits` -th upcoming commit point —
+  /// after the statement's log records are forced but before the commit
+  /// record is acknowledged (the window recovery's undo pass exists for).
+  /// 1 = die at the very next commit point touching this node.
+  void KillNodeAtCommit(int node, uint64_t commits);
+
+  /// Commit-point draw for `node`: counts one commit point against a
+  /// scheduled KillNodeAtCommit and returns true when the node just died
+  /// (caller must abandon the commit — the ack never arrives).
+  bool OnCommitPoint(int node);
+
   /// Test hook: brings a dead node back (its simulated disk contents were
   /// never discarded, matching a repaired node rejoining with stale data —
   /// callers are responsible for not reading stale fragments).
@@ -116,6 +127,9 @@ class FaultInjector {
     uint64_t ops = 0;
     /// Node dies when ops reaches this count. UINT64_MAX = never.
     uint64_t death_at_ops = UINT64_MAX;
+    uint64_t commit_points = 0;
+    /// Node dies when commit_points reaches this count. UINT64_MAX = never.
+    uint64_t death_at_commit = UINT64_MAX;
     Stats stats;
 
     explicit NodeState(uint64_t seed) : rng(seed) {}

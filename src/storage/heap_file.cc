@@ -101,6 +101,24 @@ Status HeapFile::Delete(Rid rid) {
   return deleted ? Status::OK() : Status::NotFound("rid slot not live");
 }
 
+Status HeapFile::Restore(Rid rid, std::span<const uint8_t> record) {
+  if (rid.page_index >= pages_.size()) {
+    return Status::NotFound("rid page out of range");
+  }
+  const uint32_t page_no = pages_[rid.page_index];
+  uint8_t* frame = nullptr;
+  GAMMA_ASSIGN_OR_RETURN(frame, pool_->Pin(page_no, AccessIntent::kRandom));
+  SlottedPage page(frame, pool_->page_size());
+  const bool restored = page.Restore(rid.slot, record);
+  if (restored) {
+    pool_->MarkDirty(page_no, AccessIntent::kRandom);
+    ++num_tuples_;
+  }
+  pool_->Unpin(page_no);
+  return restored ? Status::OK()
+                  : Status::FailedPrecondition("slot not restorable");
+}
+
 Status HeapFile::Update(Rid rid, std::span<const uint8_t> record) {
   if (rid.page_index >= pages_.size()) {
     return Status::NotFound("rid page out of range");

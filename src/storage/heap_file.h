@@ -65,6 +65,10 @@ class HeapFile {
   /// Tombstones the record.
   Status Delete(Rid rid);
 
+  /// Revives a tombstoned record at its original rid (recovery undo of a
+  /// deletion — keeps the file byte-identical to one that never deleted).
+  Status Restore(Rid rid, std::span<const uint8_t> record);
+
   /// Replaces the record; must fit on its page (fixed-size records always
   /// do). The rid remains valid.
   Status Update(Rid rid, std::span<const uint8_t> record);

@@ -58,6 +58,13 @@ class LockManager {
   /// Releases everything `txn_id` holds (commit/abort).
   void ReleaseAll(uint64_t txn_id);
 
+  /// Drops every lock held by anyone (machine crash: lock state is
+  /// volatile).
+  void Clear() {
+    locks_.clear();
+    held_.clear();
+  }
+
   size_t held_count(uint64_t txn_id) const;
   uint64_t acquisitions() const { return acquisitions_; }
 

@@ -104,6 +104,26 @@ bool SlottedPage::Delete(uint16_t slot_id) {
   return true;
 }
 
+bool SlottedPage::Restore(uint16_t slot_id, std::span<const uint8_t> record) {
+  if (slot_id >= header()->num_slots) return false;
+  Slot& slot = slots()[slot_id];
+  if (slot.offset != kDeadSlot) return false;
+  const uint32_t need = static_cast<uint32_t>(record.size());
+  if (need == 0) return false;
+  if (need > ContiguousFree()) {
+    if (need > ContiguousFree() + header()->dead_bytes) return false;
+    Compact();
+    if (need > ContiguousFree()) return false;
+  }
+  const uint32_t offset = header()->free_end - need;
+  std::memcpy(data_ + offset, record.data(), need);
+  slot.offset = static_cast<uint16_t>(offset);
+  slot.length = static_cast<uint16_t>(need);
+  header()->free_end = static_cast<uint16_t>(offset);
+  header()->live_count += 1;
+  return true;
+}
+
 bool SlottedPage::Update(uint16_t slot_id, std::span<const uint8_t> record) {
   if (!IsLive(slot_id)) return false;
   Slot& slot = slots()[slot_id];

@@ -49,6 +49,11 @@ class SlottedPage {
   /// Tombstones the slot. Returns false if it was not live.
   bool Delete(uint16_t slot);
 
+  /// Revives a tombstoned slot with `record` (recovery undo of a deletion:
+  /// the tuple returns to its original rid). Returns false if the slot is
+  /// live/out of range or the record no longer fits.
+  bool Restore(uint16_t slot, std::span<const uint8_t> record);
+
   /// Replaces the record in `slot`. Equal-size updates happen in place;
   /// different sizes relocate within the page. Returns false if the new
   /// record cannot fit.

@@ -144,6 +144,14 @@ std::vector<LockManager::Grant> TxnManager::Commit(uint64_t txn) {
   return grants;
 }
 
+void TxnManager::CrashReset() {
+  for (auto& table : tables_) {
+    table = std::make_unique<LockManager>();
+  }
+  active_.clear();
+  waiting_table_.clear();
+}
+
 std::vector<LockManager::Grant> TxnManager::Abort(uint64_t txn) {
   std::vector<LockManager::Grant> grants;
   if (!IsActive(txn)) return grants;

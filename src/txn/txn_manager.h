@@ -81,6 +81,11 @@ class TxnManager {
   std::vector<LockManager::Grant> Commit(uint64_t txn);
   std::vector<LockManager::Grant> Abort(uint64_t txn);
 
+  /// Machine crash: every lock table and in-flight transaction vanishes
+  /// with the volatile state. The id counter and lifetime totals survive
+  /// (they model the recovery server's knowledge, not node memory).
+  void CrashReset();
+
   /// Table index holding `id` (also where the lock CPU cost belongs).
   int TableFor(LockId id) const;
 

@@ -60,6 +60,8 @@ void ExpectMetricsEq(const sim::QueryMetrics& a, const sim::QueryMetrics& b) {
   EXPECT_EQ(a.lock_wait_sec, b.lock_wait_sec);
   EXPECT_EQ(a.deadlocks, b.deadlocks);
   EXPECT_EQ(a.lock_aborts, b.lock_aborts);
+  EXPECT_EQ(a.failover_retries, b.failover_retries);
+  EXPECT_EQ(a.failover_backoff_sec, b.failover_backoff_sec);
   ASSERT_EQ(a.phases.size(), b.phases.size());
   for (size_t p = 0; p < a.phases.size(); ++p) {
     const sim::PhaseMetrics& pa = a.phases[p];

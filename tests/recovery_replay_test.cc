@@ -1,0 +1,433 @@
+// Crash-replay property tests for the replayable recovery log: a machine
+// that loses a node at a commit point, then crashes wholesale, must come
+// back — via Recover() and ReintegrateNode() — byte-identical to a
+// fault-free machine that ran only the committed statements. The whole
+// scenario must also be deterministic in the host-thread width.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/predicate.h"
+#include "gamma/machine.h"
+#include "gamma/wal.h"
+#include "sim/host_pool.h"
+#include "test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+
+/// Runs `body` with the host pool set to `threads`, restoring the previous
+/// width afterwards.
+template <typename Fn>
+auto WithThreads(int threads, Fn&& body) {
+  auto& pool = sim::HostPool::Instance();
+  const int prev = pool.num_threads();
+  pool.set_num_threads(threads);
+  auto result = body();
+  pool.set_num_threads(prev);
+  return result;
+}
+
+gamma::GammaConfig LoggedConfig() {
+  gamma::GammaConfig config;
+  config.num_disk_nodes = 4;
+  config.num_diskless_nodes = 0;
+  config.chained_declustering = true;
+  config.enable_logging = true;
+  config.checkpoint_every_commits = 8;
+  return config;
+}
+
+/// A machine loaded with the `keep` Wisconsin tuples whose unique1 < 600
+/// out of a 650-tuple generation; the remaining 50 serve as fresh appends.
+struct Loaded {
+  std::unique_ptr<gamma::GammaMachine> machine;
+  std::vector<std::vector<uint8_t>> extras;
+};
+
+Loaded MakeLoaded(gamma::GammaConfig config) {
+  Loaded out;
+  out.machine = std::make_unique<gamma::GammaMachine>(config);
+  GAMMA_CHECK(out.machine
+                  ->CreateRelation("A", wis::WisconsinSchema(),
+                                   catalog::PartitionSpec::Hashed(
+                                       wis::kUnique1))
+                  .ok());
+  const auto all = wis::GenerateWisconsin(650, 7);
+  std::vector<std::vector<uint8_t>> keep;
+  const catalog::Schema& schema = wis::WisconsinSchema();
+  for (const auto& tuple : all) {
+    const int32_t unique1 =
+        catalog::TupleView(&schema, tuple).GetInt(wis::kUnique1);
+    if (unique1 < 600) {
+      keep.push_back(tuple);
+    } else {
+      out.extras.push_back(tuple);
+    }
+  }
+  GAMMA_CHECK(out.machine->LoadTuples("A", keep).ok());
+  GAMMA_CHECK(out.machine->BuildIndex("A", wis::kUnique2, false).ok());
+  return out;
+}
+
+std::vector<std::vector<uint8_t>> Read(gamma::GammaMachine& machine) {
+  auto tuples = machine.ReadRelation("A");
+  GAMMA_CHECK(tuples.ok());
+  return std::move(*tuples);
+}
+
+/// One randomized workload statement, issued identically to the victim and
+/// (when the victim committed it) to the fault-free oracle.
+struct Statement {
+  enum Kind { kAppend, kDelete, kModifyInPlace, kRelocate } kind;
+  std::vector<uint8_t> tuple;  // kAppend
+  int32_t key = 0;             // the unique1 to locate
+  int32_t new_value = 0;       // kModifyInPlace / kRelocate
+};
+
+std::vector<Statement> MakeWorkload(const std::vector<std::vector<uint8_t>>&
+                                        extras,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Statement> workload;
+  size_t next_extra = 0;
+  for (int i = 0; i < 60; ++i) {
+    Statement stmt;
+    switch (rng.Uniform(4)) {
+      case 0:
+        if (next_extra < extras.size()) {
+          stmt.kind = Statement::kAppend;
+          stmt.tuple = extras[next_extra++];
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+        stmt.kind = Statement::kDelete;
+        stmt.key = static_cast<int32_t>(rng.Uniform(650));
+        break;
+      case 2:
+        stmt.kind = Statement::kModifyInPlace;
+        stmt.key = static_cast<int32_t>(rng.Uniform(650));
+        stmt.new_value = static_cast<int32_t>(5000 + i);
+        break;
+      default:
+        stmt.kind = Statement::kRelocate;
+        stmt.key = static_cast<int32_t>(rng.Uniform(650));
+        // A fresh partitioning key forces the delete-here/insert-there path.
+        stmt.new_value = static_cast<int32_t>(100000 + i);
+        break;
+    }
+    workload.push_back(std::move(stmt));
+  }
+  return workload;
+}
+
+Result<gamma::QueryResult> Issue(gamma::GammaMachine& machine,
+                                 const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::kAppend: {
+      gamma::AppendQuery query;
+      query.relation = "A";
+      query.tuple = stmt.tuple;
+      return machine.RunAppend(query);
+    }
+    case Statement::kDelete: {
+      gamma::DeleteQuery query;
+      query.relation = "A";
+      query.key_attr = wis::kUnique1;
+      query.key = stmt.key;
+      return machine.RunDelete(query);
+    }
+    case Statement::kModifyInPlace: {
+      gamma::ModifyQuery query;
+      query.relation = "A";
+      query.locate_attr = wis::kUnique1;
+      query.locate_key = stmt.key;
+      query.target_attr = wis::kUnique2;
+      query.new_value = stmt.new_value;
+      return machine.RunModify(query);
+    }
+    case Statement::kRelocate: {
+      gamma::ModifyQuery query;
+      query.relation = "A";
+      query.locate_attr = wis::kUnique1;
+      query.locate_key = stmt.key;
+      query.target_attr = wis::kUnique1;
+      query.new_value = stmt.new_value;
+      return machine.RunModify(query);
+    }
+  }
+  GAMMA_CHECK(false);
+  return Status::InvalidArgument("unreachable");
+}
+
+/// The full property scenario at one host-pool width: random workload, node
+/// death at a commit point, whole-machine crash, Recover(), reintegration.
+/// Returns the surviving relation contents for cross-width comparison.
+std::vector<std::vector<uint8_t>> CrashReplayScenario() {
+  Loaded victim = MakeLoaded(LoggedConfig());
+  Loaded oracle = MakeLoaded(LoggedConfig());
+
+  // Node 1 dies at its 6th commit point: after that statement forced its
+  // log records and pages, before its commit record sealed.
+  victim.machine->KillNodeAtCommit(1, 6);
+
+  const auto workload = MakeWorkload(victim.extras, 42);
+  int committed = 0;
+  int refused = 0;
+  for (const Statement& stmt : workload) {
+    const auto result = Issue(*victim.machine, stmt);
+    if (result.ok()) {
+      ++committed;
+      const auto expected = Issue(*oracle.machine, stmt);
+      GAMMA_CHECK(expected.ok());
+      EXPECT_EQ(result->result_tuples, expected->result_tuples);
+    } else {
+      EXPECT_TRUE(result.status().IsUnavailable())
+          << result.status().ToString();
+      ++refused;
+    }
+  }
+  EXPECT_FALSE(victim.machine->NodeAlive(1));
+  EXPECT_GT(committed, 0);
+  EXPECT_GT(refused, 0);  // the commit-point death surfaced as Unavailable
+
+  // Before any restart: the crashed statement's effects must already be
+  // invisible (its alive-node records were reversed at abort), so reads
+  // that fail over around the corpse agree with the oracle.
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+
+  // Whole-machine crash: volatile state gone, queries refused.
+  victim.machine->Crash();
+  EXPECT_TRUE(victim.machine->crashed());
+  {
+    gamma::SelectQuery query;
+    query.relation = "A";
+    query.store_result = false;
+    const auto refused_query = victim.machine->RunSelect(query);
+    GAMMA_CHECK(!refused_query.ok());
+    EXPECT_TRUE(refused_query.status().IsUnavailable());
+  }
+
+  const auto recovery = victim.machine->Recover();
+  GAMMA_CHECK(recovery.ok());
+  EXPECT_FALSE(victim.machine->crashed());
+  EXPECT_GT(recovery->log_records_scanned, 0u);
+  EXPECT_GT(recovery->winners, 0u);
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+
+  const auto rebuild = victim.machine->ReintegrateNode(1);
+  GAMMA_CHECK(rebuild.ok());
+  EXPECT_TRUE(victim.machine->NodeAlive(1));
+  EXPECT_GT(rebuild->fragments_rebuilt, 0u);
+  EXPECT_GT(rebuild->tuples_copied, 0u);
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+
+  // A second restart replays to the identical state (idempotent redo/undo).
+  victim.machine->Crash();
+  GAMMA_CHECK(victim.machine->Recover().ok());
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+
+  // The machine is fully back: new statements land on both, including on
+  // the reintegrated node, and the maintained index agrees.
+  {
+    gamma::ModifyQuery query;
+    query.relation = "A";
+    query.locate_attr = wis::kUnique1;
+    query.locate_key = 100000;  // a relocated tuple, if statement 0 ran
+    query.target_attr = wis::kUnique2;
+    query.new_value = 424242;
+    const auto a = victim.machine->RunModify(query);
+    const auto b = oracle.machine->RunModify(query);
+    GAMMA_CHECK(a.ok());
+    GAMMA_CHECK(b.ok());
+    EXPECT_EQ(a->result_tuples, b->result_tuples);
+  }
+  {
+    gamma::SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(wis::kUnique2, 0, 400);
+    query.store_result = false;
+    const auto a = victim.machine->RunSelect(query);
+    const auto b = oracle.machine->RunSelect(query);
+    GAMMA_CHECK(a.ok() && b.ok());
+    EXPECT_EQ(a->result_tuples, b->result_tuples);
+  }
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+  return Read(*victim.machine);
+}
+
+TEST(CrashReplayTest, RandomWorkloadRecoversByteIdenticalAtAnyWidth) {
+  const auto one = WithThreads(1, CrashReplayScenario);
+  const auto four = WithThreads(4, CrashReplayScenario);
+  EXPECT_EQ(one, four);
+  EXPECT_FALSE(one.empty());
+}
+
+TEST(CrashReplayTest, ExplicitTxnLoserIsUndoneOnRecover) {
+  Loaded machine = MakeLoaded(LoggedConfig());
+  Loaded oracle = MakeLoaded(LoggedConfig());
+
+  // Committed transaction: survives the crash on both sides.
+  const uint64_t winner = machine.machine->BeginTxn();
+  {
+    gamma::AppendQuery append;
+    append.relation = "A";
+    append.tuple = machine.extras[0];
+    ASSERT_TRUE(machine.machine->RunAppend(append, winner).ok());
+    ASSERT_TRUE(oracle.machine->RunAppend(append).ok());
+    gamma::DeleteQuery del;
+    del.relation = "A";
+    del.key_attr = wis::kUnique1;
+    del.key = 17;
+    ASSERT_TRUE(machine.machine->RunDelete(del, winner).ok());
+    ASSERT_TRUE(oracle.machine->RunDelete(del).ok());
+  }
+  machine.machine->CommitTxn(winner);
+
+  // Loser: statements complete, the transaction never commits, the machine
+  // dies. Recover() must erase every trace.
+  const uint64_t loser = machine.machine->BeginTxn();
+  {
+    gamma::AppendQuery append;
+    append.relation = "A";
+    append.tuple = machine.extras[1];
+    ASSERT_TRUE(machine.machine->RunAppend(append, loser).ok());
+    gamma::ModifyQuery modify;
+    modify.relation = "A";
+    modify.locate_attr = wis::kUnique1;
+    modify.locate_key = 23;
+    modify.target_attr = wis::kUnique2;
+    modify.new_value = 777777;
+    ASSERT_TRUE(machine.machine->RunModify(modify, loser).ok());
+  }
+
+  machine.machine->Crash();
+  const auto recovery = machine.machine->Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->losers, 1u);
+  EXPECT_GE(recovery->records_undone, 2u);
+  EXPECT_EQ(Read(*machine.machine), Read(*oracle.machine));
+  EXPECT_EQ(*machine.machine->CountTuples("A"), 600u);  // +1 append, -1 del
+
+  // Fresh statements work after recovery.
+  gamma::AppendQuery append;
+  append.relation = "A";
+  append.tuple = machine.extras[2];
+  ASSERT_TRUE(machine.machine->RunAppend(append).ok());
+  ASSERT_TRUE(oracle.machine->RunAppend(append).ok());
+  EXPECT_EQ(Read(*machine.machine), Read(*oracle.machine));
+}
+
+TEST(CrashReplayTest, RecoverRequiresLoggingAndIsSafeWhenHealthy) {
+  gamma::GammaConfig config = LoggedConfig();
+  config.enable_logging = false;
+  gamma::GammaMachine unlogged(config);
+  EXPECT_TRUE(unlogged.Recover().status().IsFailedPrecondition());
+  EXPECT_TRUE(unlogged.Checkpoint().status().IsFailedPrecondition());
+
+  // On a healthy logged machine Recover() is a pure verification pass.
+  Loaded healthy = MakeLoaded(LoggedConfig());
+  const auto before = Read(*healthy.machine);
+  const auto report = healthy.machine->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_redone, 0u);
+  EXPECT_EQ(report->records_undone, 0u);
+  EXPECT_EQ(Read(*healthy.machine), before);
+}
+
+TEST(CheckpointTest, FuzzyCheckpointsTruncateTheRetainedLog) {
+  Loaded machine = MakeLoaded(LoggedConfig());  // checkpoint every 8 commits
+  for (size_t i = 0; i < machine.extras.size(); ++i) {
+    gamma::AppendQuery append;
+    append.relation = "A";
+    append.tuple = machine.extras[i];
+    ASSERT_TRUE(machine.machine->RunAppend(append).ok());
+  }
+  gamma::WalStore* wal = machine.machine->wal();
+  ASSERT_NE(wal, nullptr);
+  EXPECT_GT(wal->checkpoint_lsn(), 0u);
+  // 50 commits at cadence 8: every fully-mirrored committed record below
+  // the last checkpoint was dropped, so the retained log is a small tail.
+  EXPECT_LT(wal->records().size(), 30u);
+  EXPECT_LT(wal->retained_bytes(), wal->total_bytes());
+
+  // An explicit checkpoint seals and returns a fresh begin LSN.
+  const auto lsn = machine.machine->Checkpoint();
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GT(*lsn, 0u);
+
+  // Replay after truncation still lands on the exact committed state.
+  Loaded oracle = MakeLoaded(LoggedConfig());
+  for (size_t i = 0; i < oracle.extras.size(); ++i) {
+    gamma::AppendQuery append;
+    append.relation = "A";
+    append.tuple = oracle.extras[i];
+    ASSERT_TRUE(oracle.machine->RunAppend(append).ok());
+  }
+  machine.machine->Crash();
+  const auto recovery = machine.machine->Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->log_records_scanned, wal->records().size());
+  EXPECT_EQ(Read(*machine.machine), Read(*oracle.machine));
+  EXPECT_EQ(*machine.machine->CountTuples("A"), 650u);
+}
+
+TEST(ReintegrationTest, CrashAtCommitStatementStaysInvisible) {
+  Loaded victim = MakeLoaded(LoggedConfig());
+  Loaded oracle = MakeLoaded(LoggedConfig());
+
+  // Node 2 dies at its very first commit point: the first statement whose
+  // commit site lands there forces its records and pages, then dies before
+  // acknowledging.
+  victim.machine->KillNodeAtCommit(2, 1);
+  bool crashed_statement = false;
+  for (const auto& tuple : victim.extras) {
+    gamma::AppendQuery append;
+    append.relation = "A";
+    append.tuple = tuple;
+    const auto result = victim.machine->RunAppend(append);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsUnavailable());
+      crashed_statement = true;
+      break;
+    }
+    ASSERT_TRUE(oracle.machine->RunAppend(append).ok());
+  }
+  ASSERT_TRUE(crashed_statement);
+  EXPECT_FALSE(victim.machine->NodeAlive(2));
+
+  // The dying statement's tuple reached node 2's disk but must never be
+  // seen: failover reads route around the corpse, and reintegration undoes
+  // the stranded copy before rebuilding.
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+  const auto rebuild = victim.machine->ReintegrateNode(2);
+  ASSERT_TRUE(rebuild.ok()) << rebuild.status().ToString();
+  EXPECT_TRUE(victim.machine->NodeAlive(2));
+  EXPECT_GE(rebuild->records_undone, 1u);
+  EXPECT_GT(rebuild->fragments_rebuilt, 0u);
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+
+  // The revived node serves writes again (appends land on both machines,
+  // duplicates and all, so the relations keep matching exactly).
+  for (const auto& tuple : victim.extras) {
+    gamma::AppendQuery append;
+    append.relation = "A";
+    append.tuple = tuple;
+    ASSERT_TRUE(victim.machine->RunAppend(append).ok());
+    ASSERT_TRUE(oracle.machine->RunAppend(append).ok());
+  }
+  EXPECT_EQ(Read(*victim.machine), Read(*oracle.machine));
+}
+
+}  // namespace
+}  // namespace gammadb
