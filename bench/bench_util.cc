@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/profile.h"
 #include "sim/host_pool.h"
 
 namespace gammadb::bench {
@@ -16,6 +17,18 @@ namespace gammadb::bench {
 namespace wis = gammadb::wisconsin;
 
 namespace {
+
+// Build stamps injected by bench/CMakeLists.txt so every BENCH_*.json says
+// which build produced it (a sanitized build's wall clock is not comparable
+// to a release build's).
+#ifndef GAMMA_BUILD_TYPE
+#define GAMMA_BUILD_TYPE "unknown"
+#endif
+#ifndef GAMMA_SANITIZE_FLAVOR
+#define GAMMA_SANITIZE_FLAVOR "OFF"
+#endif
+constexpr const char* kBuildType = GAMMA_BUILD_TYPE;
+constexpr const char* kSanitizeFlavor = GAMMA_SANITIZE_FLAVOR;
 
 double NowWallSec() {
   return std::chrono::duration<double>(
@@ -215,14 +228,17 @@ JsonReport::JsonReport(std::string name)
 void JsonReport::Add(const std::string& label,
                      const exec::QueryResult& result) {
   const sim::NodeUsage totals = result.metrics.Totals();
+  const obs::Utilization util = obs::ComputeUtilization(result.metrics);
   entries_.push_back(Entry{
       label, false, result.seconds(),
       totals.pages_read + totals.pages_written,
-      totals.packets_sent + totals.packets_short_circuited});
+      totals.packets_sent + totals.packets_short_circuited,
+      util.disk_busy_frac, util.cpu_busy_frac, util.net_busy_frac,
+      util.critical_resource});
 }
 
 void JsonReport::AddScalar(const std::string& label, double value) {
-  entries_.push_back(Entry{label, true, value, 0, 0});
+  entries_.push_back(Entry{label, true, value, 0, 0, 0, 0, 0, "none"});
 }
 
 void JsonReport::Write() const {
@@ -234,8 +250,11 @@ void JsonReport::Write() const {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f,
-               "  \"meta\": {\"wall_clock_sec\": %.3f, "
+               "  \"meta\": {\"schema_version\": %d, "
+               "\"build_type\": \"%s\", \"sanitize\": \"%s\", "
+               "\"wall_clock_sec\": %.3f, "
                "\"host_threads\": %d, \"host_cores\": %u},\n",
+               kSchemaVersion, kBuildType, kSanitizeFlavor,
                NowWallSec() - start_wall_sec_,
                sim::HostPool::Instance().num_threads(),
                std::thread::hardware_concurrency());
@@ -255,10 +274,15 @@ void JsonReport::Write() const {
     } else {
       std::fprintf(f,
                    "    {\"query\": \"%s\", \"seconds\": %.6f, "
-                   "\"page_ios\": %llu, \"packets\": %llu}%s\n",
+                   "\"page_ios\": %llu, \"packets\": %llu, "
+                   "\"disk_busy_frac\": %.6f, \"cpu_busy_frac\": %.6f, "
+                   "\"net_busy_frac\": %.6f, "
+                   "\"critical_resource\": \"%s\"}%s\n",
                    escaped.c_str(), e.seconds,
                    static_cast<unsigned long long>(e.page_ios),
-                   static_cast<unsigned long long>(e.packets), sep);
+                   static_cast<unsigned long long>(e.packets),
+                   e.disk_busy_frac, e.cpu_busy_frac, e.net_busy_frac,
+                   e.critical_resource.c_str(), sep);
     }
   }
   std::fprintf(f, "  ]\n}\n");

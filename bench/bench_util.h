@@ -89,13 +89,20 @@ class FigureSeries {
 };
 
 /// Machine-readable companion to the printed tables: collects one record
-/// per query (label, simulated seconds, total page I/Os, total packets) and
-/// writes them, plus a `meta` block with the bench's host wall-clock seconds
-/// and the host thread/core counts, to `BENCH_<name>.json` in the working
-/// directory, so sweeps over configurations can be diffed and plotted
-/// without scraping stdout.
+/// per query (label, simulated seconds, total page I/Os, total packets, and
+/// the observability scalars — per-device busy fractions plus the
+/// critical-resource verdict) and writes them, plus a `meta` block with the
+/// schema version, build/sanitizer flavor, the bench's host wall-clock
+/// seconds and the host thread/core counts, to `BENCH_<name>.json` in the
+/// working directory, so sweeps over configurations can be diffed and
+/// plotted without scraping stdout.
 class JsonReport {
  public:
+  /// Format version of the emitted JSON. 2 added the meta build stamps and
+  /// per-query utilization scalars (disk/cpu/net_busy_frac,
+  /// critical_resource).
+  static constexpr int kSchemaVersion = 2;
+
   explicit JsonReport(std::string name);
 
   /// Records one executed query's label and measured totals.
@@ -116,6 +123,10 @@ class JsonReport {
     double seconds;
     uint64_t page_ios;
     uint64_t packets;
+    double disk_busy_frac;
+    double cpu_busy_frac;
+    double net_busy_frac;
+    std::string critical_resource;
   };
   std::string name_;
   double start_wall_sec_;

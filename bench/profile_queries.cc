@@ -1,0 +1,99 @@
+// Profiled reproduction queries: runs one Table 1 selection (1% via the
+// non-clustered index) and one Figure 9 join (joinABprime, Remote, on the
+// partitioning attribute) with tracing enabled, prints each query's
+// observability breakdown (per-phase device timelines, utilization
+// fractions, critical-resource verdict), and exports Chrome trace_event
+// JSON for chrome://tracing / Perfetto:
+//
+//   TRACE_table1_sel_1pct_nonclustered.json
+//   TRACE_fig09_joinABprime.json
+//
+// The traces and utilization scalars are byte-identical at any
+// GAMMA_HOST_THREADS (CI runs this plain and under TSan at 4 threads).
+// Sizes honour GAMMA_BENCH_SIZES; only the first size is profiled.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/macros.h"
+#include "exec/predicate.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+
+namespace gammadb::bench {
+namespace {
+
+namespace wis = gammadb::wisconsin;
+using exec::Predicate;
+
+void ExportTrace(const exec::QueryResult& result, const char* path) {
+  GAMMA_CHECK_MSG(result.profile != nullptr,
+                  "tracing was enabled; profile must be attached");
+  std::printf("%s\n", obs::RenderProfile(*result.profile).c_str());
+  if (obs::WriteChromeTrace(*result.profile, path)) {
+    std::printf("chrome trace written to %s (%zu spans)\n\n", path,
+                result.profile->spans.size());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+  }
+}
+
+void ProfileSelection(uint32_t n, JsonReport& report) {
+  gamma::GammaConfig config = PaperGammaConfig();
+  config.trace.enabled = true;
+  gamma::GammaMachine machine(config);
+  LoadGammaDatabase(machine, n, /*with_indices=*/true,
+                    /*with_join_relations=*/false);
+
+  gamma::SelectQuery query;
+  query.relation = IndexedName(n);
+  query.predicate =
+      Predicate::Range(wis::kUnique2, 0, static_cast<int32_t>(n / 100) - 1);
+  query.access = gamma::AccessPath::kNonClusteredIndex;
+  const auto result = machine.RunSelect(query);
+  GAMMA_CHECK(result.ok());
+  report.Add("table1/1pct_nonclustered_index/n=" + std::to_string(n),
+             *result);
+  ExportTrace(*result, "TRACE_table1_sel_1pct_nonclustered.json");
+}
+
+void ProfileJoin(uint32_t n, JsonReport& report) {
+  gamma::GammaConfig config = PaperGammaConfig();
+  config.join_memory_total = 8ull << 20;
+  config.trace.enabled = true;
+  gamma::GammaMachine machine(config);
+  LoadGammaDatabase(machine, n, /*with_indices=*/false,
+                    /*with_join_relations=*/true);
+
+  gamma::JoinQuery query;
+  query.outer = HeapName(n);
+  query.inner = BprimeName(n);
+  query.outer_attr = wis::kUnique1;
+  query.inner_attr = wis::kUnique1;
+  query.mode = gamma::JoinMode::kRemote;
+  const auto result = machine.RunJoin(query);
+  GAMMA_CHECK(result.ok());
+  GAMMA_CHECK(result->result_tuples == n / 10);
+  report.Add("fig09/joinABprime/Remote/n=" + std::to_string(n), *result);
+  ExportTrace(*result, "TRACE_fig09_joinABprime.json");
+}
+
+}  // namespace
+}  // namespace gammadb::bench
+
+int main(int argc, char** argv) {
+  using namespace gammadb::bench;
+  InitBench(argc, argv);
+  const uint32_t n = BenchSizes().front();
+  std::printf("Profiled queries (tracing enabled, n = %u)\n\n", n);
+
+  JsonReport report("profile_queries");
+  ProfileSelection(n, report);
+  ProfileJoin(n, report);
+  report.Write();
+
+  std::printf("process metrics registry:\n%s",
+              gammadb::obs::MetricsRegistry::Instance().RenderText().c_str());
+  return 0;
+}

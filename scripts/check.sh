@@ -23,6 +23,8 @@ if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   run_suite build
   echo "== recovery smoke (crash replay + node reintegration, 10k) =="
   GAMMA_BENCH_SIZES=10000 ./build/bench/extension_recovery_server
+  echo "== profiled queries (Table 1 selection + Fig 9 join, traced, 10k) =="
+  GAMMA_BENCH_SIZES=10000 ./build/bench/profile_queries
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
@@ -36,6 +38,9 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   echo "== recovery smoke under TSan =="
   GAMMA_HOST_THREADS=4 GAMMA_BENCH_SIZES=10000 \
     ./build-tsan/bench/extension_recovery_server
+  echo "== profiled queries under TSan (4 host threads) =="
+  GAMMA_HOST_THREADS=4 GAMMA_BENCH_SIZES=10000 \
+    ./build-tsan/bench/profile_queries
 fi
 
 echo "All checks passed."

@@ -2,10 +2,15 @@
 #define GAMMA_EXEC_QUERY_RESULT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/cost_tracker.h"
+
+namespace gammadb::obs {
+struct Profile;
+}  // namespace gammadb::obs
 
 namespace gammadb::exec {
 
@@ -26,6 +31,9 @@ struct QueryResult {
   std::string explain;
   /// Tuples returned to the host (host-bound queries only).
   std::vector<std::vector<uint8_t>> returned;
+  /// Observability record (spans, device timelines, utilization); attached
+  /// only when the machine's TraceOptions enable tracing, null otherwise.
+  std::shared_ptr<const obs::Profile> profile;
 
   double seconds() const { return metrics.TotalSec(); }
 };

@@ -18,6 +18,7 @@
 #include "exec/sort.h"
 #include "exec/split_table.h"
 #include "exec/store.h"
+#include "obs/profile.h"
 #include "storage/deferred_update.h"
 
 namespace gammadb::gamma {
@@ -316,6 +317,15 @@ Result<QueryResult> GammaMachine::RunWithFailover(
     result->metrics.failover_retries = retries;
     result->metrics.failover_backoff_sec = backoff_sec;
     result->metrics.scheduling_sec += backoff_sec;
+  }
+  return result;
+}
+
+Result<QueryResult> GammaMachine::FinalizeObs(const char* label,
+                                              Result<QueryResult> result) {
+  if (result.ok()) {
+    obs::FinalizeStatement(config_.trace, "gamma", label,
+                           config_.hw.net.ring_bytes_per_sec, &*result);
   }
   return result;
 }
@@ -653,7 +663,8 @@ std::vector<int> GammaMachine::ParticipatingNodes(
 }
 
 Result<QueryResult> GammaMachine::RunSelect(const SelectQuery& query) {
-  return RunWithFailover([&] { return RunSelectAttempt(query); });
+  return FinalizeObs("select",
+                     RunWithFailover([&] { return RunSelectAttempt(query); }));
 }
 
 Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
@@ -887,7 +898,8 @@ Result<QueryResult> GammaMachine::RunSelectAttempt(const SelectQuery& query) {
 }
 
 Result<QueryResult> GammaMachine::RunJoin(const JoinQuery& query) {
-  return RunWithFailover([&] { return RunJoinAttempt(query); });
+  return FinalizeObs("join",
+                     RunWithFailover([&] { return RunJoinAttempt(query); }));
 }
 
 Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {

@@ -14,6 +14,7 @@
 #include "common/units.h"
 #include "gamma/query.h"
 #include "gamma/wal.h"
+#include "obs/trace.h"
 #include "opt/statistics.h"
 #include "sim/fault_injector.h"
 #include "sim/hardware.h"
@@ -65,6 +66,11 @@ struct GammaConfig {
   /// node death leaves every fragment readable (chained declustering; the
   /// availability design Gamma adopted after the paper).
   bool chained_declustering = false;
+  /// Observability: when enabled, every successful statement carries a
+  /// derived Profile (trace spans, per-device utilization) in its
+  /// QueryResult. Derivation happens after cost accounting closes, so it
+  /// never changes a query's simulated seconds.
+  obs::TraceOptions trace;
   sim::MachineParams hw = sim::MachineParams::GammaDefaults();
 
   int total_query_nodes() const {
@@ -365,6 +371,13 @@ class GammaMachine {
   /// retries.
   Result<QueryResult> RunWithFailover(
       const std::function<Result<QueryResult>()>& attempt);
+
+  /// Post-accounting observability hook every statement entry point routes
+  /// its finished result through: feeds the process metrics registry and,
+  /// when `config_.trace` enables it, attaches the derived Profile. Passes
+  /// error results through untouched.
+  Result<QueryResult> FinalizeObs(const char* label,
+                                  Result<QueryResult> result);
 
   Result<QueryResult> RunSelectAttempt(const SelectQuery& query);
   Result<QueryResult> RunJoinAttempt(const JoinQuery& query);

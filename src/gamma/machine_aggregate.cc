@@ -37,7 +37,9 @@ Schema PartialSchema() {
 }  // namespace
 
 Result<QueryResult> GammaMachine::RunAggregate(const AggregateQuery& query) {
-  return RunWithFailover([&] { return RunAggregateAttempt(query); });
+  return FinalizeObs("aggregate", RunWithFailover([&] {
+                       return RunAggregateAttempt(query);
+                     }));
 }
 
 Result<QueryResult> GammaMachine::RunAggregateAttempt(

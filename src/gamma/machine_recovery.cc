@@ -22,6 +22,7 @@
 #include "common/macros.h"
 #include "gamma/machine.h"
 #include "gamma/recovery_log.h"
+#include "obs/metrics_registry.h"
 
 namespace gammadb::gamma {
 
@@ -549,6 +550,15 @@ Result<GammaMachine::RecoveryReport> GammaMachine::Recover() {
   for (const std::string& name : touched) RecountRelation(name);
   crashed_ = false;
   report.recovery_sec = tracker.Finish().TotalSec();
+  // Coordinator-serial path: histogram observation order is deterministic.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+  registry.counter("recovery.restarts").Inc();
+  registry.counter("recovery.records_redone").Inc(report.records_redone);
+  registry.counter("recovery.records_undone").Inc(report.records_undone);
+  registry.counter("recovery.losers").Inc(report.losers);
+  registry
+      .histogram("recovery.seconds", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0})
+      .Observe(report.recovery_sec);
   return report;
 }
 
@@ -744,6 +754,14 @@ Result<GammaMachine::RebuildReport> GammaMachine::ReintegrateNode(int node) {
   BindAll(nullptr);
   for (const std::string& name : touched) RecountRelation(name);
   report.rebuild_sec = tracker.Finish().TotalSec();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+  registry.counter("recovery.reintegrations").Inc();
+  registry.counter("recovery.fragments_rebuilt").Inc(report.fragments_rebuilt);
+  registry.counter("recovery.tuples_copied").Inc(report.tuples_copied);
+  registry
+      .histogram("recovery.rebuild_seconds",
+                 {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0})
+      .Observe(report.rebuild_sec);
   return report;
 }
 

@@ -285,7 +285,7 @@ Result<QueryResult> GammaMachine::RunAppend(const AppendQuery& query,
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
   FillLockMetrics(txn, &result.metrics);
   if (auto_commit) txns_.Commit(txn);
-  return result;
+  return FinalizeObs("append", std::move(result));
 }
 
 Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query,
@@ -448,7 +448,7 @@ Result<QueryResult> GammaMachine::RunDelete(const DeleteQuery& query,
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
   FillLockMetrics(txn, &result.metrics);
   if (auto_commit) txns_.Commit(txn);
-  return result;
+  return FinalizeObs("delete", std::move(result));
 }
 
 Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query,
@@ -748,7 +748,7 @@ Result<QueryResult> GammaMachine::RunModify(const ModifyQuery& query,
   result.metrics.log_forced_flushes = log.stats().forced_flushes;
   FillLockMetrics(txn, &result.metrics);
   if (auto_commit) txns_.Commit(txn);
-  return result;
+  return FinalizeObs("modify", std::move(result));
 }
 
 Result<std::vector<std::vector<uint8_t>>> GammaMachine::ReadRelation(

@@ -1,0 +1,135 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace gammadb::obs {
+
+namespace {
+
+constexpr int kMachineTrack = 0;
+constexpr int kRingTrack = 1;
+constexpr int kNodeTrackBase = 2;
+constexpr int kDevicesPerNode = 5;  // task + serial/disk/cpu/net lanes
+
+/// Stable small tid per span: grouping spans share the machine track, the
+/// ring has its own, and each (node, device) pair gets a dedicated lane so
+/// a node's overlapping disk/cpu/net intervals render side by side.
+int TrackFor(const Span& span) {
+  if (span.device == Device::kRing) return kRingTrack;
+  if (span.node < 0) return kMachineTrack;
+  int lane = 0;  // the node's task span
+  switch (span.device) {
+    case Device::kSerial:
+      lane = 1;
+      break;
+    case Device::kDisk:
+      lane = 2;
+      break;
+    case Device::kCpu:
+      lane = 3;
+      break;
+    case Device::kNet:
+      lane = 4;
+      break;
+    case Device::kNone:
+    case Device::kRing:
+      lane = 0;
+      break;
+  }
+  return kNodeTrackBase + span.node * kDevicesPerNode + lane;
+}
+
+std::string TrackName(const Span& span, int tid) {
+  if (tid == kMachineTrack) return "machine";
+  if (tid == kRingTrack) return "ring";
+  std::string name = "node" + std::to_string(span.node);
+  if (span.device != Device::kNone) {
+    name += ".";
+    name += DeviceName(span.device);
+  } else {
+    name += ".task";
+  }
+  return name;
+}
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Profile& profile) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+
+  // thread_name metadata, emitted once per track in first-use order.
+  std::map<int, std::string> tracks;
+  for (const Span& span : profile.spans) {
+    const int tid = TrackFor(span);
+    tracks.emplace(tid, TrackName(span, tid));
+  }
+  for (const auto& [tid, name] : tracks) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  first ? "" : ",", tid);
+    out += buf;
+    AppendEscaped(&out, name);
+    out += "\"}}";
+    first = false;
+  }
+
+  for (const Span& span : profile.spans) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"", first ? "" : ",");
+    out += buf;
+    AppendEscaped(&out, span.name);
+    // Simulated seconds -> microseconds; fixed precision keeps the bytes
+    // identical whenever the profile is.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f",
+                  span.device == Device::kNone ? "span" : "device",
+                  TrackFor(span), span.begin_sec * 1e6, span.dur_sec * 1e6);
+    out += buf;
+    if (span.phase >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"phase\":%d}", span.phase);
+      out += buf;
+    }
+    out += "}";
+    first = false;
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"machine\":\"";
+  AppendEscaped(&out, profile.machine);
+  out += "\",\"label\":\"";
+  AppendEscaped(&out, profile.label);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"total_sec\":%.6f,\"disk_busy_frac\":%.6f,"
+                "\"cpu_busy_frac\":%.6f,\"net_busy_frac\":%.6f,"
+                "\"ring_busy_frac\":%.6f,\"critical_resource\":\"%s\"}}",
+                profile.total_sec, profile.util.disk_busy_frac,
+                profile.util.cpu_busy_frac, profile.util.net_busy_frac,
+                profile.util.ring_busy_frac,
+                profile.util.critical_resource.c_str());
+  out += buf;
+  return out;
+}
+
+bool WriteChromeTrace(const Profile& profile, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ChromeTraceJson(profile);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace gammadb::obs

@@ -1,0 +1,28 @@
+#ifndef GAMMA_OBS_CHROME_TRACE_H_
+#define GAMMA_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "obs/profile.h"
+
+namespace gammadb::obs {
+
+/// \brief Renders a Profile as Chrome trace_event JSON ("X" complete events,
+/// microsecond timestamps) loadable in chrome://tracing or Perfetto.
+///
+/// Track layout: pid 1 is the machine. Grouping spans (query / scheduling /
+/// statement / phases) go on tid 0; each (node, device) pair gets its own
+/// tid so overlapping busy intervals within one node never collide on a
+/// track; the shared ring is its own track. thread_name metadata labels
+/// every track.
+///
+/// All numbers print with fixed %.3f precision, so the output is
+/// byte-identical whenever the profile is — i.e. at any GAMMA_HOST_THREADS.
+std::string ChromeTraceJson(const Profile& profile);
+
+/// Writes ChromeTraceJson(profile) to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(const Profile& profile, const std::string& path);
+
+}  // namespace gammadb::obs
+
+#endif  // GAMMA_OBS_CHROME_TRACE_H_

@@ -1,0 +1,113 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace gammadb::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  GAMMA_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  GAMMA_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bounds must ascend");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Histograms are coordinator-fed (see header), so a plain read-modify-write
+  // would do; CAS keeps the type safe if that discipline ever slips.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double quantile) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  const double target = quantile * static_cast<double>(total);
+  uint64_t running = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    running += bucket(i);
+    if (static_cast<double>(running) >= target) return bounds_[i];
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Histogram>(std::move(bounds));
+  return *it->second;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> samples;
+  samples.reserve(counters_.size() + 2 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    samples.push_back({name, static_cast<double>(counter->value())});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    samples.push_back(
+        {name + ".count", static_cast<double>(histogram->count())});
+    samples.push_back({name + ".sum", histogram->sum()});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return samples;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::string out;
+  for (const Sample& sample : Snapshot()) {
+    char line[192];
+    std::snprintf(line, sizeof(line), "%-40s %.6g\n", sample.name.c_str(),
+                  sample.value);
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace gammadb::obs

@@ -1,0 +1,112 @@
+#ifndef GAMMA_OBS_METRICS_REGISTRY_H_
+#define GAMMA_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gammadb::obs {
+
+/// \brief Monotonic event counter. Thread-safe: node tasks running on
+/// different host threads may increment concurrently (addition commutes, so
+/// the total is deterministic regardless of interleaving).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram over double-valued observations.
+///
+/// Bucket i counts observations <= bounds[i]; one overflow bucket counts the
+/// rest. Counts are atomic, but the running `sum` is a floating-point
+/// accumulation whose value depends on observation order — so histograms are
+/// only fed from coordinator-serial paths (statement completion, recovery),
+/// never from inside parallel node tasks. That keeps every registry value
+/// byte-identical across host thread counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Smallest bound with at least `quantile` of the observations at or
+  /// below it (the overflow bucket reports the largest bound). 0 with no
+  /// observations.
+  double Quantile(double quantile) const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// \brief Process-wide registry of named counters and histograms.
+///
+/// The txn, recovery and fault layers feed it directly; both machines feed
+/// per-statement totals (pages, packets, bytes, lock waits) when a query
+/// completes. Lookup interns the metric on first use and returns a stable
+/// reference, so call sites cache it in a function-local static and the
+/// steady-state cost is one relaxed atomic add — no allocation, no lock.
+///
+/// Reset() zeroes values but never destroys a metric, keeping cached
+/// references valid for the life of the process (tests reset between cases).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first use.
+  Counter& counter(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it with `bounds` on first
+  /// use (later calls ignore `bounds`).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Name -> value for every counter, sorted by name (histograms render as
+  /// <name>.count / <name>.sum entries).
+  struct Sample {
+    std::string name;
+    double value;
+  };
+  std::vector<Sample> Snapshot() const;
+
+  /// Counter value by name; 0 when the counter was never touched.
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Multi-line "name value" rendering of Snapshot() for harness output.
+  std::string RenderText() const;
+
+  /// Zeroes every metric (test isolation hook).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gammadb::obs
+
+#endif  // GAMMA_OBS_METRICS_REGISTRY_H_

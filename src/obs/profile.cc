@@ -1,0 +1,235 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#include "exec/query_result.h"
+#include "obs/metrics_registry.h"
+
+namespace gammadb::obs {
+
+namespace {
+
+/// Seconds of ring occupancy across the whole query (0 when the rate is
+/// unknown — standalone QueryMetrics consumers may not have MachineParams).
+double RingSec(const sim::QueryMetrics& metrics, double ring_bytes_per_sec) {
+  if (ring_bytes_per_sec <= 0) return 0;
+  double sec = 0;
+  for (const sim::PhaseMetrics& phase : metrics.phases) {
+    sec += static_cast<double>(phase.ring_bytes) / ring_bytes_per_sec;
+  }
+  return sec;
+}
+
+const char* CriticalName(Device device) {
+  return device == Device::kNone ? "none" : DeviceName(device);
+}
+
+}  // namespace
+
+Utilization ComputeUtilization(const sim::QueryMetrics& metrics,
+                               double ring_bytes_per_sec) {
+  Utilization util;
+  const double total_sec = metrics.TotalSec();
+
+  // Distinct nodes that did anything in any phase, and per-device busy sums.
+  std::vector<bool> active;
+  DeviceTotals totals;
+  for (const sim::PhaseMetrics& phase : metrics.phases) {
+    if (phase.per_node.size() > active.size()) {
+      active.resize(phase.per_node.size(), false);
+    }
+    for (size_t n = 0; n < phase.per_node.size(); ++n) {
+      const sim::NodeUsage& usage = phase.per_node[n];
+      if (!NodeActive(usage)) continue;
+      active[n] = true;
+      totals.Add(usage);
+    }
+  }
+  for (bool a : active) util.active_nodes += a ? 1 : 0;
+  totals.ring_sec = RingSec(metrics, ring_bytes_per_sec);
+
+  if (total_sec > 0 && util.active_nodes > 0) {
+    const double denom = total_sec * util.active_nodes;
+    util.disk_busy_frac = totals.disk_sec / denom;
+    util.cpu_busy_frac = totals.cpu_sec / denom;
+    util.net_busy_frac = totals.net_sec / denom;
+  }
+  if (total_sec > 0) util.ring_busy_frac = totals.ring_sec / total_sec;
+
+  // Elapsed-weighted vote: each phase's elapsed time goes to the device that
+  // set its pace. Fixed disk/cpu/net/ring argmax order breaks ties
+  // deterministically.
+  double votes[4] = {0, 0, 0, 0};  // disk, cpu, net, ring
+  for (const sim::PhaseMetrics& phase : metrics.phases) {
+    if (phase.ring_limited) {
+      votes[3] += phase.elapsed_sec;
+      continue;
+    }
+    switch (phase.bottleneck_resource) {
+      case sim::Resource::kDisk:
+        votes[0] += phase.elapsed_sec;
+        break;
+      case sim::Resource::kCpu:
+        votes[1] += phase.elapsed_sec;
+        break;
+      case sim::Resource::kNet:
+        votes[2] += phase.elapsed_sec;
+        break;
+      case sim::Resource::kNone:
+        break;
+    }
+  }
+  static const Device kBallot[4] = {Device::kDisk, Device::kCpu, Device::kNet,
+                                    Device::kRing};
+  Device winner = Device::kNone;
+  double best = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (votes[i] > best) {
+      best = votes[i];
+      winner = kBallot[i];
+    }
+  }
+  util.critical_resource = CriticalName(winner);
+  return util;
+}
+
+Profile BuildProfile(const std::string& machine, const std::string& label,
+                     const sim::QueryMetrics& metrics,
+                     double ring_bytes_per_sec) {
+  Profile profile;
+  profile.machine = machine;
+  profile.label = label;
+  profile.total_sec = metrics.TotalSec();
+  profile.scheduling_sec = metrics.scheduling_sec;
+  profile.util = ComputeUtilization(metrics, ring_bytes_per_sec);
+
+  double cursor = metrics.scheduling_sec;
+  for (const sim::PhaseMetrics& phase : metrics.phases) {
+    PhaseProfile pp;
+    pp.name = phase.name;
+    pp.kind = phase.kind;
+    pp.begin_sec = cursor;
+    pp.elapsed_sec = phase.elapsed_sec;
+    pp.ring_limited = phase.ring_limited;
+    pp.bottleneck_node = phase.bottleneck_node;
+    pp.bottleneck_resource = phase.bottleneck_resource;
+    for (const sim::NodeUsage& usage : phase.per_node) {
+      if (!NodeActive(usage)) continue;
+      ++pp.active_nodes;
+      pp.totals.Add(usage);
+    }
+    if (ring_bytes_per_sec > 0) {
+      pp.totals.ring_sec =
+          static_cast<double>(phase.ring_bytes) / ring_bytes_per_sec;
+    }
+    profile.totals.disk_sec += pp.totals.disk_sec;
+    profile.totals.cpu_sec += pp.totals.cpu_sec;
+    profile.totals.net_sec += pp.totals.net_sec;
+    profile.totals.serial_sec += pp.totals.serial_sec;
+    profile.totals.ring_sec += pp.totals.ring_sec;
+    cursor += phase.elapsed_sec;
+    profile.phases.push_back(std::move(pp));
+  }
+
+  profile.spans = BuildSpans(label, metrics, ring_bytes_per_sec);
+  return profile;
+}
+
+std::string RenderProfile(const Profile& profile) {
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line),
+                "profile %s %s: total %.4fs (scheduling %.4fs, %d active "
+                "nodes)\n",
+                profile.machine.c_str(), profile.label.c_str(),
+                profile.total_sec, profile.scheduling_sec,
+                profile.util.active_nodes);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "utilization: disk %.3f cpu %.3f net %.3f ring %.3f | "
+                "critical resource: %s\n",
+                profile.util.disk_busy_frac, profile.util.cpu_busy_frac,
+                profile.util.net_busy_frac, profile.util.ring_busy_frac,
+                profile.util.critical_resource.c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-28s %-10s %9s %9s %-12s %8s %8s %8s\n",
+                "phase", "kind", "begin", "elapsed", "bottleneck", "disk",
+                "cpu", "net");
+  out += line;
+  for (const PhaseProfile& phase : profile.phases) {
+    std::string bottleneck;
+    if (phase.ring_limited) {
+      bottleneck = "ring";
+    } else {
+      bottleneck = ResourceName(phase.bottleneck_resource);
+      if (phase.bottleneck_node >= 0) {
+        bottleneck += "@" + std::to_string(phase.bottleneck_node);
+      }
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-28s %-10s %8.4fs %8.4fs %-12s %7.3fs %7.3fs %7.3fs\n",
+                  phase.name.c_str(),
+                  phase.kind == sim::PhaseKind::kPipelined ? "pipelined"
+                                                           : "sequential",
+                  phase.begin_sec, phase.elapsed_sec, bottleneck.c_str(),
+                  phase.totals.disk_sec, phase.totals.cpu_sec,
+                  phase.totals.net_sec);
+    out += line;
+  }
+  return out;
+}
+
+void FinalizeStatement(const TraceOptions& trace, const char* machine,
+                       const char* label, double ring_bytes_per_sec,
+                       exec::QueryResult* result) {
+  // Registry feed: always on. Interned references are cached in statics so
+  // the steady-state cost per statement is a handful of relaxed atomic adds.
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  static Counter& queries = registry.counter("query.count");
+  static Counter& pages_read = registry.counter("query.pages_read");
+  static Counter& pages_written = registry.counter("query.pages_written");
+  static Counter& buffer_hits = registry.counter("query.buffer_hits");
+  static Counter& packets = registry.counter("query.packets_sent");
+  static Counter& short_circuited =
+      registry.counter("query.packets_short_circuited");
+  static Counter& retransmitted =
+      registry.counter("query.packets_retransmitted");
+  static Counter& bytes_sent = registry.counter("query.bytes_sent");
+  static Counter& control_msgs = registry.counter("query.control_msgs");
+  static Counter& log_records = registry.counter("query.log_records");
+  static Counter& lock_waits = registry.counter("query.lock_waits");
+  static Counter& deadlocks = registry.counter("query.deadlocks");
+  static Counter& lock_aborts = registry.counter("query.lock_aborts");
+  static Counter& overflow_rounds = registry.counter("query.overflow_rounds");
+  static Counter& failover_retries =
+      registry.counter("query.failover_retries");
+  static Histogram& seconds = registry.histogram(
+      "query.seconds", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0});
+
+  const sim::QueryMetrics& metrics = result->metrics;
+  const sim::NodeUsage totals = metrics.Totals();
+  queries.Inc();
+  pages_read.Inc(totals.pages_read);
+  pages_written.Inc(totals.pages_written);
+  buffer_hits.Inc(totals.buffer_hits);
+  packets.Inc(totals.packets_sent);
+  short_circuited.Inc(totals.packets_short_circuited);
+  retransmitted.Inc(totals.packets_retransmitted);
+  bytes_sent.Inc(totals.bytes_sent);
+  control_msgs.Inc(totals.control_msgs);
+  log_records.Inc(metrics.log_records);
+  lock_waits.Inc(metrics.lock_waits);
+  deadlocks.Inc(metrics.deadlocks);
+  lock_aborts.Inc(metrics.lock_aborts);
+  overflow_rounds.Inc(metrics.overflow_rounds);
+  failover_retries.Inc(metrics.failover_retries);
+  // Coordinator-serial call site, so the FP sum stays order-deterministic.
+  seconds.Observe(metrics.TotalSec());
+
+  if (!trace.enabled) return;
+  result->profile = std::make_shared<const Profile>(
+      BuildProfile(machine, label, metrics, ring_bytes_per_sec));
+}
+
+}  // namespace gammadb::obs

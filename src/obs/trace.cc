@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+namespace gammadb::obs {
+
+const char* DeviceName(Device device) {
+  switch (device) {
+    case Device::kDisk:
+      return "disk";
+    case Device::kCpu:
+      return "cpu";
+    case Device::kNet:
+      return "net";
+    case Device::kSerial:
+      return "serial";
+    case Device::kRing:
+      return "ring";
+    case Device::kNone:
+      break;
+  }
+  return "none";
+}
+
+const char* ResourceName(sim::Resource resource) {
+  switch (resource) {
+    case sim::Resource::kDisk:
+      return "disk";
+    case sim::Resource::kCpu:
+      return "cpu";
+    case sim::Resource::kNet:
+      return "net";
+    case sim::Resource::kNone:
+      break;
+  }
+  return "none";
+}
+
+bool NodeActive(const sim::NodeUsage& usage) {
+  return usage.disk_sec > 0 || usage.cpu_sec > 0 || usage.net_sec > 0 ||
+         usage.serial_sec > 0 || usage.pages_read > 0 ||
+         usage.pages_written > 0 || usage.buffer_hits > 0 ||
+         usage.packets_sent > 0 || usage.packets_short_circuited > 0 ||
+         usage.control_msgs > 0;
+}
+
+namespace {
+
+void AddDeviceSpan(std::vector<Span>* spans, int task, int node, int phase,
+                   Device device, double begin_sec, double dur_sec) {
+  if (dur_sec <= 0) return;
+  Span span;
+  span.name = DeviceName(device);
+  span.node = node;
+  span.phase = phase;
+  span.device = device;
+  span.begin_sec = begin_sec;
+  span.dur_sec = dur_sec;
+  span.parent = task;
+  spans->push_back(std::move(span));
+}
+
+}  // namespace
+
+std::vector<Span> BuildSpans(const std::string& label,
+                             const sim::QueryMetrics& metrics,
+                             double ring_bytes_per_sec) {
+  std::vector<Span> spans;
+  const double total_sec = metrics.TotalSec();
+
+  Span query;
+  query.name = "query:" + label;
+  query.begin_sec = 0;
+  query.dur_sec = total_sec;
+  query.parent = -1;
+  spans.push_back(std::move(query));
+
+  if (metrics.scheduling_sec > 0) {
+    Span sched;
+    sched.name = "scheduling";
+    sched.begin_sec = 0;
+    sched.dur_sec = metrics.scheduling_sec;
+    sched.parent = 0;
+    spans.push_back(std::move(sched));
+  }
+
+  Span statement;
+  statement.name = "statement";
+  statement.begin_sec = metrics.scheduling_sec;
+  statement.dur_sec = total_sec - metrics.scheduling_sec;
+  statement.parent = 0;
+  spans.push_back(std::move(statement));
+  const int statement_index = static_cast<int>(spans.size()) - 1;
+
+  double cursor = metrics.scheduling_sec;
+  for (size_t p = 0; p < metrics.phases.size(); ++p) {
+    const sim::PhaseMetrics& phase = metrics.phases[p];
+    Span phase_span;
+    phase_span.name = "phase:" + phase.name;
+    phase_span.phase = static_cast<int>(p);
+    phase_span.begin_sec = cursor;
+    phase_span.dur_sec = phase.elapsed_sec;
+    phase_span.parent = statement_index;
+    spans.push_back(std::move(phase_span));
+    const int phase_index = static_cast<int>(spans.size()) - 1;
+
+    for (size_t n = 0; n < phase.per_node.size(); ++n) {
+      const sim::NodeUsage& usage = phase.per_node[n];
+      if (!NodeActive(usage)) continue;
+      const int node = static_cast<int>(n);
+      Span task;
+      task.name = "node" + std::to_string(node);
+      task.node = node;
+      task.phase = static_cast<int>(p);
+      task.begin_sec = cursor;
+      task.dur_sec = usage.ElapsedSec(phase.kind);
+      task.parent = phase_index;
+      spans.push_back(std::move(task));
+      const int task_index = static_cast<int>(spans.size()) - 1;
+
+      if (phase.kind == sim::PhaseKind::kPipelined) {
+        // Serial stall first, then the three devices overlap.
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kSerial, cursor, usage.serial_sec);
+        const double origin = cursor + usage.serial_sec;
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kDisk, origin, usage.disk_sec);
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kCpu, origin, usage.cpu_sec);
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kNet, origin, usage.net_sec);
+      } else {
+        // Request/response work: nothing overlaps.
+        double at = cursor;
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kSerial, at, usage.serial_sec);
+        at += usage.serial_sec;
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kDisk, at, usage.disk_sec);
+        at += usage.disk_sec;
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kCpu, at, usage.cpu_sec);
+        at += usage.cpu_sec;
+        AddDeviceSpan(&spans, task_index, node, static_cast<int>(p),
+                      Device::kNet, at, usage.net_sec);
+      }
+    }
+
+    if (phase.ring_bytes > 0 && ring_bytes_per_sec > 0) {
+      Span ring;
+      ring.name = "ring";
+      ring.phase = static_cast<int>(p);
+      ring.device = Device::kRing;
+      ring.begin_sec = cursor;
+      ring.dur_sec = static_cast<double>(phase.ring_bytes) /
+                     ring_bytes_per_sec;
+      ring.parent = phase_index;
+      spans.push_back(std::move(ring));
+    }
+
+    cursor += phase.elapsed_sec;
+  }
+  return spans;
+}
+
+}  // namespace gammadb::obs

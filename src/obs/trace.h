@@ -1,0 +1,78 @@
+#ifndef GAMMA_OBS_TRACE_H_
+#define GAMMA_OBS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_tracker.h"
+
+namespace gammadb::obs {
+
+/// \brief Per-machine tracing configuration (GammaConfig::trace,
+/// TeradataConfig::trace).
+///
+/// When disabled (the default) nothing is recorded anywhere: queries charge
+/// exactly the same simulated seconds as a build without the observability
+/// layer, and no allocation happens on any operator path. When enabled, a
+/// Profile is derived from the query's finished CostTracker metrics and
+/// attached to the QueryResult — still zero charged time, because the
+/// derivation happens after accounting closes.
+struct TraceOptions {
+  bool enabled = false;
+};
+
+/// Which simulated device a span occupies (kNone for grouping spans).
+enum class Device { kNone, kDisk, kCpu, kNet, kSerial, kRing };
+
+const char* DeviceName(Device device);
+const char* ResourceName(sim::Resource resource);
+
+/// A node counts as active in a phase when it did anything at all — busy time
+/// on some device or a pure counter event (e.g. a short-circuited packet's
+/// CPU cost can round to zero seconds while the counter still ticks).
+bool NodeActive(const sim::NodeUsage& usage);
+
+/// \brief One interval of simulated time in the query's trace.
+///
+/// Spans form the hierarchy query -> statement -> phase -> per-node operator
+/// task -> per-device busy interval, flattened into a vector in canonical
+/// order (phases in execution order, nodes ascending, devices in
+/// disk/cpu/net order). `parent` indexes into the same vector (-1 for the
+/// root), so consumers can rebuild the tree without pointer chasing.
+struct Span {
+  std::string name;
+  /// Simulated node the span ran on; -1 for machine-level spans
+  /// (query/statement/phase) and the shared ring.
+  int node = -1;
+  /// Index of the phase the span belongs to; -1 above phase level.
+  int phase = -1;
+  Device device = Device::kNone;
+  double begin_sec = 0;
+  double dur_sec = 0;
+  int parent = -1;
+};
+
+/// \brief Builds the span hierarchy for one finished query.
+///
+/// Pure function of the (already deterministic) QueryMetrics, so the span
+/// stream is byte-identical at any GAMMA_HOST_THREADS. Placement follows the
+/// charging rules the CostTracker used to resolve elapsed time:
+///
+///  - the query starts at simulated t=0; scheduler-serialized work occupies
+///    [0, scheduling_sec); phases run back to back after it;
+///  - within a pipelined phase a node's serial stall leads, then its disk,
+///    CPU and NIC busy intervals run concurrently from the same origin (the
+///    bottleneck model: elapsed = serial + max of the three);
+///  - within a sequential phase the serial, disk, CPU and NIC intervals run
+///    end to end (elapsed = serial + sum);
+///  - the shared interconnect gets one ring span per phase with traffic,
+///    sized by ring_bytes / ring_bytes_per_sec.
+///
+/// `ring_bytes_per_sec` <= 0 omits the ring spans.
+std::vector<Span> BuildSpans(const std::string& label,
+                             const sim::QueryMetrics& metrics,
+                             double ring_bytes_per_sec);
+
+}  // namespace gammadb::obs
+
+#endif  // GAMMA_OBS_TRACE_H_

@@ -12,6 +12,7 @@
 #include "common/macros.h"
 #include "exec/aggregate.h"
 #include "exec/predicate.h"
+#include "obs/profile.h"
 #include "opt/explain.h"
 #include "opt/planner.h"
 
@@ -270,6 +271,19 @@ std::optional<exec::AggFunc> AggFuncByName(const std::string& name) {
   return std::nullopt;
 }
 
+/// `explain profile`: derives the observability profile from the finished
+/// metrics (works whether or not the machine ran with tracing enabled — the
+/// profile is a pure function of the metrics), appends the rendered
+/// breakdown to the explain text and attaches the structured form.
+void AppendProfile(const gamma::GammaMachine& machine, const char* label,
+                   exec::QueryResult* result) {
+  auto profile = std::make_shared<const obs::Profile>(
+      obs::BuildProfile("gamma", label, result->metrics,
+                        machine.config().hw.net.ring_bytes_per_sec));
+  result->explain += "\n" + obs::RenderProfile(*profile);
+  result->profile = std::move(profile);
+}
+
 }  // namespace
 
 Session::Session(gamma::GammaMachine* machine) : machine_(machine) {
@@ -291,10 +305,16 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
 
   // explain retrieve ... — run the planned query and attach the plan tree
   // (estimated costs alongside the measured actuals) to the result.
+  // explain profile retrieve ... — additionally attach the observability
+  // profile (per-phase device breakdown, utilization fractions, critical
+  // resource) and its span hierarchy.
   const bool explain = cursor.ConsumeIdent("explain");
+  const bool profile = explain && cursor.ConsumeIdent("profile");
   if (explain && !(cursor.Peek().kind == TokKind::kIdent &&
                    cursor.Peek().text == "retrieve")) {
-    return Status::InvalidArgument("explain supports retrieve statements only");
+    return Status::InvalidArgument(
+        profile ? "explain profile supports retrieve statements only"
+                : "explain supports retrieve statements only");
   }
 
   // range of t is A
@@ -473,6 +493,7 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
                            machine_->RunAggregate(planned.query));
     if (explain) {
       result.explain = opt::RenderPlanWithActuals(planned.plan, result);
+      if (profile) AppendProfile(*machine_, "aggregate", &result);
     }
     return result;
   }
@@ -511,6 +532,7 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
                            machine_->RunSelect(planned.query));
     if (explain) {
       result.explain = opt::RenderPlanWithActuals(planned.plan, result);
+      if (profile) AppendProfile(*machine_, "select", &result);
     }
     return result;
   }
@@ -576,6 +598,7 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
                          machine_->RunJoin(planned.query));
   if (explain) {
     result.explain = opt::RenderPlanWithActuals(planned.plan, result);
+    if (profile) AppendProfile(*machine_, "join", &result);
   }
   return result;
 }

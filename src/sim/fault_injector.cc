@@ -2,6 +2,19 @@
 
 #include "common/hash.h"
 #include "common/macros.h"
+#include "obs/metrics_registry.h"
+
+namespace {
+
+// Process-wide fault telemetry. Counters are commutative, so feeding them
+// from node tasks on any host thread keeps totals deterministic.
+gammadb::obs::Counter& NodeDeathCounter() {
+  static gammadb::obs::Counter& c =
+      gammadb::obs::MetricsRegistry::Instance().counter("fault.node_deaths");
+  return c;
+}
+
+}  // namespace
 
 namespace gammadb::sim {
 
@@ -55,7 +68,11 @@ FaultInjector::NodeState& FaultInjector::node(int i) {
   return nodes_[static_cast<size_t>(i)];
 }
 
-void FaultInjector::KillNode(int i) { node(i).dead = true; }
+void FaultInjector::KillNode(int i) {
+  NodeState& state = node(i);
+  if (!state.dead) NodeDeathCounter().Inc();
+  state.dead = true;
+}
 
 void FaultInjector::KillNodeAfterOps(int i, uint64_t disk_ops) {
   NodeState& state = node(i);
@@ -74,6 +91,7 @@ bool FaultInjector::OnCommitPoint(int i) {
   ++state.commit_points;
   if (state.commit_points >= state.death_at_commit) {
     state.dead = true;
+    NodeDeathCounter().Inc();
     return true;
   }
   return false;
@@ -100,7 +118,10 @@ int FaultInjector::num_live() const {
 
 void FaultInjector::TickOps(NodeState& state) {
   ++state.ops;
-  if (state.ops >= state.death_at_ops) state.dead = true;
+  if (state.ops >= state.death_at_ops && !state.dead) {
+    state.dead = true;
+    NodeDeathCounter().Inc();
+  }
 }
 
 DiskFault FaultInjector::OnRead(int i) {
@@ -109,11 +130,17 @@ DiskFault FaultInjector::OnRead(int i) {
   if (config_.transient_read_prob > 0 &&
       state.rng.NextDouble() < config_.transient_read_prob) {
     ++state.stats.transient_read_faults;
+    static obs::Counter& transient_reads =
+        obs::MetricsRegistry::Instance().counter("fault.transient_reads");
+    transient_reads.Inc();
     return DiskFault::kTransient;
   }
   if (config_.corrupt_read_prob > 0 &&
       state.rng.NextDouble() < config_.corrupt_read_prob) {
     ++state.stats.corrupted_reads;
+    static obs::Counter& corrupted =
+        obs::MetricsRegistry::Instance().counter("fault.corrupted_reads");
+    corrupted.Inc();
     return DiskFault::kCorrupt;
   }
   return DiskFault::kNone;
@@ -125,6 +152,9 @@ DiskFault FaultInjector::OnWrite(int i) {
   if (config_.transient_write_prob > 0 &&
       state.rng.NextDouble() < config_.transient_write_prob) {
     ++state.stats.transient_write_faults;
+    static obs::Counter& transient_writes =
+        obs::MetricsRegistry::Instance().counter("fault.transient_writes");
+    transient_writes.Inc();
     return DiskFault::kTransient;
   }
   return DiskFault::kNone;
@@ -138,6 +168,9 @@ bool FaultInjector::OnPacket(int src_node) {
   PacketState& state = packet_nodes_[static_cast<size_t>(src_node)];
   if (state.rng.NextDouble() < config_.drop_packet_prob) {
     ++state.dropped;
+    static obs::Counter& dropped =
+        obs::MetricsRegistry::Instance().counter("fault.packets_dropped");
+    dropped.Inc();
     return true;
   }
   return false;

@@ -12,6 +12,7 @@
 #include "exec/select.h"
 #include "exec/sort.h"
 #include "exec/split_table.h"
+#include "obs/profile.h"
 
 namespace gammadb::teradata {
 
@@ -302,6 +303,15 @@ storage::Rid TeradataMachine::InsertWithRecovery(
   return rid;
 }
 
+Result<QueryResult> TeradataMachine::FinalizeObs(const char* label,
+                                                 Result<QueryResult> result) {
+  if (result.ok()) {
+    obs::FinalizeStatement(config_.trace, "teradata", label,
+                           config_.hw.net.ring_bytes_per_sec, &*result);
+  }
+  return result;
+}
+
 Result<QueryResult> TeradataMachine::RunSelect(const TdSelectQuery& query) {
   GAMMA_ASSIGN_OR_RETURN(RelationMeta * meta, catalog_.Get(query.relation));
   RelationState& state = states_.at(query.relation);
@@ -442,7 +452,7 @@ Result<QueryResult> TeradataMachine::RunSelect(const TdSelectQuery& query) {
   }
   BindAll(nullptr);
   result.metrics = tracker.Finish();
-  return result;
+  return FinalizeObs("select", std::move(result));
 }
 
 Result<QueryResult> TeradataMachine::RunJoin(const TdJoinQuery& query) {
@@ -636,7 +646,7 @@ Result<QueryResult> TeradataMachine::RunJoin(const TdJoinQuery& query) {
   }
   BindAll(nullptr);
   result.metrics = tracker.Finish();
-  return result;
+  return FinalizeObs("join", std::move(result));
 }
 
 }  // namespace gammadb::teradata

@@ -13,6 +13,7 @@
 #include "common/units.h"
 #include "exec/predicate.h"
 #include "exec/query_result.h"
+#include "obs/trace.h"
 #include "sim/hardware.h"
 #include "storage/storage_manager.h"
 
@@ -47,6 +48,9 @@ struct TeradataConfig {
   /// join redistribution (the spool path runs the full tuple-insert code;
   /// fitted from Table 2's Teradata column via [DEWI87]).
   double instr_per_spool_tuple = 20000;
+  /// Observability: when enabled, every successful statement carries a
+  /// derived Profile in its QueryResult (same contract as GammaConfig).
+  obs::TraceOptions trace;
 
   int ifp_node() const { return num_amps; }
   int host_node() const { return num_amps + 1; }
@@ -140,6 +144,12 @@ class TeradataMachine {
   Result<uint64_t> CountTuples(const std::string& name);
 
  private:
+  /// Post-accounting observability hook (mirrors GammaMachine::FinalizeObs):
+  /// feeds the metrics registry and attaches the derived Profile when
+  /// tracing is enabled. Passes error results through untouched.
+  Result<exec::QueryResult> FinalizeObs(const char* label,
+                                        Result<exec::QueryResult> result);
+
   /// Dense secondary index: an entry file per AMP (scanned in full for range
   /// predicates) plus the hash directory used for exact-match access.
   struct SecondaryIndex {

@@ -62,7 +62,7 @@ Result<QueryResult> TeradataMachine::RunAppend(const TdAppendQuery& query) {
   result.result_tuples = 1;
   BindAll(nullptr);
   result.metrics = tracker.Finish();
-  return result;
+  return FinalizeObs("append", std::move(result));
 }
 
 Result<QueryResult> TeradataMachine::RunDelete(const TdDeleteQuery& query) {
@@ -144,7 +144,7 @@ Result<QueryResult> TeradataMachine::RunDelete(const TdDeleteQuery& query) {
   result.result_tuples = deleted;
   BindAll(nullptr);
   result.metrics = tracker.Finish();
-  return result;
+  return FinalizeObs("delete", std::move(result));
 }
 
 Result<QueryResult> TeradataMachine::RunModify(const TdModifyQuery& query) {
@@ -269,7 +269,7 @@ Result<QueryResult> TeradataMachine::RunModify(const TdModifyQuery& query) {
   result.result_tuples = modified;
   BindAll(nullptr);
   result.metrics = tracker.Finish();
-  return result;
+  return FinalizeObs("modify", std::move(result));
 }
 
 Result<std::vector<std::vector<uint8_t>>> TeradataMachine::ReadRelation(

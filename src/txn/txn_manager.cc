@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/macros.h"
+#include "obs/metrics_registry.h"
 
 namespace gammadb::txn {
 
@@ -80,6 +81,9 @@ void TxnManager::AbortInternal(uint64_t victim,
   GAMMA_CHECK(it != active_.end());
   it->second.aborts += 1;
   totals_.aborts += 1;
+  static obs::Counter& aborts =
+      obs::MetricsRegistry::Instance().counter("txn.aborts");
+  aborts.Inc();
   active_.erase(it);
   NoteGrants({grants->begin() + static_cast<long>(before), grants->end()});
 }
@@ -102,6 +106,9 @@ TxnManager::AcquireResult TxnManager::Acquire(uint64_t txn, LockId id,
   waiting_table_[txn] = table;
   stats.lock_waits += 1;
   totals_.lock_waits += 1;
+  static obs::Counter& lock_waits =
+      obs::MetricsRegistry::Instance().counter("txn.lock_waits");
+  lock_waits.Inc();
 
   // Each new wait edge can close at most cycles through the requester;
   // abort the youngest member until no cycle remains (or we are it).
@@ -112,6 +119,9 @@ TxnManager::AcquireResult TxnManager::Acquire(uint64_t txn, LockId id,
     for (const uint64_t member : cycle) victim = std::max(victim, member);
     totals_.deadlocks += 1;
     active_.at(victim).deadlocks += 1;
+    static obs::Counter& deadlocks =
+        obs::MetricsRegistry::Instance().counter("txn.deadlocks");
+    deadlocks.Inc();
     res.aborted_victims.push_back(victim);
     if (victim == txn) {
       AbortInternal(txn, &res.grants);
