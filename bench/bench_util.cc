@@ -6,6 +6,7 @@
 #include <cstring>
 #include <map>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/macros.h"
@@ -62,6 +63,21 @@ const std::vector<std::vector<uint8_t>>& CachedWisconsin(uint32_t n,
       cache;
   auto [it, inserted] = cache.try_emplace({n, seed});
   if (inserted) it->second = wis::GenerateWisconsin(n, seed);
+  return it->second;
+}
+
+const std::vector<std::vector<uint8_t>>& CachedWisconsinZipf(
+    uint32_t n, uint64_t seed, const wisconsin::ZipfColumn& column) {
+  // theta keys the map through its bit pattern (benches pass exact
+  // constants, so no epsilon concerns).
+  using Key = std::tuple<uint32_t, uint64_t, int, uint64_t, uint32_t>;
+  static std::map<Key, std::vector<std::vector<uint8_t>>> cache;
+  uint64_t theta_bits = 0;
+  static_assert(sizeof(theta_bits) == sizeof(column.theta));
+  std::memcpy(&theta_bits, &column.theta, sizeof(theta_bits));
+  auto [it, inserted] = cache.try_emplace(
+      Key{n, seed, column.attr, theta_bits, column.domain});
+  if (inserted) it->second = wis::GenerateWisconsinZipf(n, seed, column);
   return it->second;
 }
 
@@ -234,11 +250,13 @@ void JsonReport::Add(const std::string& label,
       totals.pages_read + totals.pages_written,
       totals.packets_sent + totals.packets_short_circuited,
       util.disk_busy_frac, util.cpu_busy_frac, util.net_busy_frac,
-      util.critical_resource});
+      util.critical_resource, util.skew_imbalance,
+      util.skew_routed_tuples});
 }
 
 void JsonReport::AddScalar(const std::string& label, double value) {
-  entries_.push_back(Entry{label, true, value, 0, 0, 0, 0, 0, "none"});
+  entries_.push_back(Entry{label, true, value, 0, 0, 0, 0, 0, "none", 1.0,
+                           0});
 }
 
 void JsonReport::Write() const {
@@ -277,12 +295,16 @@ void JsonReport::Write() const {
                    "\"page_ios\": %llu, \"packets\": %llu, "
                    "\"disk_busy_frac\": %.6f, \"cpu_busy_frac\": %.6f, "
                    "\"net_busy_frac\": %.6f, "
-                   "\"critical_resource\": \"%s\"}%s\n",
+                   "\"critical_resource\": \"%s\", "
+                   "\"skew_imbalance\": %.6f, "
+                   "\"skew_routed_tuples\": %llu}%s\n",
                    escaped.c_str(), e.seconds,
                    static_cast<unsigned long long>(e.page_ios),
                    static_cast<unsigned long long>(e.packets),
                    e.disk_busy_frac, e.cpu_busy_frac, e.net_busy_frac,
-                   e.critical_resource.c_str(), sep);
+                   e.critical_resource.c_str(), e.skew_imbalance,
+                   static_cast<unsigned long long>(e.skew_routed_tuples),
+                   sep);
     }
   }
   std::fprintf(f, "  ]\n}\n");

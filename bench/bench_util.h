@@ -27,6 +27,11 @@ void InitBench(int argc, char** argv);
 const std::vector<std::vector<uint8_t>>& CachedWisconsin(uint32_t n,
                                                          uint64_t seed);
 
+/// Wisconsin relations with one Zipfian-skewed int column, memoized like
+/// CachedWisconsin (keyed additionally by the column spec).
+const std::vector<std::vector<uint8_t>>& CachedWisconsinZipf(
+    uint32_t n, uint64_t seed, const wisconsin::ZipfColumn& column);
+
 /// The paper's Gamma configuration: 8 disk + 8 diskless processors, 4 KB
 /// pages. `join_memory_total` defaults high enough that the 10k/100k joins
 /// never overflow (Table 2 note); pass 4.8 MB to reproduce the 1M overflow.
@@ -100,8 +105,10 @@ class JsonReport {
  public:
   /// Format version of the emitted JSON. 2 added the meta build stamps and
   /// per-query utilization scalars (disk/cpu/net_busy_frac,
-  /// critical_resource).
-  static constexpr int kSchemaVersion = 2;
+  /// critical_resource). 3 added the redistribution-balance scalars
+  /// (skew_imbalance = max/mean key-routed tuples per node in the query's
+  /// largest redistribution, skew_routed_tuples = its routed-tuple count).
+  static constexpr int kSchemaVersion = 3;
 
   explicit JsonReport(std::string name);
 
@@ -127,6 +134,8 @@ class JsonReport {
     double cpu_busy_frac;
     double net_busy_frac;
     std::string critical_resource;
+    double skew_imbalance;
+    uint64_t skew_routed_tuples;
   };
   std::string name_;
   double start_wall_sec_;

@@ -11,7 +11,9 @@
 #include <map>
 
 #include "bench_util.h"
+#include "common/macros.h"
 #include "exec/predicate.h"
+#include "obs/profile.h"
 
 namespace gammadb::bench {
 namespace {
@@ -86,6 +88,14 @@ double RunGammaRow(gamma::GammaMachine& machine, int row, uint32_t n,
     std::fprintf(stderr, "gamma join failed: %s\n",
                  first.status().ToString().c_str());
     return -1;
+  }
+  if (attr == wis::kUnique1) {
+    // Key-attribute rows redistribute a unique (perfectly uniform) key:
+    // the routed-tuple balance must read ~1.0, anchoring the skew scalar
+    // the skew-join extension bench perturbs.
+    const double imbalance =
+        obs::ComputeUtilization(first->metrics).skew_imbalance;
+    GAMMA_CHECK_MSG(imbalance < 1.1, "uniform join should be balanced");
   }
   if (variant != 2) {
     report.Add("gamma/" + std::string(kRowNames[row]) + "/n=" +

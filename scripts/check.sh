@@ -25,6 +25,8 @@ if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   GAMMA_BENCH_SIZES=10000 ./build/bench/extension_recovery_server
   echo "== profiled queries (Table 1 selection + Fig 9 join, traced, 10k) =="
   GAMMA_BENCH_SIZES=10000 ./build/bench/profile_queries
+  echo "== skew-join cliff (hash vs sampled bucket-map routing, 10k) =="
+  GAMMA_BENCH_SIZES=10000 ./build/bench/extension_skew_join
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
@@ -41,6 +43,9 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   echo "== profiled queries under TSan (4 host threads) =="
   GAMMA_HOST_THREADS=4 GAMMA_BENCH_SIZES=10000 \
     ./build-tsan/bench/profile_queries
+  echo "== skew-join cliff under TSan (4 host threads) =="
+  GAMMA_HOST_THREADS=4 GAMMA_BENCH_SIZES=10000 \
+    ./build-tsan/bench/extension_skew_join
 fi
 
 echo "All checks passed."

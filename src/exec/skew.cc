@@ -1,0 +1,164 @@
+#include "exec/skew.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace gammadb::exec {
+
+size_t ChooseBucketCount(size_t ndests) {
+  return std::clamp<size_t>(64 * ndests, 256, 4096);
+}
+
+SplitTableBuilder::SplitTableBuilder(size_t num_buckets, uint64_t salt)
+    : num_buckets_(num_buckets),
+      salt_(salt),
+      bucket_weight_(num_buckets, 0) {
+  GAMMA_CHECK(num_buckets > 0);
+}
+
+void SplitTableBuilder::AddWeightedKey(int32_t key, uint64_t weight,
+                                       int home_node) {
+  const size_t bucket = HashInt32(key, salt_) % num_buckets_;
+  bucket_weight_[bucket] += weight;
+  total_weight_ += weight;
+  KeyInfo& info = keys_[key];
+  info.weight += weight;
+  info.per_home[home_node] += weight;
+}
+
+SkewAssignment SplitTableBuilder::Build(
+    const std::vector<int>& dest_nodes) const {
+  GAMMA_CHECK(!dest_nodes.empty());
+  const size_t ndests = dest_nodes.size();
+  SkewAssignment out;
+  out.bucket_map.assign(num_buckets_, -1);
+  out.dest_weight.assign(ndests, 0);
+  out.total_weight = total_weight_;
+
+  // What plain hash routing would do with the same sample: each key lands
+  // whole on hash(key) % ndests.
+  {
+    std::vector<uint64_t> hash_load(ndests, 0);
+    for (const auto& [key, info] : keys_) {
+      hash_load[HashInt32(key, salt_) % ndests] += info.weight;
+    }
+    const uint64_t max_load =
+        *std::max_element(hash_load.begin(), hash_load.end());
+    if (total_weight_ > 0) {
+      out.hash_imbalance = static_cast<double>(max_load) * ndests /
+                           static_cast<double>(total_weight_);
+    }
+  }
+
+  // Heavy hitters: sampled share above kSkewHeavyShare of one fair share.
+  // Pin each one's bucket to the destination running on the node that
+  // produced most of its weight, if that node is a destination at all.
+  const double heavy_cut =
+      kSkewHeavyShare * static_cast<double>(total_weight_) /
+      static_cast<double>(ndests);
+  std::vector<std::pair<uint64_t, int32_t>> heavy_keys;  // (weight, key)
+  for (const auto& [key, info] : keys_) {
+    if (static_cast<double>(info.weight) > heavy_cut) {
+      heavy_keys.emplace_back(info.weight, key);
+    }
+  }
+  std::sort(heavy_keys.begin(), heavy_keys.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (const auto& [weight, key] : heavy_keys) {
+    const KeyInfo& info = keys_.at(key);
+    HeavyHitter h;
+    h.key = key;
+    h.weight = weight;
+    h.bucket = HashInt32(key, salt_) % num_buckets_;
+    uint64_t best = 0;
+    for (const auto& [node, w] : info.per_home) {
+      if (w > best) {
+        best = w;
+        h.home_node = node;
+      }
+    }
+    if (out.bucket_map[h.bucket] < 0) {
+      const auto it =
+          std::find(dest_nodes.begin(), dest_nodes.end(), h.home_node);
+      if (it != dest_nodes.end()) {
+        h.dest_index = static_cast<int>(it - dest_nodes.begin());
+        h.pinned = true;
+        out.bucket_map[h.bucket] = h.dest_index;
+        out.dest_weight[static_cast<size_t>(h.dest_index)] +=
+            bucket_weight_[h.bucket];
+      }
+    } else {
+      // Two heavy keys sharing a bucket: the heavier one already placed it.
+      h.dest_index = out.bucket_map[h.bucket];
+      h.pinned = true;
+    }
+    out.heavy.push_back(h);
+  }
+
+  // LPT over the remaining buckets: heaviest bucket first, always onto the
+  // currently lightest destination (ties by lowest index, so the result is
+  // deterministic). Every bucket carries a uniform prior of one bucket's
+  // fair share of the sampled mass on top of its sampled weight (scaled by
+  // num_buckets_ to stay in integers): the unsampled tail of the
+  // distribution is roughly uniform over buckets, so buckets the sample
+  // missed must still count against a destination's load — otherwise a
+  // destination holding one heavy bucket would also absorb a full share of
+  // the tail.
+  // The prior is 1/8th of a bucket's fair share of the sampled mass: big
+  // enough that unsampled buckets spread evenly, small enough not to dilute
+  // a heavy bucket's share below the 1/ndests fair line (which would make
+  // LPT keep loading the heavy destination with tail buckets).
+  auto smoothed = [&](size_t b) {
+    // max(total, 1): with an empty sample every bucket still weighs 1, so
+    // LPT degenerates to an even round-robin spread instead of dest 0.
+    return bucket_weight_[b] * num_buckets_ * 8 +
+           std::max<uint64_t>(total_weight_, 1);
+  };
+  std::vector<uint64_t> load(ndests, 0);
+  for (size_t b = 0; b < num_buckets_; ++b) {
+    if (out.bucket_map[b] >= 0) {
+      load[static_cast<size_t>(out.bucket_map[b])] += smoothed(b);
+    }
+  }
+  std::vector<size_t> order;
+  order.reserve(num_buckets_);
+  for (size_t b = 0; b < num_buckets_; ++b) {
+    if (out.bucket_map[b] < 0) order.push_back(b);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return bucket_weight_[a] != bucket_weight_[b]
+               ? bucket_weight_[a] > bucket_weight_[b]
+               : a < b;
+  });
+  for (const size_t b : order) {
+    size_t lightest = 0;
+    for (size_t d = 1; d < ndests; ++d) {
+      if (load[d] < load[lightest]) lightest = d;
+    }
+    out.bucket_map[b] = static_cast<int32_t>(lightest);
+    load[lightest] += smoothed(b);
+    out.dest_weight[lightest] += bucket_weight_[b];
+  }
+
+  if (total_weight_ > 0) {
+    // Predicted under the smoothed model (sampled mass + the uniform
+    // prior), so a sample that concentrates on one destination still reads
+    // as imbalanced but shrinks toward 1 as the prior dominates.
+    const uint64_t max_load = *std::max_element(load.begin(), load.end());
+    uint64_t sum_load = 0;
+    for (const uint64_t l : load) sum_load += l;
+    out.predicted_imbalance = static_cast<double>(max_load) * ndests /
+                              static_cast<double>(sum_load);
+  }
+  for (HeavyHitter& h : out.heavy) {
+    if (h.dest_index < 0) h.dest_index = out.bucket_map[h.bucket];
+  }
+  return out;
+}
+
+}  // namespace gammadb::exec

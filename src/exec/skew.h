@@ -1,0 +1,108 @@
+#ifndef GAMMA_EXEC_SKEW_H_
+#define GAMMA_EXEC_SKEW_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "exec/split_table.h"
+
+namespace gammadb::exec {
+
+/// Every `kSkewSampleStride`-th page of each source fragment is read (and
+/// charged) when sampling join inputs for a bucket map. 1/32 of the input
+/// keeps the sampling charge well under 2% of a redistribution join while
+/// still putting hundreds of samples behind every heavy hitter.
+inline constexpr uint32_t kSkewSampleStride = 32;
+
+/// A sampled key is a heavy hitter when its share of the sample exceeds
+/// `kSkewHeavyShare / num_destinations` — half of one destination's fair
+/// share. Such keys get their virtual bucket pinned to the node that
+/// produced most of their samples, so their traffic short-circuits when
+/// that node is also a consumer.
+inline constexpr double kSkewHeavyShare = 0.5;
+
+/// Sample weight of one probing-side tuple, relative to 1 for a build-side
+/// tuple. One bucket map must serve both redistributions of a join, but the
+/// probe phase is the expensive one — each probe arrival pays the probe and
+/// result-emission work on top of receipt — so the map is balanced mostly
+/// for the probing relation and the (usually smaller) build side rides
+/// along.
+inline constexpr uint64_t kSkewProbeWeight = 8;
+
+/// Virtual-bucket count for `ndests` destinations: enough buckets that the
+/// LPT assignment can shave per-node weight to a few percent, few enough
+/// that the map ships in one control packet.
+size_t ChooseBucketCount(size_t ndests);
+
+/// One detected heavy hitter and where its bucket went.
+struct HeavyHitter {
+  int32_t key = 0;
+  uint64_t weight = 0;   // sampled (or exact) weight behind the key
+  int home_node = -1;    // node producing most of that weight
+  size_t bucket = 0;     // virtual bucket the key hashes into
+  int dest_index = -1;   // destination the bucket was pinned/assigned to
+  bool pinned = false;   // true when the bucket stayed on home_node
+};
+
+/// Result of SplitTableBuilder::Build.
+struct SkewAssignment {
+  /// Virtual bucket -> destination index; feed to RouteSpec::BucketMap.
+  std::vector<int32_t> bucket_map;
+  /// Estimated weight per destination after LPT assignment.
+  std::vector<uint64_t> dest_weight;
+  /// max/mean of dest_weight (1.0 when no weight was observed).
+  double predicted_imbalance = 1.0;
+  /// max/mean the plain `hash % ndests` route would have produced on the
+  /// same sample — the cliff the map is avoiding.
+  double hash_imbalance = 1.0;
+  uint64_t total_weight = 0;
+  std::vector<HeavyHitter> heavy;
+};
+
+/// \brief Builds a skew-aware bucket->destination map from sampled (or
+/// exact) key weights.
+///
+/// Keys are hashed into `num_buckets` virtual buckets with `salt` — the
+/// same hash a kBucketMap split table applies at routing time — and the
+/// observed weight per bucket drives a longest-processing-time-first
+/// assignment of buckets to destinations. Heavy hitters are detected from
+/// exact per-key sample counts and pinned to their producing node when that
+/// node is itself a destination, short-circuiting their network charge.
+/// All tie-breaks are by index, so the map is a pure function of the
+/// (ordered) sample — independent of host thread count.
+class SplitTableBuilder {
+ public:
+  SplitTableBuilder(size_t num_buckets, uint64_t salt);
+
+  /// One sampled tuple with join key `key`, produced at `home_node`.
+  void AddSampleKey(int32_t key, int home_node) {
+    AddWeightedKey(key, 1, home_node);
+  }
+  /// Exact-count variant (aggregate redistribution knows its group sizes).
+  void AddWeightedKey(int32_t key, uint64_t weight, int home_node);
+
+  uint64_t total_weight() const { return total_weight_; }
+  uint64_t salt() const { return salt_; }
+  size_t num_buckets() const { return num_buckets_; }
+
+  /// Assigns buckets to `dest_nodes` (destination i runs on dest_nodes[i])
+  /// and returns the map plus the balance diagnostics.
+  SkewAssignment Build(const std::vector<int>& dest_nodes) const;
+
+ private:
+  struct KeyInfo {
+    uint64_t weight = 0;
+    std::map<int, uint64_t> per_home;
+  };
+
+  size_t num_buckets_;
+  uint64_t salt_;
+  uint64_t total_weight_ = 0;
+  std::vector<uint64_t> bucket_weight_;
+  std::map<int32_t, KeyInfo> keys_;
+};
+
+}  // namespace gammadb::exec
+
+#endif  // GAMMA_EXEC_SKEW_H_

@@ -23,6 +23,13 @@ RouteSpec RouteSpec::RoundRobin() {
 RouteSpec RouteSpec::RangeAttr(int attr, std::vector<int32_t> boundaries) {
   GAMMA_CHECK(attr >= 0);
   GAMMA_CHECK(std::is_sorted(boundaries.begin(), boundaries.end()));
+  // A duplicated boundary value is an empty range: upper_bound would skip
+  // its destination for keys equal to the value while shifting every later
+  // key one destination too far. Collapse duplicates so routing matches the
+  // distinct boundary list. (Empty boundaries are legal: one range, all
+  // tuples to destination 0.)
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
   RouteSpec spec;
   spec.kind = Kind::kRangeAttr;
   spec.attr = attr;
@@ -34,6 +41,18 @@ RouteSpec RouteSpec::Single(int index) {
   RouteSpec spec;
   spec.kind = Kind::kSingle;
   spec.single_index = index;
+  return spec;
+}
+
+RouteSpec RouteSpec::BucketMap(int attr, uint64_t salt,
+                               std::vector<int32_t> bucket_map) {
+  GAMMA_CHECK(attr >= 0);
+  GAMMA_CHECK(!bucket_map.empty());
+  RouteSpec spec;
+  spec.kind = Kind::kBucketMap;
+  spec.attr = attr;
+  spec.salt = salt;
+  spec.bucket_map = std::move(bucket_map);
   return spec;
 }
 
@@ -52,6 +71,15 @@ SplitTable::SplitTable(int src_node, const catalog::Schema* schema,
   GAMMA_CHECK(!destinations_.empty());
   GAMMA_CHECK(schema != nullptr);
   if (filter_ != nullptr) GAMMA_CHECK(filter_attr_ >= 0);
+  if (route_.kind == RouteSpec::Kind::kBucketMap) {
+    // The map is built against a destination list the RouteSpec factory
+    // never sees; validate here where both are known.
+    for (const int32_t dest : route_.bucket_map) {
+      GAMMA_CHECK_MSG(dest >= 0 &&
+                          dest < static_cast<int32_t>(destinations_.size()),
+                      "bucket map entry out of destination range");
+    }
+  }
 }
 
 int SplitTable::RouteTuple(std::span<const uint8_t> tuple) {
@@ -76,8 +104,21 @@ int SplitTable::RouteTuple(std::span<const uint8_t> tuple) {
     }
     case RouteSpec::Kind::kSingle:
       return route_.single_index;
+    case RouteSpec::Kind::kBucketMap: {
+      const catalog::TupleView view(schema_, tuple);
+      const int32_t key = view.GetInt(static_cast<size_t>(route_.attr));
+      const uint64_t bucket =
+          HashInt32(key, route_.salt) % route_.bucket_map.size();
+      return route_.bucket_map[static_cast<size_t>(bucket)];
+    }
   }
   return 0;
+}
+
+bool SplitTable::KeyRouted() const {
+  return route_.kind == RouteSpec::Kind::kHashAttr ||
+         route_.kind == RouteSpec::Kind::kRangeAttr ||
+         route_.kind == RouteSpec::Kind::kBucketMap;
 }
 
 void SplitTable::ChargeTupleBytes(int dest_index, size_t bytes) {
@@ -103,9 +144,8 @@ void SplitTable::ChargeTupleBytes(int dest_index, size_t bytes) {
 
 void SplitTable::Send(std::span<const uint8_t> tuple) {
   GAMMA_CHECK_MSG(!closed_, "Send after Close");
-  if (tracker_ != nullptr &&
-      (route_.kind == RouteSpec::Kind::kHashAttr ||
-       route_.kind == RouteSpec::Kind::kRangeAttr)) {
+  if (tracker_ != nullptr && KeyRouted()) {
+    // Hash, range probe, and bucket-map lookup all cost one hash path.
     tracker_->ChargeCpu(src_node_, tracker_->hw().cost.instr_per_tuple_hash);
   }
   if (filter_ != nullptr) {
@@ -121,6 +161,9 @@ void SplitTable::Send(std::span<const uint8_t> tuple) {
   }
   const int dest = RouteTuple(tuple);
   ChargeTupleBytes(dest, tuple.size());
+  if (tracker_ != nullptr && KeyRouted()) {
+    tracker_->CountTupleRouted(destinations_[static_cast<size_t>(dest)].node);
+  }
   destinations_[static_cast<size_t>(dest)].deliver(tuple);
   ++sent_;
 }
@@ -138,6 +181,7 @@ void SplitTable::Close() {
     // end-of-stream message to every consumer (§2).
     tracker_->ChargeControlMessage(src_node_, destinations_[i].node,
                                    /*blocking=*/false);
+    if (KeyRouted()) tracker_->CountRouteStream(destinations_[i].node);
   }
 }
 

@@ -14,18 +14,29 @@ namespace gammadb::exec {
 
 /// How a split table picks the destination process for an output tuple.
 struct RouteSpec {
-  enum class Kind { kHashAttr, kRoundRobin, kRangeAttr, kSingle };
+  enum class Kind { kHashAttr, kRoundRobin, kRangeAttr, kSingle, kBucketMap };
 
   Kind kind = Kind::kRoundRobin;
-  int attr = -1;                        // kHashAttr / kRangeAttr
-  uint64_t salt = 0x5317;               // kHashAttr
+  int attr = -1;                        // kHashAttr / kRangeAttr / kBucketMap
+  uint64_t salt = 0x5317;               // kHashAttr / kBucketMap
   std::vector<int32_t> boundaries;      // kRangeAttr
   int single_index = 0;                 // kSingle
+  /// kBucketMap: virtual bucket -> destination index. The tuple's key is
+  /// hashed into one of bucket_map.size() virtual buckets, and the map
+  /// names the destination. Bucket counts far above the destination count
+  /// let a skew-aware builder balance estimated per-node weight.
+  std::vector<int32_t> bucket_map;
 
   static RouteSpec HashAttr(int attr, uint64_t salt);
   static RouteSpec RoundRobin();
+  /// `boundaries` must be sorted; duplicates are collapsed (a duplicated
+  /// boundary value describes an empty range and would otherwise leave its
+  /// destination unreachable while skewing every later index). An empty
+  /// vector routes all tuples to destination 0.
   static RouteSpec RangeAttr(int attr, std::vector<int32_t> boundaries);
   static RouteSpec Single(int index);
+  static RouteSpec BucketMap(int attr, uint64_t salt,
+                             std::vector<int32_t> bucket_map);
 };
 
 /// \brief The split table: Gamma's demultiplexer between operator processes
@@ -79,6 +90,10 @@ class SplitTable {
  private:
   int RouteTuple(std::span<const uint8_t> tuple);
   void ChargeTupleBytes(int dest_index, size_t bytes);
+  /// True for routes that pick destinations from the tuple's key (hash /
+  /// range / bucket-map) — the ones whose balance the skew observability
+  /// counters track.
+  bool KeyRouted() const;
 
   int src_node_;
   const catalog::Schema* schema_;

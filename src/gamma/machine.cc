@@ -15,6 +15,7 @@
 #include "exec/hybrid_join.h"
 #include "exec/merge_join.h"
 #include "exec/select.h"
+#include "exec/skew.h"
 #include "exec/sort.h"
 #include "exec/split_table.h"
 #include "exec/store.h"
@@ -1128,6 +1129,116 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
     routing_salt = outer->partitioning.hash_salt;
   }
 
+  // Skew-aware routing: when the frequency sketches predict that hash
+  // routing would leave one site with well over its fair share, draw a
+  // charged sample of both inputs and route through a virtual-bucket map
+  // balanced by LPT instead. Build and probe must share the map — a build
+  // tuple and the probe tuples matching it have to meet at one site.
+  bool use_bucket_map = false;
+  switch (query.routing) {
+    case SplitRouting::kHash:
+      break;
+    case SplitRouting::kBucketMap:
+      use_bucket_map = true;
+      break;
+    case SplitRouting::kAuto: {
+      double predicted = 1.0;
+      if (const opt::RelationStats* s = stats_.Find(query.inner)) {
+        if (const opt::AttrStats* a = s->Attr(query.inner_attr)) {
+          predicted =
+              std::max(predicted, opt::PredictHashImbalance(*a, nsites));
+        }
+      }
+      if (const opt::RelationStats* s = stats_.Find(query.outer)) {
+        if (const opt::AttrStats* a = s->Attr(query.outer_attr)) {
+          predicted =
+              std::max(predicted, opt::PredictHashImbalance(*a, nsites));
+        }
+      }
+      use_bucket_map = predicted > opt::kSkewImbalanceThreshold;
+      break;
+    }
+  }
+
+  exec::RouteSpec build_route =
+      exec::RouteSpec::HashAttr(query.inner_attr, routing_salt);
+  exec::RouteSpec probe_route =
+      exec::RouteSpec::HashAttr(query.outer_attr, routing_salt);
+  if (use_bucket_map) {
+    // Charged sample phase: every kSkewSampleStride-th page of each
+    // fragment of both inputs is read (disk + per-tuple CPU through the
+    // node's charge context) and the surviving join keys collected per
+    // fragment, so the coordinator merges them in canonical fragment order
+    // regardless of host thread count. Rebuilt on every failover attempt,
+    // against whatever copies are then serving.
+    const uint64_t bucket_salt = HashBytes(&seed0, sizeof(seed0), 0xB0C4);
+    exec::SplitTableBuilder builder(exec::ChooseBucketCount(nsites),
+                                    bucket_salt);
+    tracker.BeginPhase("skew_sample", sim::PhaseKind::kPipelined);
+    std::vector<std::vector<int32_t>> inner_keys(inner_sources.size());
+    std::vector<std::vector<int32_t>> outer_keys(outer_sources.size());
+    auto sample_input = [&](const std::vector<FragmentCopy>& sources,
+                            const Schema& schema, int attr,
+                            const Predicate& pred,
+                            std::vector<std::vector<int32_t>>& out) -> Status {
+      std::vector<NodeTask> tasks;
+      for (const NodeGroup& group : GroupByServingNode(sources)) {
+        tasks.push_back(NodeTask{
+            group.node, [&, group](sim::CostTracker& shard) -> Status {
+              storage::StorageManager& sm =
+                  *nodes_[static_cast<size_t>(group.node)];
+              const auto& cost = shard.hw().cost;
+              for (size_t f : group.members) {
+                const FragmentCopy& src = sources[f];
+                const storage::HeapFile& file = sm.file(src.file);
+                for (uint32_t p = 0; p < file.num_pages();
+                     p += exec::kSkewSampleStride) {
+                  GAMMA_RETURN_NOT_OK(file.ScanPages(
+                      p, p, [&](Rid, std::span<const uint8_t> t) {
+                        sm.charge().Cpu(cost.instr_per_tuple_scan +
+                                        cost.instr_per_tuple_hash);
+                        if (pred.Eval(t, schema)) {
+                          out[f].push_back(
+                              TupleView(&schema, t).GetInt(
+                                  static_cast<size_t>(attr)));
+                        }
+                        return true;
+                      }));
+                }
+                // Sampled counts return to the scheduler in one message.
+                shard.ChargeControlMessage(src.node, config_.scheduler_node(),
+                                           false);
+              }
+              return Status::OK();
+            }});
+      }
+      return RunNodeTasks(&tracker, std::move(tasks));
+    };
+    GAMMA_RETURN_NOT_OK(sample_input(inner_sources, inner->schema,
+                                     query.inner_attr, query.inner_pred,
+                                     inner_keys));
+    GAMMA_RETURN_NOT_OK(sample_input(outer_sources, outer->schema,
+                                     query.outer_attr, query.outer_pred,
+                                     outer_keys));
+    tracker.EndPhase();
+    for (size_t f = 0; f < inner_keys.size(); ++f) {
+      for (const int32_t key : inner_keys[f]) {
+        builder.AddSampleKey(key, inner_sources[f].node);
+      }
+    }
+    for (size_t f = 0; f < outer_keys.size(); ++f) {
+      for (const int32_t key : outer_keys[f]) {
+        builder.AddWeightedKey(key, exec::kSkewProbeWeight,
+                               outer_sources[f].node);
+      }
+    }
+    const exec::SkewAssignment assignment = builder.Build(join_nodes);
+    build_route = exec::RouteSpec::BucketMap(query.inner_attr, bucket_salt,
+                                             assignment.bucket_map);
+    probe_route = exec::RouteSpec::BucketMap(query.outer_attr, bucket_salt,
+                                             assignment.bucket_map);
+  }
+
   auto build_deliver = [&](size_t j) {
     return [&, j](std::span<const uint8_t> t) {
       switch (query.algorithm) {
@@ -1219,10 +1330,8 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
                       build_ex.Append(f, j, t);
                     }});
               }
-              SplitTable split(
-                  src.node, &inner->schema,
-                  exec::RouteSpec::HashAttr(query.inner_attr, routing_salt),
-                  std::move(dests), &shard);
+              SplitTable split(src.node, &inner->schema, build_route,
+                               std::move(dests), &shard);
               GAMMA_RETURN_NOT_OK(
                   exec::SelectScan(
                       sm.file(src.file), inner->schema, query.inner_pred,
@@ -1279,10 +1388,9 @@ Result<QueryResult> GammaMachine::RunJoinAttempt(const JoinQuery& query) {
                       probe_ex.Append(f, j, t);
                     }});
               }
-              SplitTable split(
-                  src.node, &outer->schema,
-                  exec::RouteSpec::HashAttr(query.outer_attr, routing_salt),
-                  std::move(dests), &shard, filter.get(), query.outer_attr);
+              SplitTable split(src.node, &outer->schema, probe_route,
+                               std::move(dests), &shard, filter.get(),
+                               query.outer_attr);
               GAMMA_RETURN_NOT_OK(
                   exec::SelectScan(sm.file(src.file), outer->schema,
                                    query.outer_pred, sm.charge(),

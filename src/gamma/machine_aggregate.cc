@@ -11,6 +11,7 @@
 #include "exec/aggregate.h"
 #include "exec/exchange.h"
 #include "exec/select.h"
+#include "exec/skew.h"
 #include "exec/split_table.h"
 #include "gamma/machine.h"
 
@@ -143,8 +144,44 @@ Result<QueryResult> GammaMachine::RunAggregateAttempt(
         &nodes_[static_cast<size_t>(site)]->charge()));
   }
   const uint64_t salt = next_salt_++;
+  // Skew-aware merge routing: unlike the join, no sampling is needed — the
+  // coordinator sees every local group key, so the exact redistribution
+  // weight per key (one partial per fragment holding the group) is a free
+  // byproduct of phase 1. When plain hash(group) % sites would exceed the
+  // documented imbalance threshold, route through an LPT-balanced bucket
+  // map instead; each serving node reports its group list to the scheduler
+  // in one control-message round trip, charged below.
+  exec::RouteSpec merge_route = query.group_attr < 0
+                                    ? exec::RouteSpec::Single(0)
+                                    : exec::RouteSpec::HashAttr(0, salt);
+  bool merge_bucket_map = false;
+  if (query.group_attr >= 0) {
+    exec::SplitTableBuilder builder(
+        exec::ChooseBucketCount(merge_sites.size()), salt);
+    for (size_t f = 0; f < locals.size(); ++f) {
+      for (const auto& [group_key, state] : locals[f]->groups()) {
+        builder.AddWeightedKey(group_key, 1, sources[f].node);
+      }
+    }
+    if (builder.total_weight() > 0) {
+      const exec::SkewAssignment assignment = builder.Build(merge_sites);
+      if (assignment.hash_imbalance > opt::kSkewImbalanceThreshold) {
+        merge_route =
+            exec::RouteSpec::BucketMap(0, salt, assignment.bucket_map);
+        merge_bucket_map = true;
+      }
+    }
+  }
   tracker.BeginPhase("global_agg", sim::PhaseKind::kPipelined);
   {
+    if (merge_bucket_map) {
+      for (const NodeGroup& group : GroupByServingNode(sources)) {
+        tracker.ChargeControlMessage(group.node, config_.scheduler_node(),
+                                     /*blocking=*/false);
+        tracker.ChargeControlMessage(config_.scheduler_node(), group.node,
+                                     /*blocking=*/true);
+      }
+    }
     // Producers: each serving node ships its fragments' partials through the
     // split into the (fragment, merge-site) exchange.
     exec::Exchange agg_ex(static_cast<size_t>(ndisk), merge_sites.size(),
@@ -163,10 +200,7 @@ Result<QueryResult> GammaMachine::RunAggregateAttempt(
                       agg_ex.Append(f, d, partial);
                     }});
               }
-              SplitTable split(src.node, &partial_schema,
-                               query.group_attr < 0
-                                   ? exec::RouteSpec::Single(0)
-                                   : exec::RouteSpec::HashAttr(0, salt),
+              SplitTable split(src.node, &partial_schema, merge_route,
                                std::move(dests), &shard);
               catalog::TupleBuilder builder(&partial_schema);
               for (const auto& [group_key, state] : locals[f]->groups()) {

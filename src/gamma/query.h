@@ -26,6 +26,18 @@ enum class AccessPath {
 /// diskless processors, or on both.
 enum class JoinMode { kLocal, kRemote, kAllnodes };
 
+/// How the join's redistribution split tables pick a destination site.
+enum class SplitRouting {
+  /// Consult the statistics catalog: bucket-map when the frequency sketches
+  /// predict hash imbalance above opt::kSkewImbalanceThreshold, else hash.
+  kAuto,
+  /// Plain hash(attr) % sites — the paper's split table (§2).
+  kHash,
+  /// Skew-aware virtual-bucket map built from a charged sample of both
+  /// inputs; build and probe share the map.
+  kBucketMap,
+};
+
 /// Which join algorithm the join sites run.
 enum class JoinAlgorithm {
   /// Gamma's Simple hash-partitioned join: build then probe, with
@@ -73,6 +85,9 @@ struct JoinQuery {
   /// Insert a bit-vector filter built from the inner relation into the
   /// outer side's split tables (§2).
   bool use_bit_filter = false;
+  /// Redistribution routing policy; the planner pins it when it plans the
+  /// query, kAuto lets the machine consult its own statistics.
+  SplitRouting routing = SplitRouting::kAuto;
 };
 
 /// \brief Scalar or grouped aggregate over one relation.

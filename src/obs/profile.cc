@@ -1,5 +1,6 @@
 #include "obs/profile.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "exec/query_result.h"
@@ -22,6 +23,28 @@ double RingSec(const sim::QueryMetrics& metrics, double ring_bytes_per_sec) {
 
 const char* CriticalName(Device device) {
   return device == Device::kNone ? "none" : DeviceName(device);
+}
+
+/// Fills util->skew_imbalance / skew_routed_tuples from the phase that
+/// key-routed the most tuples. Split tables only bump tuples_routed /
+/// split_streams_in for key-based routes, so round-robin result placement
+/// never pollutes the ratio.
+void ComputeSkew(const sim::QueryMetrics& metrics, Utilization* util) {
+  for (const sim::PhaseMetrics& phase : metrics.phases) {
+    uint64_t total = 0;
+    uint64_t max_routed = 0;
+    int receivers = 0;
+    for (const sim::NodeUsage& usage : phase.per_node) {
+      if (usage.split_streams_in == 0) continue;
+      ++receivers;
+      total += usage.tuples_routed;
+      max_routed = std::max(max_routed, usage.tuples_routed);
+    }
+    if (total <= util->skew_routed_tuples || receivers == 0) continue;
+    util->skew_routed_tuples = total;
+    util->skew_imbalance = static_cast<double>(max_routed) * receivers /
+                           static_cast<double>(total);
+  }
 }
 
 }  // namespace
@@ -90,6 +113,7 @@ Utilization ComputeUtilization(const sim::QueryMetrics& metrics,
     }
   }
   util.critical_resource = CriticalName(winner);
+  ComputeSkew(metrics, &util);
   return util;
 }
 
@@ -148,10 +172,13 @@ std::string RenderProfile(const Profile& profile) {
   out += line;
   std::snprintf(line, sizeof(line),
                 "utilization: disk %.3f cpu %.3f net %.3f ring %.3f | "
-                "critical resource: %s\n",
+                "critical resource: %s | skew %.3f (%llu routed)\n",
                 profile.util.disk_busy_frac, profile.util.cpu_busy_frac,
                 profile.util.net_busy_frac, profile.util.ring_busy_frac,
-                profile.util.critical_resource.c_str());
+                profile.util.critical_resource.c_str(),
+                profile.util.skew_imbalance,
+                static_cast<unsigned long long>(
+                    profile.util.skew_routed_tuples));
   out += line;
   std::snprintf(line, sizeof(line), "%-28s %-10s %9s %9s %-12s %8s %8s %8s\n",
                 "phase", "kind", "begin", "elapsed", "bottleneck", "disk",

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/skew.h"
+
 namespace gammadb::opt {
 
 namespace {
@@ -636,6 +638,35 @@ double CostModel::EstimateAggregate(const catalog::RelationMeta& meta,
       static_cast<double>(2 * n) * net.sched_msgs_per_operator_per_node;
   return shape_.host_setup_sec + sched_msgs * net.control_msg_sec +
          phase.Elapsed() + net.control_msg_sec;
+}
+
+double CostModel::EstimateSkewSample(const catalog::RelationMeta& outer,
+                                     const RelationStats* outer_stats,
+                                     const catalog::RelationMeta& inner,
+                                     const RelationStats* inner_stats) const {
+  const auto& cost = shape_.hw.cost;
+  const int n = std::max(1, shape_.num_disk_nodes);
+  // Node n stands in for the scheduler receiving the per-fragment reports.
+  PhaseSim phase(shape_, n + 1);
+  auto sample_side = [&](const catalog::RelationMeta& meta,
+                         const RelationStats* stats) {
+    const double cardinality = stats != nullptr
+                                   ? stats->cardinality
+                                   : static_cast<double>(meta.num_tuples);
+    const double tpp = TuplesPerPage(meta.schema.tuple_size());
+    const double frag_pages = std::ceil(cardinality / n / tpp);
+    const double sampled =
+        std::ceil(frag_pages / static_cast<double>(exec::kSkewSampleStride));
+    for (int s = 0; s < n; ++s) {
+      phase.DiskRead(s, sampled, /*sequential=*/true);
+      phase.Cpu(s, sampled * tpp *
+                       (cost.instr_per_tuple_scan + cost.instr_per_tuple_hash));
+      phase.ControlMessage(s, n);
+    }
+  };
+  sample_side(outer, outer_stats);
+  sample_side(inner, inner_stats);
+  return phase.Elapsed();
 }
 
 }  // namespace gammadb::opt

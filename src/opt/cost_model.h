@@ -103,6 +103,15 @@ class CostModel {
                            const RelationStats* stats,
                            const exec::Predicate& pred) const;
 
+  /// Elapsed-time estimate of a join's skew-sampling pass: every disk site
+  /// reads one page in exec::kSkewSampleStride from each input fragment,
+  /// hashes the sampled join keys, and reports its sample to the scheduler.
+  /// Charged by the machine inside the query when bucket-map routing runs.
+  double EstimateSkewSample(const catalog::RelationMeta& outer,
+                            const RelationStats* outer_stats,
+                            const catalog::RelationMeta& inner,
+                            const RelationStats* inner_stats) const;
+
   /// Disk sites participating in a selection (1 for an exact match on the
   /// hashed partitioning attribute, a localized subset for a range on a
   /// range-partitioned attribute, else all).

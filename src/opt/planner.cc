@@ -216,6 +216,36 @@ Result<PlannedJoin> Planner::PlanJoin(gamma::JoinQuery query) const {
   planned.query.expected_build_tuples = static_cast<uint64_t>(
       std::llround(std::ceil(planned.estimate.build_tuples)));
 
+  // Redistribution routing: the frequency sketches on both join attributes
+  // predict what plain hash(attr) % sites would do to the busiest site;
+  // above the documented threshold the bucket-map route pays for its
+  // sampling pass. A forced routing is respected (estimates still shown).
+  int join_sites = model_.shape().num_disk_nodes;
+  if (planned.query.mode == gamma::JoinMode::kRemote) {
+    join_sites = model_.shape().num_diskless_nodes;
+  } else if (planned.query.mode == gamma::JoinMode::kAllnodes) {
+    join_sites += model_.shape().num_diskless_nodes;
+  }
+  join_sites = std::max(1, join_sites);
+  auto sketch_imbalance = [&](const RelationStats* stats, int attr) {
+    const AttrStats* as = stats != nullptr ? stats->Attr(attr) : nullptr;
+    return as != nullptr
+               ? PredictHashImbalance(*as, static_cast<size_t>(join_sites))
+               : 1.0;
+  };
+  const double predicted =
+      std::max(sketch_imbalance(outer_stats, query.outer_attr),
+               sketch_imbalance(inner_stats, query.inner_attr));
+  const double sample_sec =
+      model_.EstimateSkewSample(*outer, outer_stats, *inner, inner_stats);
+  bool bucket_map = predicted > kSkewImbalanceThreshold;
+  if (query.routing != gamma::SplitRouting::kAuto) {
+    bucket_map = query.routing == gamma::SplitRouting::kBucketMap;
+  }
+  planned.query.routing = bucket_map ? gamma::SplitRouting::kBucketMap
+                                     : gamma::SplitRouting::kHash;
+  if (bucket_map) planned.estimate.seconds += sample_sec;
+
   char buf[200];
   std::snprintf(buf, sizeof(buf), "join %s x %s on (%s = %s) [%s, %s]",
                 query.outer.c_str(), query.inner.c_str(),
@@ -227,6 +257,29 @@ Result<PlannedJoin> Planner::PlanJoin(gamma::JoinQuery query) const {
   if (planned.estimate.overflow) {
     planned.plan.details.push_back(
         "building side exceeds aggregate join memory (overflow expected)");
+  }
+  {
+    const double mean_routed =
+        (planned.estimate.build_tuples + planned.estimate.probe_tuples) /
+        join_sites;
+    std::snprintf(buf, sizeof(buf),
+                  "routing: %s (predicted hash imbalance %.2f %s threshold "
+                  "%.2f%s)",
+                  bucket_map ? "bucket-map" : "hash", predicted,
+                  predicted > kSkewImbalanceThreshold ? ">" : "<=",
+                  kSkewImbalanceThreshold,
+                  query.routing != gamma::SplitRouting::kAuto ? ", forced"
+                                                              : "");
+    planned.plan.details.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "est per-node routed tuples: hash max/mean %.0f/%.0f, "
+                  "bucket-map ~%.0f",
+                  mean_routed * predicted, mean_routed, mean_routed);
+    planned.plan.details.push_back(buf);
+    if (bucket_map) {
+      planned.plan.details.push_back("est sampling cost: " +
+                                     FormatSec(sample_sec));
+    }
   }
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (i == best) continue;

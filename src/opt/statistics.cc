@@ -51,6 +51,43 @@ double DistinctSketch::Estimate(double fallback) const {
   return -m * std::log(zero_fraction);
 }
 
+void FrequencySketch::Insert(int32_t value) {
+  if (tick_++ % kSampleEvery != 0) return;
+  ++sampled_;
+  Entry* min_entry = nullptr;
+  for (Entry& e : entries_) {
+    if (e.value == value) {
+      e.count += 1;
+      return;
+    }
+    if (min_entry == nullptr || e.count < min_entry->count) min_entry = &e;
+  }
+  if (entries_.size() < kCapacity) {
+    entries_.push_back(Entry{value, 1, 0});
+    return;
+  }
+  // Space-saving takeover: the new value inherits the minimum counter and
+  // records it as its error bound.
+  min_entry->value = value;
+  min_entry->error = min_entry->count;
+  min_entry->count += 1;
+}
+
+double FrequencySketch::TopShare() const {
+  if (sampled_ == 0) return 0;
+  uint64_t best = 0;
+  for (const Entry& e : entries_) {
+    best = std::max(best, e.count - e.error);
+  }
+  return static_cast<double>(best) / static_cast<double>(sampled_);
+}
+
+double PredictHashImbalance(const AttrStats& attr, size_t nsites) {
+  if (nsites <= 1) return 1.0;
+  const double f = std::clamp(attr.freq.TopShare(), 0.0, 1.0);
+  return 1.0 + f * static_cast<double>(nsites - 1);
+}
+
 double AttrStats::DistinctEstimate(double cardinality) const {
   if (!has_values || cardinality <= 0) return 1;
   const double estimate = sketch.Estimate(cardinality);
@@ -120,6 +157,7 @@ void StatisticsCatalog::OnModify(const std::string& relation,
   as.min = std::min(as.min, new_value);
   as.max = std::max(as.max, new_value);
   as.sketch.Insert(new_value);
+  as.freq.Insert(new_value);
   as.has_values = true;
 }
 
@@ -184,6 +222,7 @@ void StatisticsCatalog::Absorb(RelationStats& stats,
     as.min = std::min(as.min, value);
     as.max = std::max(as.max, value);
     as.sketch.Insert(value);
+    as.freq.Insert(value);
     as.has_values = true;
   }
 }

@@ -39,17 +39,70 @@ class DistinctSketch {
   uint64_t set_bits_ = 0;
 };
 
+/// \brief Space-saving heavy-hitter sketch [Metwally et al. 2005] over a
+/// deterministic 1-in-4 sample of the inserted values.
+///
+/// Tracks the most frequent values in `kCapacity` counters; a value absent
+/// from the table evicts the minimum counter and inherits its count as its
+/// error bound. `count - error` is a guaranteed lower bound on the value's
+/// true sampled frequency, which is what the skew predictor reads — so a
+/// uniform attribute (whose counters are all churn) never reads as skewed.
+class FrequencySketch {
+ public:
+  struct Entry {
+    int32_t value = 0;
+    uint64_t count = 0;
+    /// Count inherited at takeover; the overestimation bound.
+    uint64_t error = 0;
+  };
+
+  void Insert(int32_t value);
+
+  /// Guaranteed lower bound on the frequency share of the most frequent
+  /// value (max over entries of (count - error) / sampled inserts); 0 when
+  /// nothing was sampled.
+  double TopShare() const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  uint64_t sampled() const { return sampled_; }
+
+ private:
+  static constexpr size_t kCapacity = 32;
+  /// Only every 4th insert is counted: keeps per-tuple maintenance cheap at
+  /// bulk load while leaving hundreds of samples behind any value heavy
+  /// enough to matter to routing.
+  static constexpr uint64_t kSampleEvery = 4;
+
+  uint64_t tick_ = 0;
+  uint64_t sampled_ = 0;
+  std::vector<Entry> entries_;
+};
+
 /// Per-attribute statistics (integer attributes only; char attributes are
 /// never predicate or join targets in the Wisconsin workload).
 struct AttrStats {
   int32_t min = std::numeric_limits<int32_t>::max();
   int32_t max = std::numeric_limits<int32_t>::min();
   DistinctSketch sketch;
+  FrequencySketch freq;
   bool has_values = false;
 
   /// Distinct-value estimate clamped to [1, cardinality].
   double DistinctEstimate(double cardinality) const;
 };
+
+/// The documented planner/executor threshold: bucket-map routing is chosen
+/// only when PredictHashImbalance (or, for aggregates, the exact hash
+/// assignment of the known group keys) exceeds this max/mean ratio. Below
+/// it, the sampling charge cannot pay for itself; well above it, one site's
+/// runtime dominates the phase and the map wins.
+inline constexpr double kSkewImbalanceThreshold = 1.25;
+
+/// Predicted max/mean per-site weight of hash-routing `attr`'s values over
+/// `nsites` sites: the heaviest value (frequency share f, lower-bounded by
+/// the frequency sketch) lands whole on one site, the rest spreads evenly —
+/// imbalance ≈ 1 + f·(nsites − 1).
+double PredictHashImbalance(const AttrStats& attr, size_t nsites);
 
 struct IndexStats {
   int attr = -1;

@@ -38,6 +38,8 @@ void NodeUsage::Add(const NodeUsage& other) {
   bytes_sent += other.bytes_sent;
   bytes_short_circuited += other.bytes_short_circuited;
   control_msgs += other.control_msgs;
+  tuples_routed += other.tuples_routed;
+  split_streams_in += other.split_streams_in;
 }
 
 NodeUsage PhaseMetrics::Totals() const {
@@ -209,6 +211,14 @@ void CostTracker::ChargeControlMessage(int src, int dst, bool blocking) {
   sender.cpu_sec += hw_.net.control_msg_sec / 2;
   nodes_.at(static_cast<size_t>(dst)).cpu_sec += hw_.net.control_msg_sec / 2;
   if (blocking) sender.serial_sec += hw_.net.control_msg_sec;
+}
+
+void CostTracker::CountTupleRouted(int dst) {
+  nodes_.at(static_cast<size_t>(dst)).tuples_routed += 1;
+}
+
+void CostTracker::CountRouteStream(int dst) {
+  nodes_.at(static_cast<size_t>(dst)).split_streams_in += 1;
 }
 
 void CostTracker::ChargeScheduling(uint32_t num_operators,

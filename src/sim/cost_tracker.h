@@ -44,6 +44,15 @@ struct NodeUsage {
   uint64_t bytes_sent = 0;
   uint64_t bytes_short_circuited = 0;
   uint64_t control_msgs = 0;
+  /// Tuples delivered to this node by key-based split-table routing
+  /// (hash / range / bucket-map). Round-robin and single-destination
+  /// routes are excluded so the counter isolates redistribution balance
+  /// rather than result placement.
+  uint64_t tuples_routed = 0;
+  /// Key-routed split streams that named this node as a destination
+  /// (counted at stream close), marking it a redistribution target even
+  /// when it received zero tuples.
+  uint64_t split_streams_in = 0;
 
   double ElapsedSec(PhaseKind kind) const;
   Resource Bottleneck() const;
@@ -148,6 +157,14 @@ class CostTracker {
   /// Costs protocol CPU at both ends; latency is only charged when the
   /// sender must wait for it (`blocking`).
   void ChargeControlMessage(int src, int dst, bool blocking);
+
+  /// Count-only (no time charge): one tuple delivered to `dst` by a
+  /// key-based split route. The delivery cost itself is charged through
+  /// the packet / handoff path.
+  void CountTupleRouted(int dst);
+  /// Count-only: a key-based split stream closed with `dst` among its
+  /// destinations.
+  void CountRouteStream(int dst);
 
   /// Scheduler-serialized operator initiation: `num_operators` operators,
   /// each scheduled on `nodes_per_operator` nodes, at the per-node message

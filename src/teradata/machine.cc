@@ -506,6 +506,10 @@ Result<QueryResult> TeradataMachine::RunJoin(const TdJoinQuery& query) {
     }
   }
 
+  // Teradata deliberately does NOT adopt the skew-aware kBucketMap route:
+  // the Ynet's hardware hashes tuples to AMPs with the fixed placement
+  // function (§4) — there is no per-query software split table that could
+  // carry a bucket->AMP map, and result rows always pay the network path.
   auto redistribute = [&](RelationMeta* meta, const Predicate& pred,
                           int join_attr,
                           const std::vector<storage::FileId>& spools,

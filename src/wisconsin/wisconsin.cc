@@ -1,5 +1,8 @@
 #include "wisconsin/wisconsin.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <string>
 
 #include "common/macros.h"
@@ -83,6 +86,42 @@ std::vector<std::vector<uint8_t>> GenerateWisconsin(uint32_t n,
     builder.SetChar(kStringU2, MakeString(unique2[i], 'x'));
     builder.SetChar(kString4, kString4Cycle[i % 4]);
     tuples.emplace_back(builder.bytes().begin(), builder.bytes().end());
+  }
+  return tuples;
+}
+
+std::vector<std::vector<uint8_t>> GenerateWisconsinZipf(
+    uint32_t n, uint64_t seed, const ZipfColumn& column) {
+  const catalog::Schema& schema = WisconsinSchema();
+  GAMMA_CHECK(column.attr >= 0 &&
+              static_cast<size_t>(column.attr) < schema.num_attrs());
+  GAMMA_CHECK(schema.attr(static_cast<size_t>(column.attr)).type ==
+              catalog::AttrType::kInt32);
+  GAMMA_CHECK(column.theta >= 0);
+  const uint32_t domain = column.domain == 0 ? n : column.domain;
+  GAMMA_CHECK(domain > 0);
+
+  std::vector<std::vector<uint8_t>> tuples = GenerateWisconsin(n, seed);
+
+  // CDF over ranks: P(rank r) ∝ 1/(r+1)^theta.
+  std::vector<double> cdf(domain);
+  double total = 0;
+  for (uint32_t r = 0; r < domain; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, column.theta);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  Rng rng(seed ^ 0x21BF0C1DULL);
+  const std::vector<uint32_t> rank_to_value = rng.Permutation(domain);
+  const uint32_t offset = schema.offset(static_cast<size_t>(column.attr));
+  for (std::vector<uint8_t>& tuple : tuples) {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const size_t rank = std::min<size_t>(
+        static_cast<size_t>(it - cdf.begin()), domain - 1);
+    const int32_t value = static_cast<int32_t>(rank_to_value[rank]);
+    std::memcpy(tuple.data() + offset, &value, sizeof(value));
   }
   return tuples;
 }

@@ -41,6 +41,27 @@ const catalog::Schema& WisconsinSchema();
 /// twice with the same arguments.
 std::vector<std::vector<uint8_t>> GenerateWisconsin(uint32_t n, uint64_t seed);
 
+/// One integer column redrawn from a Zipfian distribution (skew workloads).
+struct ZipfColumn {
+  /// Which int attribute to overwrite.
+  int attr = kUnique2;
+  /// Skew parameter: rank r (0-based) has probability ∝ 1/(r+1)^theta.
+  /// theta = 0 is uniform; theta = 1 gives the classic harmonic head where
+  /// the top value carries ~1/H(domain) of all tuples.
+  double theta = 1.0;
+  /// Values are drawn from [0, domain); 0 means use n.
+  uint32_t domain = 0;
+};
+
+/// \brief Standard Wisconsin relation with `column.attr` replaced by values
+/// drawn Zipfian(theta) over [0, domain).
+///
+/// Ranks map to values through a seeded permutation of the domain, so the
+/// heavy hitters are scattered across the value space instead of always
+/// being 0, 1, 2, .... Fully deterministic in (n, seed, column).
+std::vector<std::vector<uint8_t>> GenerateWisconsinZipf(
+    uint32_t n, uint64_t seed, const ZipfColumn& column);
+
 /// Tuple count of one 4 KB page of Wisconsin tuples (~17, §5.1).
 uint32_t TuplesPerPage(uint32_t page_size);
 

@@ -200,6 +200,58 @@ TEST_F(PlannerTest, ChosenJoinWithinTenPercentOfBestForced) {
   EXPECT_LE(chosen->seconds(), 1.10 * best);
 }
 
+TEST_F(PlannerTest, SkewedJoinPlansBucketMapAndExplainsIt) {
+  // Join attribute Zipf(theta=1) over 100 values: the frequency sketches
+  // predict hash imbalance past the threshold, so the plan pins bucket-map
+  // routing, charges the sampling cost into the estimate, and says so.
+  GAMMA_CHECK(machine_
+                  .CreateRelation("Z", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine_
+                  .LoadTuples("Z", wis::GenerateWisconsinZipf(
+                                       kN, 11,
+                                       wis::ZipfColumn{wis::kUnique2, 1.0,
+                                                       100}))
+                  .ok());
+  const opt::Planner planner(machine_);
+  gamma::JoinQuery join;
+  join.outer = "Z";
+  join.inner = "Bprime";
+  join.outer_attr = wis::kUnique2;
+  join.inner_attr = wis::kUnique2;
+  const auto plan = planner.PlanJoin(join);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->query.routing, gamma::SplitRouting::kBucketMap);
+  bool saw_routing = false, saw_sampling = false;
+  for (const std::string& line : plan->plan.details) {
+    saw_routing |= line.find("routing: bucket-map") != std::string::npos;
+    saw_sampling |= line.find("est sampling cost") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_routing);
+  EXPECT_TRUE(saw_sampling);
+}
+
+TEST_F(PlannerTest, UniformJoinPlansHashRouting) {
+  const opt::Planner planner(machine_);
+  gamma::JoinQuery join;
+  join.outer = "Aheap";
+  join.inner = "Bprime";
+  join.outer_attr = wis::kUnique2;  // unique: perfectly uniform
+  join.inner_attr = wis::kUnique2;
+  const auto plan = planner.PlanJoin(join);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->query.routing, gamma::SplitRouting::kHash);
+  bool saw_routing = false, saw_sampling = false;
+  for (const std::string& line : plan->plan.details) {
+    saw_routing |= line.find("routing: hash") != std::string::npos;
+    saw_sampling |= line.find("est sampling cost") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_routing);
+  EXPECT_FALSE(saw_sampling);
+}
+
 TEST_F(PlannerTest, EstimateTracksMeasurement) {
   const opt::Planner planner(machine_);
   const auto plan = planner.PlanSelect(

@@ -92,6 +92,65 @@ TEST_F(SplitTableTest, RangeRouting) {
   EXPECT_EQ(received_[3].size(), 1u);
 }
 
+TEST_F(SplitTableTest, RangeRoutingEmptyBoundaries) {
+  // No boundaries = one range; everything lands on destination 0 instead
+  // of tripping over an empty upper_bound.
+  SplitTable split(0, &MiniSchema(), RouteSpec::RangeAttr(0, {}), Dests(4),
+                   &tracker_);
+  for (int32_t i = -5; i < 5; ++i) split.Send(MiniTuple(i, 0));
+  split.Close();
+  EXPECT_EQ(received_[0].size(), 10u);
+  EXPECT_EQ(received_[1].size(), 0u);
+  EXPECT_EQ(received_[3].size(), 0u);
+}
+
+TEST_F(SplitTableTest, RangeRoutingCollapsesDuplicateBoundaries) {
+  // {10, 10, 20} describes the same three ranges as {10, 20}: a key equal
+  // to the duplicated boundary must go one destination forward (not two),
+  // and keys past it must not shift a destination too far.
+  SplitTable split(0, &MiniSchema(), RouteSpec::RangeAttr(0, {10, 10, 20}),
+                   Dests(3), &tracker_);
+  split.Send(MiniTuple(5, 0));    // first range (< 10)
+  split.Send(MiniTuple(10, 0));   // second range [10, 20)
+  split.Send(MiniTuple(99, 0));   // last range (>= 20)
+  split.Close();
+  EXPECT_EQ(received_[0].size(), 1u);
+  EXPECT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[2].size(), 1u);
+}
+
+TEST_F(SplitTableTest, BucketMapRoutingHonorsMap) {
+  // 8 virtual buckets folded onto 2 of 3 destinations: destination 1 is
+  // named by no bucket and must stay empty, and every copy of a key lands
+  // where its bucket points.
+  const std::vector<int32_t> map = {0, 2, 0, 2, 0, 2, 0, 2};
+  SplitTable split(0, &MiniSchema(), RouteSpec::BucketMap(0, 0x5A17, map),
+                   Dests(3), &tracker_);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int32_t id = 0; id < 64; ++id) split.Send(MiniTuple(id, 0));
+  }
+  split.Close();
+  EXPECT_EQ(received_[1].size(), 0u);
+  EXPECT_EQ(received_[0].size() + received_[2].size(), 128u);
+  std::map<int32_t, size_t> homes;
+  for (const size_t d : {size_t{0}, size_t{2}}) {
+    for (const auto& tuple : received_[d]) {
+      const catalog::TupleView view(&MiniSchema(), tuple);
+      auto [it, inserted] = homes.emplace(view.GetInt(0), d);
+      if (!inserted) EXPECT_EQ(it->second, d);
+    }
+  }
+  EXPECT_EQ(homes.size(), 64u);
+}
+
+TEST_F(SplitTableTest, BucketMapSingleEntryDegeneratesToSingle) {
+  SplitTable split(0, &MiniSchema(), RouteSpec::BucketMap(0, 7, {1}),
+                   Dests(2), &tracker_);
+  for (int32_t id = 0; id < 10; ++id) split.Send(MiniTuple(id, 0));
+  split.Close();
+  EXPECT_EQ(received_[1].size(), 10u);
+}
+
 TEST_F(SplitTableTest, PacketAccountingMatchesBytes) {
   // 24-byte tuples into a 2048-byte payload: 100 tuples to one remote
   // destination = 2400 bytes = 1 full packet + 1 partial at Close.

@@ -1,6 +1,8 @@
 // Tests for the Wisconsin benchmark generator (§4 of the paper / [BITT83]).
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -113,6 +115,43 @@ TEST(WisconsinTest, StringsHaveExpectedShape) {
   const TupleView view4(&WisconsinSchema(), tuples[4]);
   EXPECT_EQ(view.GetChar(kString4).substr(0, 4),
             view4.GetChar(kString4).substr(0, 4));
+}
+
+TEST(WisconsinTest, ZipfColumnIsDeterministicAndInDomain) {
+  const ZipfColumn column{kUnique2, 1.0, 100};
+  const auto a = GenerateWisconsinZipf(2000, 5, column);
+  const auto b = GenerateWisconsinZipf(2000, 5, column);
+  EXPECT_EQ(a, b);
+  for (const auto& tuple : a) {
+    const int32_t v = TupleView(&WisconsinSchema(), tuple).GetInt(kUnique2);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+  // Only the named column differs from the plain relation.
+  const auto plain = GenerateWisconsin(2000, 5);
+  for (size_t i = 0; i < a.size(); ++i) {
+    const TupleView za(&WisconsinSchema(), a[i]);
+    const TupleView pl(&WisconsinSchema(), plain[i]);
+    ASSERT_EQ(za.GetInt(kUnique1), pl.GetInt(kUnique1));
+    ASSERT_EQ(za.GetInt(kTen), pl.GetInt(kTen));
+  }
+}
+
+TEST(WisconsinTest, ZipfThetaControlsHeadShare) {
+  auto top_share = [](double theta) {
+    const auto tuples =
+        GenerateWisconsinZipf(20000, 5, ZipfColumn{kUnique2, theta, 100});
+    std::map<int32_t, int> counts;
+    for (const auto& tuple : tuples) {
+      ++counts[TupleView(&WisconsinSchema(), tuple).GetInt(kUnique2)];
+    }
+    int top = 0;
+    for (const auto& [value, count] : counts) top = std::max(top, count);
+    return static_cast<double>(top) / 20000.0;
+  };
+  // theta=0: ~1% per value. theta=1: the head carries ~1/H(100) ≈ 19%.
+  EXPECT_LT(top_share(0.0), 0.03);
+  EXPECT_GT(top_share(1.0), 0.12);
 }
 
 TEST(WisconsinTest, TuplesPerPageHelper) {
