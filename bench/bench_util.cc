@@ -254,6 +254,13 @@ void JsonReport::Add(const std::string& label,
       util.skew_routed_tuples});
 }
 
+void JsonReport::SetMigration(int node_count, uint64_t migrated_tuples,
+                              double migration_sec) {
+  node_count_ = node_count;
+  migrated_tuples_ = migrated_tuples;
+  migration_sec_ = migration_sec;
+}
+
 void JsonReport::AddScalar(const std::string& label, double value) {
   entries_.push_back(Entry{label, true, value, 0, 0, 0, 0, 0, "none", 1.0,
                            0});
@@ -271,11 +278,15 @@ void JsonReport::Write() const {
                "  \"meta\": {\"schema_version\": %d, "
                "\"build_type\": \"%s\", \"sanitize\": \"%s\", "
                "\"wall_clock_sec\": %.3f, "
-               "\"host_threads\": %d, \"host_cores\": %u},\n",
+               "\"host_threads\": %d, \"host_cores\": %u, "
+               "\"node_count\": %d, \"migrated_tuples\": %llu, "
+               "\"migration_sec\": %.6f},\n",
                kSchemaVersion, kBuildType, kSanitizeFlavor,
                NowWallSec() - start_wall_sec_,
                sim::HostPool::Instance().num_threads(),
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(), node_count_,
+               static_cast<unsigned long long>(migrated_tuples_),
+               migration_sec_);
   std::fprintf(f, "  \"queries\": [\n");
   for (size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];

@@ -108,9 +108,17 @@ class JsonReport {
   /// critical_resource). 3 added the redistribution-balance scalars
   /// (skew_imbalance = max/mean key-routed tuples per node in the query's
   /// largest redistribution, skew_routed_tuples = its routed-tuple count).
-  static constexpr int kSchemaVersion = 3;
+  /// 4 added the elastic-growth meta scalars (node_count = disk nodes at
+  /// bench end, migrated_tuples / migration_sec = totals over elastic
+  /// fragment migrations; all 0 when the bench never migrates).
+  static constexpr int kSchemaVersion = 4;
 
   explicit JsonReport(std::string name);
+
+  /// Records the bench's elastic-growth totals for the meta block. Benches
+  /// that never grow the machine leave the defaults (0 / 0 / 0.0).
+  void SetMigration(int node_count, uint64_t migrated_tuples,
+                    double migration_sec);
 
   /// Records one executed query's label and measured totals.
   void Add(const std::string& label, const exec::QueryResult& result);
@@ -140,6 +148,9 @@ class JsonReport {
   std::string name_;
   double start_wall_sec_;
   std::vector<Entry> entries_;
+  int node_count_ = 0;
+  uint64_t migrated_tuples_ = 0;
+  double migration_sec_ = 0.0;
 };
 
 /// Relation sizes to run, from the GAMMA_BENCH_SIZES environment variable

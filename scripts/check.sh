@@ -27,6 +27,8 @@ if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   GAMMA_BENCH_SIZES=10000 ./build/bench/profile_queries
   echo "== skew-join cliff (hash vs sampled bucket-map routing, 10k) =="
   GAMMA_BENCH_SIZES=10000 ./build/bench/extension_skew_join
+  echo "== elastic growth (4 -> 8 nodes, migrated vs static answers, 10k) =="
+  GAMMA_BENCH_SIZES=10000 ./build/bench/extension_elastic
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then
@@ -46,6 +48,9 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   echo "== skew-join cliff under TSan (4 host threads) =="
   GAMMA_HOST_THREADS=4 GAMMA_BENCH_SIZES=10000 \
     ./build-tsan/bench/extension_skew_join
+  echo "== elastic growth under TSan (4 host threads) =="
+  GAMMA_HOST_THREADS=4 GAMMA_BENCH_SIZES=10000 \
+    ./build-tsan/bench/extension_elastic
 fi
 
 echo "All checks passed."

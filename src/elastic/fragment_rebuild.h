@@ -1,0 +1,43 @@
+#ifndef GAMMA_ELASTIC_FRAGMENT_REBUILD_H_
+#define GAMMA_ELASTIC_FRAGMENT_REBUILD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sim/hardware.h"
+#include "storage/storage_manager.h"
+
+namespace gammadb::elastic {
+
+/// Outcome of one fragment rebuild: the rid each input tuple landed at in
+/// the fresh heap file, aligned with the (possibly re-sorted) tuple order
+/// the rebuild chose.
+struct FragmentRebuildResult {
+  /// Tuples in their stored order (key order for clustered relations).
+  std::vector<std::vector<uint8_t>> tuples;
+  /// rids[i] is where tuples[i] landed.
+  std::vector<storage::Rid> rids;
+};
+
+/// Replaces fragment `fragment` of `*meta` on storage manager `dst` with
+/// exactly `tuples`: re-sorts them on the clustered key when the relation
+/// has a clustered index, appends them into a fresh heap file (charging
+/// `instr_per_tuple_store` per tuple through dst's bound tracker), bulk-
+/// loads a fresh B-tree for every index of the relation, then drops the old
+/// file and indexes and flips the catalog slots to the fresh copies.
+///
+/// This is the one charged implementation of "rebuild a fragment from a
+/// tuple stream", shared by failed-node reintegration (the source tuples
+/// come from the chained backup) and the elastic migrator (existing content
+/// plus migrated arrivals). Shipping charges — the packets that carried any
+/// remote tuple into `dst` — are the caller's responsibility, since only
+/// the caller knows each tuple's origin.
+Result<FragmentRebuildResult> RebuildFragment(
+    storage::StorageManager& dst, int fragment, catalog::RelationMeta* meta,
+    std::vector<std::vector<uint8_t>> tuples, const sim::MachineParams& hw);
+
+}  // namespace gammadb::elastic
+
+#endif  // GAMMA_ELASTIC_FRAGMENT_REBUILD_H_

@@ -3,6 +3,7 @@
 #include "gamma/recovery_log.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -19,6 +20,7 @@
 #include "exec/sort.h"
 #include "exec/split_table.h"
 #include "exec/store.h"
+#include "obs/chrome_trace.h"
 #include "obs/profile.h"
 #include "storage/deferred_update.h"
 
@@ -111,6 +113,14 @@ GammaMachine::GammaMachine(GammaConfig config)
   }
   if (config_.enable_logging) {
     wal_ = std::make_unique<WalStore>(config_.tracker_nodes());
+  }
+  // Profile ring capacity: GAMMA_PROFILE_RING statements (default 64,
+  // 0 disables buffering). One FlushProfileRing file replaces the
+  // one-file-per-query pattern on long runs.
+  if (const char* env = std::getenv("GAMMA_PROFILE_RING")) {
+    char* end = nullptr;
+    const long cap = std::strtol(env, &end, 10);
+    if (end != env && cap >= 0) profile_ring_cap_ = static_cast<size_t>(cap);
   }
 }
 
@@ -327,8 +337,24 @@ Result<QueryResult> GammaMachine::FinalizeObs(const char* label,
   if (result.ok()) {
     obs::FinalizeStatement(config_.trace, "gamma", label,
                            config_.hw.net.ring_bytes_per_sec, &*result);
+    if (result->profile != nullptr && profile_ring_cap_ > 0) {
+      profile_ring_.push_back(result->profile);
+      while (profile_ring_.size() > profile_ring_cap_) {
+        profile_ring_.pop_front();
+      }
+    }
   }
   return result;
+}
+
+Status GammaMachine::FlushProfileRing(const std::string& path) {
+  const std::vector<std::shared_ptr<const obs::Profile>> profiles(
+      profile_ring_.begin(), profile_ring_.end());
+  if (!obs::WriteChromeTraceAll(profiles, path)) {
+    return Status::IOError("cannot write profile-ring trace to " + path);
+  }
+  profile_ring_.clear();
+  return Status::OK();
 }
 
 std::string GammaMachine::FreshResultName() {
@@ -646,14 +672,22 @@ std::vector<int> GammaMachine::ParticipatingNodes(
       // Range declustering localizes range predicates: only the sites whose
       // key ranges intersect [lo, hi] get a select operator (§2: "the
       // optimizer is able to determine the best way of assigning these
-      // operators to processors").
-      const int first = partitioner.NodeForKey(window->first);
-      const int last = partitioner.NodeForKey(window->second);
-      if (first >= 0 && last >= first) {
-        std::vector<int> sites;
-        for (int i = first; i <= last; ++i) sites.push_back(i);
-        return sites;
+      // operators to processors"). Ranges map to sites through the
+      // (post-migration) range_nodes indirection, so walk ranges and dedup
+      // the serving nodes rather than assuming consecutive sites.
+      const auto& bounds = meta.partitioning.range_boundaries;
+      const size_t first = static_cast<size_t>(
+          std::upper_bound(bounds.begin(), bounds.end(), window->first) -
+          bounds.begin());
+      const size_t last = static_cast<size_t>(
+          std::upper_bound(bounds.begin(), bounds.end(), window->second) -
+          bounds.begin());
+      std::set<int> sites;
+      for (size_t r = first; r <= last && r < meta.partitioning.num_ranges();
+           ++r) {
+        sites.insert(meta.partitioning.RangeNode(r, config_.num_disk_nodes));
       }
+      if (!sites.empty()) return {sites.begin(), sites.end()};
     }
   }
   std::vector<int> all(static_cast<size_t>(config_.num_disk_nodes));

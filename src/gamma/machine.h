@@ -2,6 +2,7 @@
 #define GAMMA_GAMMA_MACHINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -20,6 +21,10 @@
 #include "sim/hardware.h"
 #include "storage/storage_manager.h"
 #include "txn/txn_manager.h"
+
+namespace gammadb::elastic {
+class ElasticMigrator;
+}  // namespace gammadb::elastic
 
 namespace gammadb::gamma {
 
@@ -196,6 +201,46 @@ class GammaMachine {
   /// effects stranded on its disk.
   Result<RebuildReport> ReintegrateNode(int node);
 
+  // --- Elastic growth (src/elastic) ---
+
+  struct GrowthReport {
+    /// Index of the freshly added disk node (== old num_disk_nodes).
+    int node = -1;
+    /// Hashed relations converted to virtual-bucket (bucket_map) placement
+    /// so a later migration can move buckets instead of rehashing.
+    uint64_t relations_converted = 0;
+    /// Backup tuples relocated to keep the chained-declustering ring order
+    /// (fragment n-1's backup moves from node 0 to the new node).
+    uint64_t backup_tuples_relocated = 0;
+    /// Bytes shipped during the backup-ring rewiring.
+    uint64_t bytes_shipped = 0;
+    /// Simulated time the registration + rewiring took.
+    double grow_sec = 0;
+  };
+
+  /// Registers one fresh disk node with the running machine: a new
+  /// StorageManager with its own disk/CPU/NIC cost servers and fault
+  /// streams, a widened transaction manager and WAL, an empty fragment
+  /// (and empty index slots) for every relation, and — for backed-up
+  /// relations — a synchronous backup-ring rewiring so the chained
+  /// (f+1) % n invariant holds at the new width. Placement of existing
+  /// tuples is untouched: queries keep reading the old sites until an
+  /// ElasticMigrator rebalances fragments onto the new node.
+  /// Requires all disk nodes alive, no open transactions, not crashed.
+  Result<GrowthReport> AddNode();
+
+  /// Bounded ring of the most recent statement profiles (capacity from
+  /// GAMMA_PROFILE_RING, default 64; 0 disables buffering). Filled by every
+  /// successful traced statement in completion order.
+  const std::deque<std::shared_ptr<const obs::Profile>>& profile_ring() const {
+    return profile_ring_;
+  }
+
+  /// Writes one Chrome trace file covering every buffered profile (one
+  /// process track per statement) and clears the ring — the flush-on-demand
+  /// replacement for one-file-per-query on long runs.
+  Status FlushProfileRing(const std::string& path);
+
   // --- Loading (not part of any measured query) ---
 
   /// Creates an empty relation declustered per `spec` over the disk nodes
@@ -265,6 +310,10 @@ class GammaMachine {
   Status RecomputeStatistics(const std::string& name);
 
  private:
+  /// The migration subsystem executes charged, WAL-logged statements
+  /// against the machine internals (src/elastic/migrator.h).
+  friend class elastic::ElasticMigrator;
+
   struct AccessDecision {
     AccessPath path;
     const catalog::IndexMeta* index;  // null for file scan
@@ -478,6 +527,10 @@ class GammaMachine {
   uint64_t next_statement_txn_ = 1;
   uint64_t next_result_id_ = 1;
   uint64_t next_salt_ = 0xBEEF;
+  /// Recent statement profiles, newest last (see profile_ring()).
+  std::deque<std::shared_ptr<const obs::Profile>> profile_ring_;
+  /// Ring capacity, read from GAMMA_PROFILE_RING at construction.
+  size_t profile_ring_cap_ = 64;
 };
 
 }  // namespace gammadb::gamma

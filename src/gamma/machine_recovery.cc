@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "elastic/fragment_rebuild.h"
 #include "gamma/machine.h"
 #include "gamma/recovery_log.h"
 #include "obs/metrics_registry.h"
@@ -35,8 +36,25 @@ using storage::Rid;
 namespace {
 
 bool IsData(WalKind kind) {
+  // kPartition counts: a migration's catalog flip is replayed (redo) or
+  // rolled back (undo) exactly like its tuple moves.
   return kind == WalKind::kInsert || kind == WalKind::kDelete ||
-         kind == WalKind::kModify;
+         kind == WalKind::kModify || kind == WalKind::kPartition;
+}
+
+/// Applies a serialized PartitionSpec image to the catalog when it differs
+/// from the current spec (test-and-apply, keyed on the serialized bytes).
+/// Returns true when the catalog changed; a malformed image is skipped.
+bool ApplyPartitionImage(RelationMeta* meta,
+                         std::span<const uint8_t> image) {
+  catalog::PartitionSpec spec;
+  if (!catalog::PartitionSpec::Deserialize(image, &spec)) return false;
+  if (meta->partitioning.Serialize() == std::vector<uint8_t>(image.begin(),
+                                                             image.end())) {
+    return false;
+  }
+  meta->partitioning = std::move(spec);
+  return true;
 }
 
 int32_t KeyOf(const catalog::Schema& schema, std::span<const uint8_t> tuple,
@@ -137,6 +155,15 @@ Status GammaMachine::RedoRecord(const WalRecord& record, uint64_t* applied,
   auto meta_or = catalog_.Get(name);
   if (!meta_or.ok()) return Status::OK();  // relation dropped since
   RelationMeta* meta = *meta_or;
+  if (record.kind == WalKind::kPartition) {
+    // Committed migration: make sure the catalog shows the new placement
+    // (the crash may have landed between the commit record and the flip).
+    if (ApplyPartitionImage(meta, record.after)) {
+      ++*applied;
+      if (touched != nullptr) touched->insert(name);
+    }
+    return Status::OK();
+  }
   const int node = record.fragment;
   if (node < 0 || node >= config_.num_disk_nodes) return Status::OK();
   const double scan_cpu = config_.hw.cost.instr_per_tuple_scan;
@@ -317,6 +344,15 @@ Status GammaMachine::UndoRecord(const WalRecord& record, uint64_t* undone,
   auto meta_or = catalog_.Get(name);
   if (!meta_or.ok()) return Status::OK();
   RelationMeta* meta = *meta_or;
+  if (record.kind == WalKind::kPartition) {
+    // Loser migration: restore the old placement (a no-op when the crash
+    // came before the flip was applied).
+    if (ApplyPartitionImage(meta, record.before)) {
+      ++*undone;
+      if (touched != nullptr) touched->insert(name);
+    }
+    return Status::OK();
+  }
   const int node = record.fragment;
   if (node < 0 || node >= config_.num_disk_nodes) return Status::OK();
   const double scan_cpu = config_.hw.cost.instr_per_tuple_scan;
@@ -628,48 +664,19 @@ Result<GammaMachine::RebuildReport> GammaMachine::ReintegrateNode(int node) {
           tuples.emplace_back(t.begin(), t.end());
           return true;
         }));
-    const IndexMeta* clustered = meta->FindClusteredIndex();
-    if (clustered != nullptr) {
-      std::stable_sort(tuples.begin(), tuples.end(),
-                       [&](const std::vector<uint8_t>& a,
-                           const std::vector<uint8_t>& b) {
-                         return KeyOf(meta->schema, a, clustered->attr) <
-                                KeyOf(meta->schema, b, clustered->attr);
-                       });
-    }
-
-    const storage::FileId new_fid = dst.CreateFile();
-    storage::HeapFile& fresh = dst.file(new_fid);
-    std::vector<Rid> rids;
-    rids.reserve(tuples.size());
+    // Ship the surviving copy host -> rebuilt node, then hand the stream to
+    // the shared rebuilder (fresh heap file in clustered-key order,
+    // BulkLoad'ed B-trees, catalog flip) — the one charged implementation,
+    // shared with the elastic migrator.
     for (const std::vector<uint8_t>& tuple : tuples) {
       tracker.ChargeDataPacket(host, node, tuple.size());
-      dst.charge().Cpu(config_.hw.cost.instr_per_tuple_store);
-      GAMMA_ASSIGN_OR_RETURN(const Rid rid, fresh.Append(tuple));
-      rids.push_back(rid);
       report.bytes_shipped += tuple.size();
       ++report.tuples_copied;
     }
-    for (IndexMeta& idx : meta->indices) {
-      std::vector<storage::BTree::Entry> entries;
-      entries.reserve(tuples.size());
-      for (size_t i = 0; i < tuples.size(); ++i) {
-        entries.push_back(storage::BTree::Entry{
-            KeyOf(meta->schema, tuples[i], idx.attr), rids[i]});
-      }
-      std::sort(entries.begin(), entries.end(),
-                [](const storage::BTree::Entry& a,
-                   const storage::BTree::Entry& b) {
-                  if (a.key != b.key) return a.key < b.key;
-                  return a.rid < b.rid;
-                });
-      const storage::IndexId new_idx = dst.CreateIndex();
-      GAMMA_RETURN_NOT_OK(dst.index(new_idx).BulkLoad(entries));
-      dst.DropIndex(idx.per_node_index[static_cast<size_t>(node)]);
-      idx.per_node_index[static_cast<size_t>(node)] = new_idx;
-    }
-    dst.DropFile(old_fid);
-    meta->per_node_file[static_cast<size_t>(node)] = new_fid;
+    GAMMA_RETURN_NOT_OK(
+        elastic::RebuildFragment(dst, node, meta, std::move(tuples),
+                                 config_.hw)
+            .status());
     ++report.fragments_rebuilt;
     touched.insert(name);
   }

@@ -212,6 +212,23 @@ void RecoveryLog::LogModify(int src_node, uint64_t txn, uint32_t rel,
   Append(src_node, static_cast<uint32_t>(before.size() + after.size()));
 }
 
+void RecoveryLog::LogPartition(int src_node, uint64_t txn, uint32_t rel,
+                               std::span<const uint8_t> before,
+                               std::span<const uint8_t> after) {
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.txn = txn;
+    record.kind = WalKind::kPartition;
+    record.rel = rel;
+    record.fragment = -1;
+    record.mirrored = true;  // no backup copy to catch up; truncatable
+    record.before = CopyImage(before);
+    record.after = CopyImage(after);
+    wal_->Append(std::move(record));
+  }
+  Append(src_node, static_cast<uint32_t>(before.size() + after.size()));
+}
+
 void RecoveryLog::LogCommit(int src_node, uint64_t txn) {
   if (wal_ != nullptr) {
     wal_->Seal();

@@ -89,6 +89,14 @@ class RecoveryLog {
                  std::span<const uint8_t> after, bool mirrored,
                  storage::Rid backup_rid = {});
 
+  /// Catalog partition-spec flip of an elastic migration (`before`/`after`
+  /// are PartitionSpec::Serialize images; fragment -1, mirrored). Redo of a
+  /// committed flip completes it; undo of a loser restores the old
+  /// placement.
+  void LogPartition(int src_node, uint64_t txn, uint32_t rel,
+                    std::span<const uint8_t> before,
+                    std::span<const uint8_t> after);
+
   /// Forces the log tail for `src_node`'s records *without* the commit
   /// acknowledgement: flushes the partial packet, settles deferred server
   /// work, and writes the partial log page. This is the data force of the

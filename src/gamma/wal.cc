@@ -12,6 +12,30 @@ WalStore::WalStore(int num_nodes) : num_nodes_(num_nodes) {
   staged_.resize(static_cast<size_t>(num_nodes));
 }
 
+void WalStore::Grow(int num_nodes) {
+  GAMMA_CHECK(num_nodes >= num_nodes_);
+  num_nodes_ = num_nodes;
+  staged_.resize(static_cast<size_t>(num_nodes));
+}
+
+namespace {
+
+/// Records the redo/undo passes act on — the ones whose presence keeps a
+/// transaction open and whose retention the checkpoint must protect.
+bool IsReplayable(WalKind kind) {
+  switch (kind) {
+    case WalKind::kInsert:
+    case WalKind::kDelete:
+    case WalKind::kModify:
+    case WalKind::kPartition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 uint32_t WalStore::InternRelation(const std::string& name) {
   auto it = relation_ids_.find(name);
   if (it != relation_ids_.end()) return it->second;
@@ -88,15 +112,7 @@ void WalStore::NoteCleanAbort(uint64_t txn) {
 
 bool WalStore::HasDataRecords(uint64_t txn) const {
   for (const WalRecord& record : log_) {
-    switch (record.kind) {
-      case WalKind::kInsert:
-      case WalKind::kDelete:
-      case WalKind::kModify:
-        if (record.txn == txn) return true;
-        break;
-      default:
-        break;
-    }
+    if (IsReplayable(record.kind) && record.txn == txn) return true;
   }
   return false;
 }
@@ -114,17 +130,9 @@ void WalStore::MarkMirrored(uint32_t rel, int32_t fragment,
 std::vector<uint64_t> WalStore::OpenTxns() const {
   std::set<uint64_t> open;
   for (const WalRecord& record : log_) {
-    switch (record.kind) {
-      case WalKind::kInsert:
-      case WalKind::kDelete:
-      case WalKind::kModify:
-        if (!committed_.contains(record.txn) &&
-            !aborted_.contains(record.txn)) {
-          open.insert(record.txn);
-        }
-        break;
-      default:
-        break;
+    if (IsReplayable(record.kind) && !committed_.contains(record.txn) &&
+        !aborted_.contains(record.txn)) {
+      open.insert(record.txn);
     }
   }
   return {open.begin(), open.end()};
@@ -147,10 +155,7 @@ uint64_t WalStore::Checkpoint() {
   // chained backup (reintegration replays those), (c) the checkpoint itself.
   uint64_t keep_from = begin_lsn;
   for (const WalRecord& record : log_) {
-    const bool data = record.kind == WalKind::kInsert ||
-                      record.kind == WalKind::kDelete ||
-                      record.kind == WalKind::kModify;
-    if (!data) continue;
+    if (!IsReplayable(record.kind)) continue;
     const bool open_txn =
         !committed_.contains(record.txn) && !aborted_.contains(record.txn);
     const bool unmirrored_winner =

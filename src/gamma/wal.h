@@ -30,6 +30,12 @@ enum class WalKind : uint8_t {
   kCheckpointBegin,
   /// Fuzzy checkpoint end: replay starts at the matching begin record.
   kCheckpointEnd,
+  /// Catalog partition-spec flip of an elastic migration (`fragment` = -1;
+  /// `before`/`after` are PartitionSpec::Serialize images). Redo of a winner
+  /// completes the flip; undo of a loser restores the old placement — so a
+  /// crash between the data moves and the flip recovers to either side of
+  /// the migration, never in between.
+  kPartition,
 };
 
 /// One replayable log record. Payload images are logical tuple copies —
@@ -79,6 +85,10 @@ class WalStore {
 
   WalStore(const WalStore&) = delete;
   WalStore& operator=(const WalStore&) = delete;
+
+  /// Elastic growth: widens the per-node staging buffers to `num_nodes`
+  /// tracker nodes (never shrinks). Existing records and LSNs are untouched.
+  void Grow(int num_nodes);
 
   /// Stable small id for a relation name (first use assigns).
   uint32_t InternRelation(const std::string& name);

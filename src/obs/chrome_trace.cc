@@ -61,13 +61,11 @@ void AppendEscaped(std::string* out, const std::string& text) {
   }
 }
 
-}  // namespace
-
-std::string ChromeTraceJson(const Profile& profile) {
-  std::string out = "{\"traceEvents\":[";
+/// Appends one profile's thread_name metadata and span events under `pid`
+/// (the shared body of the single- and multi-statement renderings).
+void AppendProfileEvents(std::string* out, const Profile& profile, int pid,
+                         bool* first) {
   char buf[256];
-  bool first = true;
-
   // thread_name metadata, emitted once per track in first-use order.
   std::map<int, std::string> tracks;
   for (const Span& span : profile.spans) {
@@ -76,35 +74,44 @@ std::string ChromeTraceJson(const Profile& profile) {
   }
   for (const auto& [tid, name] : tracks) {
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
                   "\"tid\":%d,\"args\":{\"name\":\"",
-                  first ? "" : ",", tid);
-    out += buf;
-    AppendEscaped(&out, name);
-    out += "\"}}";
-    first = false;
+                  *first ? "" : ",", pid, tid);
+    *out += buf;
+    AppendEscaped(out, name);
+    *out += "\"}}";
+    *first = false;
   }
 
   for (const Span& span : profile.spans) {
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"name\":\"", first ? "" : ",");
-    out += buf;
-    AppendEscaped(&out, span.name);
+                  "%s{\"name\":\"", *first ? "" : ",");
+    *out += buf;
+    AppendEscaped(out, span.name);
     // Simulated seconds -> microseconds; fixed precision keeps the bytes
     // identical whenever the profile is.
     std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
                   "\"ts\":%.3f,\"dur\":%.3f",
-                  span.device == Device::kNone ? "span" : "device",
+                  span.device == Device::kNone ? "span" : "device", pid,
                   TrackFor(span), span.begin_sec * 1e6, span.dur_sec * 1e6);
-    out += buf;
+    *out += buf;
     if (span.phase >= 0) {
       std::snprintf(buf, sizeof(buf), ",\"args\":{\"phase\":%d}", span.phase);
-      out += buf;
+      *out += buf;
     }
-    out += "}";
-    first = false;
+    *out += "}";
+    *first = false;
   }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Profile& profile) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  AppendProfileEvents(&out, profile, /*pid=*/1, &first);
 
   out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"machine\":\"";
   AppendEscaped(&out, profile.machine);
@@ -122,14 +129,54 @@ std::string ChromeTraceJson(const Profile& profile) {
   return out;
 }
 
-bool WriteChromeTrace(const Profile& profile, const std::string& path) {
+namespace {
+
+bool WriteString(const std::string& json, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string json = ChromeTraceJson(profile);
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);
   const bool ok = written == json.size() && std::fclose(f) == 0;
   if (!ok && written != json.size()) std::fclose(f);
   return ok;
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const Profile& profile, const std::string& path) {
+  return WriteString(ChromeTraceJson(profile), path);
+}
+
+std::string ChromeTraceJsonAll(
+    const std::vector<std::shared_ptr<const Profile>>& profiles) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  int pid = 0;
+  for (const std::shared_ptr<const Profile>& profile : profiles) {
+    if (profile == nullptr) continue;
+    ++pid;
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"",
+                  first ? "" : ",", pid);
+    out += buf;
+    AppendEscaped(&out, std::to_string(pid - 1) + ":" + profile->label);
+    out += "\"}}";
+    first = false;
+    AppendProfileEvents(&out, *profile, pid, &first);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"statements\":%d}}",
+                pid);
+  out += buf;
+  return out;
+}
+
+bool WriteChromeTraceAll(
+    const std::vector<std::shared_ptr<const Profile>>& profiles,
+    const std::string& path) {
+  return WriteString(ChromeTraceJsonAll(profiles), path);
 }
 
 }  // namespace gammadb::obs

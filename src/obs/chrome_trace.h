@@ -1,7 +1,9 @@
 #ifndef GAMMA_OBS_CHROME_TRACE_H_
 #define GAMMA_OBS_CHROME_TRACE_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/profile.h"
 
@@ -22,6 +24,20 @@ std::string ChromeTraceJson(const Profile& profile);
 
 /// Writes ChromeTraceJson(profile) to `path`. Returns false on I/O failure.
 bool WriteChromeTrace(const Profile& profile, const std::string& path);
+
+/// Combined trace of many statements in one file: statement i renders as
+/// process pid i+1 (process_name "<i>:<label>"), each with the same track
+/// layout as ChromeTraceJson. This is the flush format of the machines'
+/// bounded profile rings — one file covering the recent statements instead
+/// of one file per query. Null entries are skipped.
+std::string ChromeTraceJsonAll(
+    const std::vector<std::shared_ptr<const Profile>>& profiles);
+
+/// Writes ChromeTraceJsonAll(profiles) to `path`. Returns false on I/O
+/// failure.
+bool WriteChromeTraceAll(
+    const std::vector<std::shared_ptr<const Profile>>& profiles,
+    const std::string& path);
 
 }  // namespace gammadb::obs
 

@@ -62,6 +62,15 @@ FaultInjector::FaultInjector(const FaultConfig& config, int num_disk_nodes,
   }
 }
 
+int FaultInjector::AddDiskNode() {
+  const int node = static_cast<int>(nodes_.size());
+  nodes_.emplace_back(NodeSeed(config_.seed, static_cast<uint64_t>(node)));
+  packet_nodes_.insert(
+      packet_nodes_.begin() + node,
+      PacketState(PacketSeed(config_.seed, static_cast<uint64_t>(node))));
+  return node;
+}
+
 FaultInjector::NodeState& FaultInjector::node(int i) {
   GAMMA_CHECK_MSG(i >= 0 && static_cast<size_t>(i) < nodes_.size(),
                   "fault injector: node out of range");

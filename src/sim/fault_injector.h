@@ -75,6 +75,13 @@ class FaultInjector {
 
   int num_disk_nodes() const { return static_cast<int>(nodes_.size()); }
 
+  /// Elastic growth: registers one more disk node and returns its index
+  /// (the old num_disk_nodes). The node's disk stream is seeded exactly as a
+  /// fresh machine of the new width would seed it; a packet stream is
+  /// spliced in at the same index, so every pre-existing sender keeps its
+  /// own (mid-sequence) drop stream under its shifted tracker id.
+  int AddDiskNode();
+
   // --- Liveness schedule ---
 
   /// Declares the node permanently dead, effective immediately.

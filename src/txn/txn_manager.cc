@@ -18,6 +18,17 @@ TxnManager::TxnManager(int num_tables, int relation_table)
   }
 }
 
+void TxnManager::Grow(int num_tables, int relation_table) {
+  GAMMA_CHECK(num_tables >= static_cast<int>(tables_.size()));
+  GAMMA_CHECK(relation_table >= 0 && relation_table < num_tables);
+  GAMMA_CHECK_MSG(active_.empty() && waiting_table_.empty(),
+                  "TxnManager::Grow with transactions in flight");
+  while (static_cast<int>(tables_.size()) < num_tables) {
+    tables_.push_back(std::make_unique<LockManager>());
+  }
+  relation_table_ = relation_table;
+}
+
 uint64_t TxnManager::Begin() {
   const uint64_t txn = next_txn_++;
   active_.emplace(txn, TxnStats{});

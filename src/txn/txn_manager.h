@@ -46,6 +46,13 @@ class TxnManager {
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
 
+  /// Elastic growth: widens to `num_tables` lock tables and moves the
+  /// relation-lock table to `relation_table` (tracker-node ids shift when a
+  /// disk node is added). Requires a quiescent manager — no active or
+  /// waiting transactions, so every table is empty and nothing needs to be
+  /// rehomed.
+  void Grow(int num_tables, int relation_table);
+
   /// Starts a transaction; ids are monotonic, so the largest id in a cycle
   /// is the youngest transaction (the victim policy).
   uint64_t Begin();
@@ -53,6 +60,10 @@ class TxnManager {
   bool IsActive(uint64_t txn) const {
     return active_.find(txn) != active_.end();
   }
+
+  /// True when no transaction is active or waiting (the precondition Grow
+  /// enforces; elastic growth checks it first to fail gracefully).
+  bool quiescent() const { return active_.empty() && waiting_table_.empty(); }
 
   struct AcquireResult {
     enum class Outcome {
