@@ -9,7 +9,10 @@
 #include <tuple>
 #include <utility>
 
+#include <filesystem>
+
 #include "common/macros.h"
+#include "obs/metrics_registry.h"
 #include "obs/profile.h"
 #include "sim/host_pool.h"
 
@@ -318,8 +321,32 @@ void JsonReport::Write() const {
                    sep);
     }
   }
+  std::fprintf(f, "  ],\n");
+  const std::vector<obs::MetricsRegistry::HistogramSample> histograms =
+      obs::MetricsRegistry::Instance().HistogramSnapshot();
+  std::fprintf(f, "  \"histograms\": [\n");
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const obs::MetricsRegistry::HistogramSample& h = histograms[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"count\": %llu, \"sum\": %.6f, "
+                 "\"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g}%s\n",
+                 h.name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.sum, h.p50, h.p95, h.p99,
+                 i + 1 < histograms.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
+}
+
+std::string TracePath(const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories("traces", ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create traces/: %s\n",
+                 ec.message().c_str());
+    return filename;  // fall back to the working directory
+  }
+  return "traces/" + filename;
 }
 
 std::vector<uint32_t> BenchSizes() {

@@ -111,7 +111,12 @@ class JsonReport {
   /// 4 added the elastic-growth meta scalars (node_count = disk nodes at
   /// bench end, migrated_tuples / migration_sec = totals over elastic
   /// fragment migrations; all 0 when the bench never migrates).
-  static constexpr int kSchemaVersion = 4;
+  /// 5 added the `histograms` block: every latency histogram in the
+  /// process-wide metrics registry at Write() time (name, observation
+  /// count, sum, and the p50/p95/p99 bucket upper bounds), so regression
+  /// gates can track tail latency without the bench hand-rolling
+  /// percentiles.
+  static constexpr int kSchemaVersion = 5;
 
   explicit JsonReport(std::string name);
 
@@ -152,6 +157,12 @@ class JsonReport {
   uint64_t migrated_tuples_ = 0;
   double migration_sec_ = 0.0;
 };
+
+/// Path for a generated trace/dump artifact: `traces/<filename>`, creating
+/// the `traces/` directory under the working directory on first use (the
+/// directory is gitignored — generated artifacts never land in the repo
+/// root).
+std::string TracePath(const std::string& filename);
 
 /// Relation sizes to run, from the GAMMA_BENCH_SIZES environment variable
 /// (comma-separated), defaulting to {10000, 100000, 1000000}. Benches honour

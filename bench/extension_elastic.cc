@@ -185,8 +185,10 @@ int main(int argc, char** argv) {
 
   // One flushed Chrome trace covers the recent statements — including the
   // migration — instead of one file per query.
-  GAMMA_CHECK(grown->FlushProfileRing("TRACE_extension_elastic.json").ok());
-  std::printf("profile ring flushed to TRACE_extension_elastic.json\n");
+  const std::string trace_path =
+      gammadb::bench::TracePath("TRACE_extension_elastic.json");
+  GAMMA_CHECK(grown->FlushProfileRing(trace_path).ok());
+  std::printf("profile ring flushed to %s\n", trace_path.c_str());
 
   report.Write();
   return identical && (!assert_speedup || worst_speedup >= 1.5) ? 0 : 1;

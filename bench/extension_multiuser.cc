@@ -166,8 +166,10 @@ int main(int argc, char** argv) {
       json.AddScalar(prefix + "measured_over_bound", ratio);
       json.AddScalar(prefix + "select_p50_s", sel_class->p50_response_sec);
       json.AddScalar(prefix + "select_p95_s", sel_class->p95_response_sec);
+      json.AddScalar(prefix + "select_p99_s", sel_class->p99_response_sec);
       json.AddScalar(prefix + "join_p50_s", join_class->p50_response_sec);
       json.AddScalar(prefix + "join_p95_s", join_class->p95_response_sec);
+      json.AddScalar(prefix + "join_p99_s", join_class->p99_response_sec);
       json.AddScalar(prefix + "bottleneck_utilization",
                      run.bottleneck_utilization);
 

@@ -185,6 +185,19 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(recovery->losers),
       static_cast<unsigned long long>(recovery->records_redone),
       static_cast<unsigned long long>(recovery->records_undone));
+  // The crash captured a post-mortem (journal tail + metrics snapshot);
+  // persist it as a build artifact so a CI failure here can be read back.
+  if (!recovery->post_mortem_json.empty()) {
+    const std::string dump_path =
+        gammadb::bench::TracePath("POSTMORTEM_extension_recovery_server.json");
+    std::FILE* dump = std::fopen(dump_path.c_str(), "w");
+    if (dump != nullptr) {
+      std::fputs(recovery->post_mortem_json.c_str(), dump);
+      std::fputc('\n', dump);
+      std::fclose(dump);
+      std::printf("post-mortem dump written to %s\n", dump_path.c_str());
+    }
+  }
   json.AddScalar("recovery_sec", recovery->recovery_sec);
   json.AddScalar("recovery_log_records_scanned",
                  static_cast<double>(recovery->log_records_scanned));

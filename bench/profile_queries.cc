@@ -5,8 +5,8 @@
 // fractions, critical-resource verdict), and exports Chrome trace_event
 // JSON for chrome://tracing / Perfetto:
 //
-//   TRACE_table1_sel_1pct_nonclustered.json
-//   TRACE_fig09_joinABprime.json
+//   traces/TRACE_table1_sel_1pct_nonclustered.json
+//   traces/TRACE_fig09_joinABprime.json
 //
 // The traces and utilization scalars are byte-identical at any
 // GAMMA_HOST_THREADS (CI runs this plain and under TSan at 4 threads).
@@ -27,15 +27,16 @@ namespace {
 namespace wis = gammadb::wisconsin;
 using exec::Predicate;
 
-void ExportTrace(const exec::QueryResult& result, const char* path) {
+void ExportTrace(const exec::QueryResult& result, const char* filename) {
   GAMMA_CHECK_MSG(result.profile != nullptr,
                   "tracing was enabled; profile must be attached");
   std::printf("%s\n", obs::RenderProfile(*result.profile).c_str());
-  if (obs::WriteChromeTrace(*result.profile, path)) {
-    std::printf("chrome trace written to %s (%zu spans)\n\n", path,
+  const std::string path = TracePath(filename);
+  if (obs::WriteChromeTrace(*result.profile, path.c_str())) {
+    std::printf("chrome trace written to %s (%zu spans)\n\n", path.c_str(),
                 result.profile->spans.size());
   } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
   }
 }
 

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh BENCH_*.json against checked-in baselines.
+
+Usage:
+    scripts/bench_compare.py [--baseline-dir baselines] [--bench-dir .]
+                             [--tolerance 0.02] [--self-check] [NAME ...]
+
+For every baselines/BASELINE_<name>.json, the matching BENCH_<name>.json is
+loaded and every numeric leaf is compared:
+
+  * `queries` entries are keyed by their "query" label; each numeric field
+    must match within the relative tolerance (absolute slack below 1e-9
+    absorbs exact-zero scalars). `critical_resource` must match exactly.
+  * `histograms` entries are keyed by "name"; count must match exactly
+    (simulated runs are deterministic), sum/p50/p95/p99 within tolerance.
+  * `meta` is compared except for the host-dependent fields (wall clock,
+    thread/core counts, build flavor), which vary run to run by design.
+
+Everything simulated is deterministic, so the default tolerance exists only
+to allow intentional small cost-model adjustments to ship with a baseline
+refresh in the same commit; a silent drift larger than the tolerance fails
+CI until someone regenerates the baseline and explains why.
+
+--self-check proves the gate can fail: after a passing comparison it
+perturbs one numeric scalar beyond the tolerance in memory and asserts the
+comparison now reports a mismatch. Exit status 0 = gate passed.
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+# Host-dependent by design: never compared.
+IGNORED_META = {
+    "wall_clock_sec",
+    "host_threads",
+    "host_cores",
+    "build_type",
+    "sanitize",
+}
+
+# Deterministic integer-valued fields: compared exactly, no tolerance.
+EXACT_FIELDS = {"count", "schema_version"}
+
+
+def numbers_match(key, expected, actual, tolerance):
+    if key in EXACT_FIELDS:
+        return expected == actual
+    if abs(expected - actual) <= 1e-9:
+        return True
+    scale = max(abs(expected), abs(actual))
+    return abs(expected - actual) <= tolerance * scale
+
+
+def compare_entry(path, expected, actual, tolerance, failures):
+    """Compares one dict of scalar fields (a query, histogram or meta row)."""
+    for key, want in expected.items():
+        if key in actual:
+            got = actual[key]
+        else:
+            failures.append(f"{path}: field '{key}' missing from fresh run")
+            continue
+        if isinstance(want, str):
+            if want != got:
+                failures.append(f"{path}.{key}: '{want}' -> '{got}'")
+        elif isinstance(want, (int, float)):
+            if not numbers_match(key, want, got, tolerance):
+                failures.append(f"{path}.{key}: {want} -> {got}")
+    for key in actual:
+        if key not in expected:
+            failures.append(f"{path}: new field '{key}' not in baseline "
+                            "(refresh the baseline)")
+
+
+def index_by(rows, key_field, path, failures):
+    index = {}
+    for row in rows:
+        key = row.get(key_field)
+        if key is None:
+            failures.append(f"{path}: row without '{key_field}': {row}")
+        elif key in index:
+            failures.append(f"{path}: duplicate key '{key}'")
+        else:
+            index[key] = row
+    return index
+
+
+def compare_reports(name, baseline, fresh, tolerance):
+    """Returns the list of mismatch descriptions (empty = pass)."""
+    failures = []
+
+    meta_want = {k: v for k, v in baseline.get("meta", {}).items()
+                 if k not in IGNORED_META}
+    meta_got = {k: v for k, v in fresh.get("meta", {}).items()
+                if k not in IGNORED_META}
+    compare_entry(f"{name}.meta", meta_want, meta_got, tolerance, failures)
+
+    for block, key_field in (("queries", "query"), ("histograms", "name")):
+        want_rows = index_by(baseline.get(block, []), key_field,
+                             f"{name}.{block}", failures)
+        got_rows = index_by(fresh.get(block, []), key_field,
+                            f"{name}.{block}", failures)
+        for key, want in want_rows.items():
+            if key not in got_rows:
+                failures.append(f"{name}.{block}: '{key}' missing from "
+                                "fresh run")
+                continue
+            compare_entry(f"{name}.{block}[{key}]", want, got_rows[key],
+                          tolerance, failures)
+        for key in got_rows:
+            if key not in want_rows:
+                failures.append(f"{name}.{block}: new entry '{key}' not in "
+                                "baseline (refresh the baseline)")
+    return failures
+
+
+def perturb_one_scalar(report):
+    """Self-check helper: bumps the first numeric query field well past any
+    sane tolerance and returns a description of what changed."""
+    for row in report.get("queries", []):
+        for key, value in row.items():
+            if isinstance(value, (int, float)):
+                row[key] = value * 1.5 + 1.0
+                return f"queries[{row.get('query')}].{key}"
+    raise SystemExit("self-check: no numeric scalar found to perturb")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*",
+                        help="bench names (default: every BASELINE_*.json)")
+    parser.add_argument("--baseline-dir", default="baselines")
+    parser.add_argument("--bench-dir", default=".")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative tolerance for float fields")
+    parser.add_argument("--self-check", action="store_true",
+                        help="also assert the gate fails on a perturbed copy")
+    args = parser.parse_args()
+
+    names = args.names
+    if not names:
+        names = sorted(
+            f[len("BASELINE_"):-len(".json")]
+            for f in os.listdir(args.baseline_dir)
+            if f.startswith("BASELINE_") and f.endswith(".json"))
+    if not names:
+        print(f"bench_compare: no baselines found in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    all_failures = []
+    for name in names:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     f"BASELINE_{name}.json")
+        fresh_path = os.path.join(args.bench_dir, f"BENCH_{name}.json")
+        try:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+        except OSError as e:
+            all_failures.append(f"{name}: cannot read baseline: {e}")
+            continue
+        try:
+            with open(fresh_path) as f:
+                fresh = json.load(f)
+        except OSError as e:
+            all_failures.append(f"{name}: cannot read fresh run: {e}")
+            continue
+
+        failures = compare_reports(name, baseline, fresh, args.tolerance)
+        status = "FAIL" if failures else "ok"
+        print(f"bench_compare: {name}: {status}")
+        all_failures.extend(failures)
+
+        if args.self_check and not failures:
+            mutated = copy.deepcopy(fresh)
+            where = perturb_one_scalar(mutated)
+            if not compare_reports(name, baseline, mutated, args.tolerance):
+                all_failures.append(
+                    f"{name}: self-check FAILED — perturbing {where} was "
+                    "not detected")
+            else:
+                print(f"bench_compare: {name}: self-check ok "
+                      f"(perturbed {where}, gate caught it)")
+
+    for failure in all_failures:
+        print(f"bench_compare: MISMATCH {failure}", file=sys.stderr)
+    if all_failures:
+        print(f"bench_compare: {len(all_failures)} mismatch(es); if the "
+              "change is intentional, regenerate baselines/ (see DESIGN.md "
+              "§16)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

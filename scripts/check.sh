@@ -29,6 +29,10 @@ if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   GAMMA_BENCH_SIZES=10000 ./build/bench/extension_skew_join
   echo "== elastic growth (4 -> 8 nodes, migrated vs static answers, 10k) =="
   GAMMA_BENCH_SIZES=10000 ./build/bench/extension_elastic
+  echo "== Table 1 selections (baseline workload, 10k) =="
+  GAMMA_BENCH_SIZES=10000 ./build/bench/table1_selection
+  echo "== perf-regression gate (BENCH_*.json vs baselines/) =="
+  python3 scripts/bench_compare.py --self-check
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--sanitize-only" ]]; then

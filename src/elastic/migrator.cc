@@ -400,6 +400,12 @@ Status ElasticMigrator::MigrateOne(const std::string& name,
   const uint64_t wal_txn = m.StatementWalTxn();
   const uint32_t wal_rel = m.wal_->InternRelation(meta->name);
   guard.set_wal_txn(wal_txn);
+  // Journal the migration on the scheduler ring. Begin is emitted before
+  // any work so a mid-migration crash dump shows the open migration; the
+  // clock only advances at FinalizeObs, so both events carry exact
+  // statement-boundary timestamps.
+  m.journal_.Emit(m.config_.scheduler_node(),
+                  obs::JournalEventKind::kMigrationBegin, 0, 0, name);
 
   // Simulated power loss at a chosen protocol point. Dirty pages are forced
   // first — the worst case, where every physical effect landed on disk
@@ -643,6 +649,9 @@ Status ElasticMigrator::MigrateOne(const std::string& name,
   auto finalized = m.FinalizeObs("migrate", std::move(result));
   GAMMA_RETURN_NOT_OK(finalized.status());
   report->migration_sec += finalized->metrics.TotalSec();
+  m.journal_.Emit(m.config_.scheduler_node(),
+                  obs::JournalEventKind::kMigrationEnd,
+                  static_cast<int64_t>(moved), 0, name);
   return Status::OK();
 }
 

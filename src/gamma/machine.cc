@@ -3,6 +3,7 @@
 #include "gamma/recovery_log.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "exec/split_table.h"
 #include "exec/store.h"
 #include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
 #include "obs/profile.h"
 #include "storage/deferred_update.h"
 
@@ -93,9 +95,26 @@ class MergeJoinSite {
 
 }  // namespace
 
+namespace {
+
+/// Flight-recorder ring capacity: GAMMA_JOURNAL_RING events per tracker
+/// node (default 256, 0 disables recording).
+size_t JournalCapFromEnv() {
+  size_t cap = 256;
+  if (const char* env = std::getenv("GAMMA_JOURNAL_RING")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 0) cap = static_cast<size_t>(parsed);
+  }
+  return cap;
+}
+
+}  // namespace
+
 GammaMachine::GammaMachine(GammaConfig config)
     : config_(config),
-      txns_(config.tracker_nodes(), config.scheduler_node()) {
+      txns_(config.tracker_nodes(), config.scheduler_node()),
+      journal_(config.tracker_nodes(), JournalCapFromEnv()) {
   GAMMA_CHECK(config_.num_disk_nodes > 0);
   GAMMA_CHECK(config_.num_diskless_nodes >= 0);
   // Disk fault streams cover the disk nodes; packet-drop streams cover every
@@ -121,6 +140,14 @@ GammaMachine::GammaMachine(GammaConfig config)
     char* end = nullptr;
     const long cap = std::strtol(env, &end, 10);
     if (end != env && cap >= 0) profile_ring_cap_ = static_cast<size_t>(cap);
+  }
+  // Wire the flight recorder into the layers that emit events from their
+  // own call sites: fault draws (per-node rings), lock waits / deadlock
+  // victims (scheduler ring), WAL forces / checkpoints (recovery ring).
+  faults_->AttachJournal(&journal_);
+  txns_.AttachJournal(&journal_, config_.scheduler_node());
+  if (wal_ != nullptr) {
+    wal_->AttachJournal(&journal_, config_.recovery_node());
   }
 }
 
@@ -343,8 +370,85 @@ Result<QueryResult> GammaMachine::FinalizeObs(const char* label,
         profile_ring_.pop_front();
       }
     }
+    // Flight recorder: place the statement's lifecycle inside its simulated
+    // interval, then advance the machine clock past it. Strictly
+    // post-accounting — recording costs no simulated time. Mid-statement
+    // events (lock waits, fault draws) were stamped at the interval's
+    // begin; phase markers land at their cumulative offsets.
+    if (journal_.enabled()) {
+      const sim::QueryMetrics& metrics = result->metrics;
+      const int64_t ordinal = static_cast<int64_t>(++statement_ordinal_);
+      const double begin = journal_.now();
+      const int host = config_.host_node();
+      const int scheduler = config_.scheduler_node();
+      journal_.EmitAt(host, begin, obs::JournalEventKind::kStatementBegin,
+                      ordinal, 0, label);
+      if (metrics.failover_retries > 0) {
+        journal_.EmitAt(
+            scheduler, begin, obs::JournalEventKind::kFailoverRetry,
+            static_cast<int64_t>(metrics.failover_retries),
+            static_cast<int64_t>(metrics.failover_backoff_sec * 1e6), label);
+      }
+      double cursor = begin + metrics.scheduling_sec;
+      for (const sim::PhaseMetrics& phase : metrics.phases) {
+        journal_.EmitAt(scheduler, cursor, obs::JournalEventKind::kPhase,
+                        ordinal, 0, phase.name);
+        cursor += phase.elapsed_sec;
+      }
+      journal_.EmitAt(host, begin + metrics.TotalSec(),
+                      obs::JournalEventKind::kStatementEnd, ordinal,
+                      static_cast<int64_t>(result->result_tuples), label);
+      journal_.Advance(metrics.TotalSec());
+    }
+  } else if (result.status().IsCorruption() || result.status().IsIOError()) {
+    // A fatal storage error: snapshot the evidence while it is still hot,
+    // exactly as a crash would.
+    journal_.Emit(config_.host_node(), obs::JournalEventKind::kFatalError, 0,
+                  0, result.status().ToString());
+    CapturePostMortem("fatal storage error: " + result.status().ToString());
   }
   return result;
+}
+
+Status GammaMachine::DumpJournal(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write journal to " + path);
+  }
+  const std::string json = journal_.EventsJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+void GammaMachine::CapturePostMortem(const std::string& reason) {
+  if (!journal_.enabled()) return;
+  std::string out = "{\n  \"reason\": \"";
+  for (const char c : reason) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += "\",\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  \"sim_sec\": %.9f,\n", journal_.now());
+  out += buf;
+  out += "  \"events\": ";
+  out += journal_.EventsJson();
+  out += ",\n  \"metrics\": {";
+  const auto samples = obs::MetricsRegistry::Instance().Snapshot();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %.9g",
+                  i == 0 ? "" : ",", samples[i].name.c_str(),
+                  samples[i].value);
+    out += buf;
+  }
+  out += "\n  }\n}\n";
+  post_mortem_ = std::move(out);
 }
 
 Status GammaMachine::FlushProfileRing(const std::string& path) {

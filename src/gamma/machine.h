@@ -15,6 +15,7 @@
 #include "common/units.h"
 #include "gamma/query.h"
 #include "gamma/wal.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 #include "opt/statistics.h"
 #include "sim/fault_injector.h"
@@ -156,6 +157,11 @@ class GammaMachine {
     uint64_t records_undone = 0;
     /// Simulated time the recovery pass took.
     double recovery_sec = 0;
+    /// The post-mortem dump Crash() (or a fatal storage error) captured:
+    /// the merged flight-recorder journal plus a metrics-registry snapshot,
+    /// as one JSON document ("" when the journal is disabled or nothing
+    /// fatal preceded this recovery).
+    std::string post_mortem_json;
   };
 
   struct RebuildReport {
@@ -240,6 +246,18 @@ class GammaMachine {
   /// process track per statement) and clears the ring — the flush-on-demand
   /// replacement for one-file-per-query on long runs.
   Status FlushProfileRing(const std::string& path);
+
+  /// The always-on flight recorder: one bounded event ring per tracker
+  /// node (capacity from GAMMA_JOURNAL_RING, default 256; 0 disables),
+  /// byte-identical at any GAMMA_HOST_THREADS and charging zero simulated
+  /// time. Read it only between statements (coordinator discipline).
+  obs::Journal& journal() { return journal_; }
+  const obs::Journal& journal() const { return journal_; }
+
+  /// Writes the journal's merged events as a JSON array to `path` (the
+  /// file-export companion of `explain journal`). The journal keeps its
+  /// events.
+  Status DumpJournal(const std::string& path) const;
 
   // --- Loading (not part of any measured query) ---
 
@@ -428,6 +446,11 @@ class GammaMachine {
   Result<QueryResult> FinalizeObs(const char* label,
                                   Result<QueryResult> result);
 
+  /// Serializes the journal plus a metrics-registry snapshot into the
+  /// held post-mortem JSON document (Crash() and fatal storage errors call
+  /// this; the next Recover() hands the dump out on its report).
+  void CapturePostMortem(const std::string& reason);
+
   Result<QueryResult> RunSelectAttempt(const SelectQuery& query);
   Result<QueryResult> RunJoinAttempt(const JoinQuery& query);
   Result<QueryResult> RunAggregateAttempt(const AggregateQuery& query);
@@ -531,6 +554,13 @@ class GammaMachine {
   std::deque<std::shared_ptr<const obs::Profile>> profile_ring_;
   /// Ring capacity, read from GAMMA_PROFILE_RING at construction.
   size_t profile_ring_cap_ = 64;
+  /// Flight recorder (see journal()); ring i belongs to tracker node i.
+  obs::Journal journal_;
+  /// Statements finalized so far — the ordinal stamped on journal events.
+  uint64_t statement_ordinal_ = 0;
+  /// Pending post-mortem dump captured by Crash() / a fatal storage error;
+  /// moved onto the next RecoveryReport.
+  std::string post_mortem_;
 };
 
 }  // namespace gammadb::gamma

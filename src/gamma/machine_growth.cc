@@ -117,6 +117,16 @@ Result<GammaMachine::GrowthReport> GammaMachine::AddNode() {
   // Upper node ids (scheduler, host, recovery server) all shifted by one.
   txns_.Grow(config_.tracker_nodes(), config_.scheduler_node());
   if (wal_ != nullptr) wal_->Grow(config_.tracker_nodes());
+  // The flight recorder gains the new node's ring at its disk index, so
+  // the control rings keep tracking their (shifted) tracker nodes; the
+  // layers that cache a control-ring index are re-attached at the new ids.
+  journal_.Grow(new_node);
+  txns_.AttachJournal(&journal_, config_.scheduler_node());
+  if (wal_ != nullptr) {
+    wal_->AttachJournal(&journal_, config_.recovery_node());
+  }
+  journal_.Emit(config_.scheduler_node(), obs::JournalEventKind::kNodeAdded,
+                new_node);
 
   // Charged registration pass: every relation gains an empty fragment and
   // empty index slots on the new node, and backed-up relations get their
@@ -179,6 +189,7 @@ Result<GammaMachine::GrowthReport> GammaMachine::AddNode() {
   BindAll(nullptr);
   GAMMA_RETURN_NOT_OK(failed);
   report.grow_sec = tracker.Finish().TotalSec();
+  journal_.Advance(report.grow_sec);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
   registry.counter("elastic.nodes_added").Inc();
   registry.counter("elastic.backup_tuples_relocated")

@@ -110,6 +110,12 @@ uint64_t GammaMachine::StatementWalTxn() {
 }
 
 void GammaMachine::Crash() {
+  // The flight recorder survives the crash (it models the post-mortem a
+  // real operator would pull off stable storage); capture the dump before
+  // any volatile state goes, so the evidence is exactly what the machine
+  // saw at the moment of death.
+  journal_.Emit(config_.recovery_node(), obs::JournalEventKind::kCrash);
+  CapturePostMortem("crash");
   // Volatile state vanishes: buffered (dirty) pages, storage-level and 2PL
   // lock tables, open transactions. Disk contents and the recovery server's
   // sealed log survive.
@@ -586,6 +592,19 @@ Result<GammaMachine::RecoveryReport> GammaMachine::Recover() {
   for (const std::string& name : touched) RecountRelation(name);
   crashed_ = false;
   report.recovery_sec = tracker.Finish().TotalSec();
+  // Flight recorder: the restart occupies [now, now + recovery_sec) on the
+  // simulated clock, and the pending post-mortem dump (captured at crash
+  // time) rides out on the report.
+  journal_.Emit(config_.recovery_node(),
+                obs::JournalEventKind::kRecoverBegin);
+  journal_.EmitAt(config_.recovery_node(),
+                  journal_.now() + report.recovery_sec,
+                  obs::JournalEventKind::kRecoverEnd,
+                  static_cast<int64_t>(report.winners),
+                  static_cast<int64_t>(report.losers));
+  journal_.Advance(report.recovery_sec);
+  report.post_mortem_json = std::move(post_mortem_);
+  post_mortem_.clear();
   // Coordinator-serial path: histogram observation order is deterministic.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
   registry.counter("recovery.restarts").Inc();

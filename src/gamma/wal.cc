@@ -88,7 +88,11 @@ void WalStore::NoteCommit(uint64_t txn) {
   WalRecord record;
   record.txn = txn;
   record.kind = WalKind::kCommit;
-  Append(std::move(record));
+  const uint64_t lsn = Append(std::move(record));
+  if (journal_ != nullptr) {
+    journal_->Emit(journal_ring_, obs::JournalEventKind::kWalForce,
+                   static_cast<int64_t>(txn), static_cast<int64_t>(lsn));
+  }
 }
 
 void WalStore::NoteCleanAbort(uint64_t txn) {
@@ -175,6 +179,11 @@ uint64_t WalStore::Checkpoint() {
   Append(std::move(end));
   checkpoint_lsn_ = begin_lsn;
   commits_since_checkpoint_ = 0;
+  if (journal_ != nullptr) {
+    journal_->Emit(journal_ring_, obs::JournalEventKind::kCheckpoint,
+                   static_cast<int64_t>(begin_lsn),
+                   static_cast<int64_t>(log_.size()));
+  }
   return begin_lsn;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/journal.h"
 #include "storage/heap_file.h"
 
 namespace gammadb::gamma {
@@ -89,6 +90,14 @@ class WalStore {
   /// Elastic growth: widens the per-node staging buffers to `num_nodes`
   /// tracker nodes (never shrinks). Existing records and LSNs are untouched.
   void Grow(int num_nodes);
+
+  /// Wires the machine's flight recorder in: commit forces and checkpoints
+  /// are journaled on `ring` (the recovery server's). Both happen on the
+  /// coordinator path only. Null detaches.
+  void AttachJournal(obs::Journal* journal, int ring) {
+    journal_ = journal;
+    journal_ring_ = ring;
+  }
 
   /// Stable small id for a relation name (first use assigns).
   uint32_t InternRelation(const std::string& name);
@@ -185,6 +194,9 @@ class WalStore {
   std::set<uint64_t> aborted_;
   std::map<std::string, uint32_t> relation_ids_;
   std::vector<std::string> relation_names_;
+  /// Flight recorder (null until the machine attaches it).
+  obs::Journal* journal_ = nullptr;
+  int journal_ring_ = 0;
 };
 
 }  // namespace gammadb::gamma

@@ -1,11 +1,27 @@
 #include "obs/metrics_registry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/macros.h"
 
 namespace gammadb::obs {
+
+std::vector<double> LogBuckets(double lo, double hi, int per_decade) {
+  GAMMA_CHECK_MSG(lo > 0 && hi > lo && per_decade > 0, "bad log buckets");
+  std::vector<double> bounds;
+  // Exponent arithmetic (not repeated multiplication) keeps every bound a
+  // pure function of its index, so two histograms built with the same
+  // parameters share bit-identical edges.
+  for (int k = 0;; ++k) {
+    const double bound =
+        lo * std::pow(10.0, static_cast<double>(k) / per_decade);
+    bounds.push_back(bound);
+    if (bound >= hi) break;
+  }
+  return bounds;
+}
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   GAMMA_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
@@ -84,6 +100,20 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
   }
   std::sort(samples.begin(), samples.end(),
             [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return samples;
+}
+
+std::vector<MetricsRegistry::HistogramSample>
+MetricsRegistry::HistogramSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSample> samples;
+  samples.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    samples.push_back({name, histogram->count(), histogram->sum(),
+                       histogram->Quantile(0.5), histogram->Quantile(0.95),
+                       histogram->Quantile(0.99)});
+  }
+  // Map iteration is already name-sorted; keep the invariant explicit.
   return samples;
 }
 

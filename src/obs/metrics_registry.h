@@ -24,6 +24,13 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Fixed log-scale bucket bounds: `per_decade` geometrically spaced bounds
+/// per power of ten, from `lo` up to and including `hi` (both must be
+/// positive powers-of-ten-ish anchors; the sequence is
+/// lo * 10^(k / per_decade) for k = 0, 1, ...). The latency histograms all
+/// use this layout so bucket edges line up across metrics.
+std::vector<double> LogBuckets(double lo, double hi, int per_decade);
+
 /// \brief Fixed-bucket histogram over double-valued observations.
 ///
 /// Bucket i counts observations <= bounds[i]; one overflow bucket counts the
@@ -89,6 +96,19 @@ class MetricsRegistry {
     double value;
   };
   std::vector<Sample> Snapshot() const;
+
+  /// Per-histogram distribution summary: observation count, sum, and the
+  /// p50/p95/p99 bucket-quantile values, sorted by name. The BENCH JSON
+  /// schema v5 `histograms` block is this, verbatim.
+  struct HistogramSample {
+    std::string name;
+    uint64_t count;
+    double sum;
+    double p50;
+    double p95;
+    double p99;
+  };
+  std::vector<HistogramSample> HistogramSnapshot() const;
 
   /// Counter value by name; 0 when the counter was never touched.
   uint64_t CounterValue(const std::string& name) const;

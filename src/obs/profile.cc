@@ -231,8 +231,16 @@ void FinalizeStatement(const TraceOptions& trace, const char* machine,
   static Counter& overflow_rounds = registry.counter("query.overflow_rounds");
   static Counter& failover_retries =
       registry.counter("query.failover_retries");
-  static Histogram& seconds = registry.histogram(
-      "query.seconds", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0});
+  // Latency histograms: fixed log-scale buckets (4 per decade, 100 us to
+  // 10 ks) so percentile edges line up across metrics and runs.
+  static Histogram& seconds =
+      registry.histogram("query.seconds", LogBuckets(1e-4, 1e4, 4));
+  static Histogram& disk_seconds =
+      registry.histogram("device.disk.seconds", LogBuckets(1e-4, 1e4, 4));
+  static Histogram& cpu_seconds =
+      registry.histogram("device.cpu.seconds", LogBuckets(1e-4, 1e4, 4));
+  static Histogram& net_seconds =
+      registry.histogram("device.net.seconds", LogBuckets(1e-4, 1e4, 4));
 
   const sim::QueryMetrics& metrics = result->metrics;
   const sim::NodeUsage totals = metrics.Totals();
@@ -251,8 +259,14 @@ void FinalizeStatement(const TraceOptions& trace, const char* machine,
   lock_aborts.Inc(metrics.lock_aborts);
   overflow_rounds.Inc(metrics.overflow_rounds);
   failover_retries.Inc(metrics.failover_retries);
-  // Coordinator-serial call site, so the FP sum stays order-deterministic.
+  // Coordinator-serial call site, so the FP sums stay order-deterministic.
   seconds.Observe(metrics.TotalSec());
+  // Per-device service time of the whole statement (busy seconds summed
+  // over nodes): the distribution the admission-control work needs to spot
+  // a device saturating before means move.
+  if (totals.disk_sec > 0) disk_seconds.Observe(totals.disk_sec);
+  if (totals.cpu_sec > 0) cpu_seconds.Observe(totals.cpu_sec);
+  if (totals.net_sec > 0) net_seconds.Observe(totals.net_sec);
 
   if (!trace.enabled) return;
   result->profile = std::make_shared<const Profile>(

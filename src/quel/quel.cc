@@ -284,6 +284,16 @@ void AppendProfile(const gamma::GammaMachine& machine, const char* label,
   result->profile = std::move(profile);
 }
 
+/// `explain journal`: appends the tail of the machine's flight recorder
+/// (the most recent events across all node rings, canonically merged) to
+/// the explain text — the statement just executed is the last entry.
+constexpr size_t kExplainJournalTail = 32;
+
+void AppendJournal(const gamma::GammaMachine& machine,
+                   exec::QueryResult* result) {
+  result->explain += "\n" + machine.journal().RenderText(kExplainJournalTail);
+}
+
 }  // namespace
 
 Session::Session(gamma::GammaMachine* machine) : machine_(machine) {
@@ -310,11 +320,15 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
   // resource) and its span hierarchy.
   const bool explain = cursor.ConsumeIdent("explain");
   const bool profile = explain && cursor.ConsumeIdent("profile");
+  // explain journal retrieve ... — additionally append the flight
+  // recorder's tail (recent journal events, canonically merged).
+  const bool journal = explain && !profile && cursor.ConsumeIdent("journal");
   if (explain && !(cursor.Peek().kind == TokKind::kIdent &&
                    cursor.Peek().text == "retrieve")) {
     return Status::InvalidArgument(
-        profile ? "explain profile supports retrieve statements only"
-                : "explain supports retrieve statements only");
+        profile   ? "explain profile supports retrieve statements only"
+        : journal ? "explain journal supports retrieve statements only"
+                  : "explain supports retrieve statements only");
   }
 
   // range of t is A
@@ -494,6 +508,7 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
     if (explain) {
       result.explain = opt::RenderPlanWithActuals(planned.plan, result);
       if (profile) AppendProfile(*machine_, "aggregate", &result);
+      if (journal) AppendJournal(*machine_, &result);
     }
     return result;
   }
@@ -533,6 +548,7 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
     if (explain) {
       result.explain = opt::RenderPlanWithActuals(planned.plan, result);
       if (profile) AppendProfile(*machine_, "select", &result);
+      if (journal) AppendJournal(*machine_, &result);
     }
     return result;
   }
@@ -599,6 +615,7 @@ Result<exec::QueryResult> Session::Execute(std::string_view statement) {
   if (explain) {
     result.explain = opt::RenderPlanWithActuals(planned.plan, result);
     if (profile) AppendProfile(*machine_, "join", &result);
+    if (journal) AppendJournal(*machine_, &result);
   }
   return result;
 }

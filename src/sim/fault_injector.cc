@@ -79,7 +79,12 @@ FaultInjector::NodeState& FaultInjector::node(int i) {
 
 void FaultInjector::KillNode(int i) {
   NodeState& state = node(i);
-  if (!state.dead) NodeDeathCounter().Inc();
+  if (!state.dead) {
+    NodeDeathCounter().Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(i, obs::JournalEventKind::kFaultNodeDeath);
+    }
+  }
   state.dead = true;
 }
 
@@ -101,6 +106,10 @@ bool FaultInjector::OnCommitPoint(int i) {
   if (state.commit_points >= state.death_at_commit) {
     state.dead = true;
     NodeDeathCounter().Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(i, obs::JournalEventKind::kFaultNodeDeath,
+                     static_cast<int64_t>(state.commit_points));
+    }
     return true;
   }
   return false;
@@ -125,23 +134,31 @@ int FaultInjector::num_live() const {
   return live;
 }
 
-void FaultInjector::TickOps(NodeState& state) {
+void FaultInjector::TickOps(NodeState& state, int i) {
   ++state.ops;
   if (state.ops >= state.death_at_ops && !state.dead) {
     state.dead = true;
     NodeDeathCounter().Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(i, obs::JournalEventKind::kFaultNodeDeath,
+                     static_cast<int64_t>(state.ops));
+    }
   }
 }
 
 DiskFault FaultInjector::OnRead(int i) {
   NodeState& state = node(i);
-  TickOps(state);
+  TickOps(state, i);
   if (config_.transient_read_prob > 0 &&
       state.rng.NextDouble() < config_.transient_read_prob) {
     ++state.stats.transient_read_faults;
     static obs::Counter& transient_reads =
         obs::MetricsRegistry::Instance().counter("fault.transient_reads");
     transient_reads.Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(i, obs::JournalEventKind::kFaultTransientRead,
+                     static_cast<int64_t>(state.ops));
+    }
     return DiskFault::kTransient;
   }
   if (config_.corrupt_read_prob > 0 &&
@@ -150,6 +167,10 @@ DiskFault FaultInjector::OnRead(int i) {
     static obs::Counter& corrupted =
         obs::MetricsRegistry::Instance().counter("fault.corrupted_reads");
     corrupted.Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(i, obs::JournalEventKind::kFaultCorruptRead,
+                     static_cast<int64_t>(state.ops));
+    }
     return DiskFault::kCorrupt;
   }
   return DiskFault::kNone;
@@ -157,13 +178,17 @@ DiskFault FaultInjector::OnRead(int i) {
 
 DiskFault FaultInjector::OnWrite(int i) {
   NodeState& state = node(i);
-  TickOps(state);
+  TickOps(state, i);
   if (config_.transient_write_prob > 0 &&
       state.rng.NextDouble() < config_.transient_write_prob) {
     ++state.stats.transient_write_faults;
     static obs::Counter& transient_writes =
         obs::MetricsRegistry::Instance().counter("fault.transient_writes");
     transient_writes.Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(i, obs::JournalEventKind::kFaultTransientWrite,
+                     static_cast<int64_t>(state.ops));
+    }
     return DiskFault::kTransient;
   }
   return DiskFault::kNone;
@@ -180,6 +205,10 @@ bool FaultInjector::OnPacket(int src_node) {
     static obs::Counter& dropped =
         obs::MetricsRegistry::Instance().counter("fault.packets_dropped");
     dropped.Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(src_node, obs::JournalEventKind::kFaultPacketDrop,
+                     static_cast<int64_t>(state.dropped));
+    }
     return true;
   }
   return false;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/journal.h"
 
 namespace gammadb::sim {
 
@@ -82,6 +83,13 @@ class FaultInjector {
   /// own (mid-sequence) drop stream under its shifted tracker id.
   int AddDiskNode();
 
+  /// Wires the machine's flight recorder in. Every draw journals on the
+  /// faulting node's own ring (disk faults on the disk node, drops on the
+  /// sender), which is exactly the stream the draw consumed from — so the
+  /// single-writer-per-ring discipline holds even though draws happen on
+  /// node tasks. Null detaches.
+  void AttachJournal(obs::Journal* journal) { journal_ = journal; }
+
   // --- Liveness schedule ---
 
   /// Declares the node permanently dead, effective immediately.
@@ -152,11 +160,13 @@ class FaultInjector {
 
   NodeState& node(int i);
   /// Counts one disk op and applies a scheduled death when it comes due.
-  void TickOps(NodeState& state);
+  void TickOps(NodeState& state, int i);
 
   FaultConfig config_;
   std::vector<NodeState> nodes_;
   std::vector<PacketState> packet_nodes_;
+  /// Flight recorder (null until the machine attaches it).
+  obs::Journal* journal_ = nullptr;
 };
 
 }  // namespace gammadb::sim

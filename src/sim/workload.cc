@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "obs/metrics_registry.h"
 
 namespace gammadb::sim {
 
@@ -515,17 +516,6 @@ void WorkloadDriver::CommitClientTxn(size_t ci) {
   StartThink(ci);
 }
 
-namespace {
-
-double Percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0;
-  const size_t idx = static_cast<size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
-}  // namespace
-
 WorkloadReport WorkloadDriver::Run() {
   GAMMA_CHECK(!ran_);
   ran_ = true;
@@ -550,10 +540,17 @@ WorkloadReport WorkloadDriver::Run() {
     for (const double r : acc.responses) sum += r;
     cr.mean_response_sec =
         acc.responses.empty() ? 0 : sum / static_cast<double>(acc.responses.size());
-    std::vector<double> sorted = acc.responses;
-    std::sort(sorted.begin(), sorted.end());
-    cr.p50_response_sec = Percentile(sorted, 0.5);
-    cr.p95_response_sec = Percentile(sorted, 0.95);
+    // Quantiles come from the registry's log-scale latency histogram (the
+    // same instrument the BENCH JSON schema v5 histograms block exports).
+    // Reset per run — the registry outlives the driver — and fed in commit
+    // order, which is deterministic, so the FP sum is too.
+    obs::Histogram& hist = obs::MetricsRegistry::Instance().histogram(
+        "workload.response_sec." + label, obs::LogBuckets(1e-4, 1e4, 4));
+    hist.Reset();
+    for (const double r : acc.responses) hist.Observe(r);
+    cr.p50_response_sec = hist.Quantile(0.5);
+    cr.p95_response_sec = hist.Quantile(0.95);
+    cr.p99_response_sec = hist.Quantile(0.99);
     cr.throughput_per_sec =
         window > 0 ? static_cast<double>(cr.measured) / window : 0;
     report_.classes.push_back(std::move(cr));

@@ -68,8 +68,13 @@ struct ClassReport {
   uint64_t measured = 0;
   double throughput_per_sec = 0;
   double mean_response_sec = 0;
+  /// Response-time quantiles from the registry histogram
+  /// `workload.response_sec.<label>` (log-scale bucket upper bounds, so two
+  /// runs agree exactly whenever their response sets land in the same
+  /// buckets).
   double p50_response_sec = 0;
   double p95_response_sec = 0;
+  double p99_response_sec = 0;
 };
 
 /// One committed transaction, in commit order. Replaying the scripts'

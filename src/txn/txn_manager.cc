@@ -95,6 +95,10 @@ void TxnManager::AbortInternal(uint64_t victim,
   static obs::Counter& aborts =
       obs::MetricsRegistry::Instance().counter("txn.aborts");
   aborts.Inc();
+  if (journal_ != nullptr) {
+    journal_->Emit(journal_ring_, obs::JournalEventKind::kTxnAbort,
+                   static_cast<int64_t>(victim));
+  }
   active_.erase(it);
   NoteGrants({grants->begin() + static_cast<long>(before), grants->end()});
 }
@@ -120,6 +124,10 @@ TxnManager::AcquireResult TxnManager::Acquire(uint64_t txn, LockId id,
   static obs::Counter& lock_waits =
       obs::MetricsRegistry::Instance().counter("txn.lock_waits");
   lock_waits.Inc();
+  if (journal_ != nullptr) {
+    journal_->Emit(journal_ring_, obs::JournalEventKind::kLockWait,
+                   static_cast<int64_t>(txn), table);
+  }
 
   // Each new wait edge can close at most cycles through the requester;
   // abort the youngest member until no cycle remains (or we are it).
@@ -133,6 +141,10 @@ TxnManager::AcquireResult TxnManager::Acquire(uint64_t txn, LockId id,
     static obs::Counter& deadlocks =
         obs::MetricsRegistry::Instance().counter("txn.deadlocks");
     deadlocks.Inc();
+    if (journal_ != nullptr) {
+      journal_->Emit(journal_ring_, obs::JournalEventKind::kDeadlockVictim,
+                     static_cast<int64_t>(victim), static_cast<int64_t>(txn));
+    }
     res.aborted_victims.push_back(victim);
     if (victim == txn) {
       AbortInternal(txn, &res.grants);
@@ -191,6 +203,12 @@ void TxnManager::AddWaitSec(uint64_t txn, double sec) {
   auto it = active_.find(txn);
   if (it != active_.end()) it->second.lock_wait_sec += sec;
   totals_.lock_wait_sec += sec;
+  // Coordinator-serial (workload scheduler resolves waits in simulated-time
+  // order), so the histogram's FP sum stays order-deterministic.
+  static obs::Histogram& wait_seconds =
+      obs::MetricsRegistry::Instance().histogram(
+          "txn.lock_wait_seconds", obs::LogBuckets(1e-4, 1e4, 4));
+  wait_seconds.Observe(sec);
 }
 
 }  // namespace gammadb::txn

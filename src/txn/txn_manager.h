@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/journal.h"
 #include "txn/lock_manager.h"
 
 namespace gammadb::txn {
@@ -52,6 +53,15 @@ class TxnManager {
   /// waiting transactions, so every table is empty and nothing needs to be
   /// rehomed.
   void Grow(int num_tables, int relation_table);
+
+  /// Wires the machine's flight recorder in: lock waits, deadlock victims
+  /// and aborts are journaled on `ring` (the scheduler's). Safe because
+  /// every TxnManager call is coordinator-serial (class comment). Null
+  /// detaches.
+  void AttachJournal(obs::Journal* journal, int ring) {
+    journal_ = journal;
+    journal_ring_ = ring;
+  }
 
   /// Starts a transaction; ids are monotonic, so the largest id in a cycle
   /// is the youngest transaction (the victim policy).
@@ -135,6 +145,9 @@ class TxnManager {
   std::map<uint64_t, int> waiting_table_;
   std::map<std::string, uint32_t> relation_ids_;
   TxnStats totals_;
+  /// Flight recorder (null until the machine attaches it).
+  obs::Journal* journal_ = nullptr;
+  int journal_ring_ = 0;
 };
 
 }  // namespace gammadb::txn

@@ -1,18 +1,22 @@
 // Tests for the observability subsystem: the metrics registry, profile /
-// span derivation from synthetic metrics, Chrome trace export, the QUEL
-// `explain profile` surface, and the two contract properties the subsystem
-// promises — byte-identical traces and utilization at any host-pool width
+// span derivation from synthetic metrics, Chrome trace export, the flight
+// recorder (event journal), the QUEL `explain profile` / `explain journal`
+// surfaces, and the contract properties the subsystem promises —
+// byte-identical traces, utilization and journals at any host-pool width
 // (including under a mid-query failover), and zero effect on simulated
-// seconds when tracing is off.
+// seconds from any recording.
 
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "gamma/machine.h"
 #include "obs/chrome_trace.h"
+#include "obs/journal.h"
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -472,6 +476,290 @@ TEST(QuelProfileTest, ExplainProfileAttachesBreakdown) {
   EXPECT_EQ(plain->result_tuples, profiled->result_tuples);
 
   EXPECT_TRUE(session.Execute("explain profile range of t is A")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- Metrics registry: log buckets, snapshot, concurrency ---
+
+TEST(MetricsRegistryTest, LogBucketsAreSharedFixedEdges) {
+  const std::vector<double> bounds = obs::LogBuckets(1e-4, 1e4, 4);
+  ASSERT_GE(bounds.size(), 33u);
+  EXPECT_EQ(bounds.front(), 1e-4);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_GE(bounds.back(), 1e4 * (1 - 1e-9));
+  // Pure function of the index: a second call is bit-identical.
+  EXPECT_EQ(bounds, obs::LogBuckets(1e-4, 1e4, 4));
+  EXPECT_NEAR(bounds[4], 1e-3, 1e-15);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotReportsTailQuantiles) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  obs::Histogram& h =
+      registry.histogram("test.snapshot_hist", obs::LogBuckets(0.001, 10, 1));
+  h.Reset();
+  for (int i = 0; i < 98; ++i) h.Observe(0.0005);  // bucket 0 (<= 0.001)
+  h.Observe(0.5);  // <= 1
+  h.Observe(5.0);  // <= 10
+  const auto samples = registry.HistogramSnapshot();
+  const obs::MetricsRegistry::HistogramSample* found = nullptr;
+  for (const auto& s : samples) {
+    if (s.name == "test.snapshot_hist") found = &s;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 100u);
+  EXPECT_EQ(found->p50, 0.001);
+  EXPECT_EQ(found->p95, 0.001);
+  EXPECT_EQ(found->p99, 1.0);
+}
+
+// TSan coverage: concurrent Observe on one histogram must be data-race free
+// (atomic buckets, CAS sum) and lose no observations.
+TEST(MetricsRegistryTest, ConcurrentHistogramObserveIsSafe) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  obs::Histogram& h =
+      registry.histogram("test.concurrent_hist", obs::LogBuckets(0.01, 10, 2));
+  h.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(0.01 * static_cast<double>(1 + (t + i) % 7));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i <= h.bounds().size(); ++i) bucket_total += h.bucket(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+// --- Flight recorder: the Journal itself ---
+
+TEST(JournalTest, RingBoundEvictsOldestAndKeepsSeq) {
+  obs::Journal journal(2, 4);
+  EXPECT_TRUE(journal.enabled());
+  for (int i = 0; i < 6; ++i) {
+    journal.Emit(0, obs::JournalEventKind::kLockWait, i);
+  }
+  journal.Emit(1, obs::JournalEventKind::kCheckpoint);
+  // Ring 0 retains the newest 4 of 6, oldest first, seq preserved.
+  const auto& ring0 = journal.ring(0);
+  ASSERT_EQ(ring0.size(), 4u);
+  for (size_t i = 0; i < ring0.size(); ++i) {
+    EXPECT_EQ(ring0[i].seq, i + 2);
+    EXPECT_EQ(ring0[i].a, static_cast<int64_t>(i + 2));
+  }
+  EXPECT_EQ(journal.events_emitted(), 7u);  // evicted events still count
+  EXPECT_EQ(journal.Merged().size(), 5u);
+}
+
+TEST(JournalTest, ZeroCapacityDisablesRecording) {
+  obs::Journal journal(3, 0);
+  EXPECT_FALSE(journal.enabled());
+  journal.Emit(0, obs::JournalEventKind::kCrash);
+  EXPECT_EQ(journal.events_emitted(), 0u);
+  EXPECT_TRUE(journal.Merged().empty());
+}
+
+TEST(JournalTest, MergedOrderIsTimeThenRingThenSeq) {
+  obs::Journal journal(3, 16);
+  journal.Emit(2, obs::JournalEventKind::kStatementBegin, 1);  // t=0 ring 2
+  journal.Emit(0, obs::JournalEventKind::kFaultPacketDrop);    // t=0 ring 0
+  journal.Advance(1.5);
+  journal.Emit(1, obs::JournalEventKind::kWalForce);            // t=1.5
+  journal.EmitAt(0, 0.75, obs::JournalEventKind::kPhase, 1);    // backdated
+  const auto merged = journal.Merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].ring, 0);  // t=0: ring 0 before ring 2
+  EXPECT_EQ(merged[1].ring, 2);
+  EXPECT_EQ(merged[2].event->kind, obs::JournalEventKind::kPhase);  // t=0.75
+  EXPECT_EQ(merged[3].event->kind, obs::JournalEventKind::kWalForce);
+
+  const std::string text = journal.RenderText();
+  EXPECT_NE(text.find("journal: 4 events recorded"), std::string::npos);
+  EXPECT_NE(text.find("wal_force"), std::string::npos);
+  // The tail rendering keeps only the newest events.
+  const std::string tail = journal.RenderText(1);
+  EXPECT_EQ(tail.find("fault_packet_drop"), std::string::npos);
+  EXPECT_NE(tail.find("wal_force"), std::string::npos);
+}
+
+TEST(JournalTest, GrowInsertsEmptyRingAtDiskBoundary) {
+  obs::Journal journal(4, 8);  // 2 disk + scheduler + host, say
+  journal.Emit(2, obs::JournalEventKind::kLockWait, 7);
+  journal.Grow(2);  // new disk node at index 2; old ring 2 shifts to 3
+  EXPECT_EQ(journal.num_rings(), 5);
+  EXPECT_TRUE(journal.ring(2).empty());
+  ASSERT_EQ(journal.ring(3).size(), 1u);
+  EXPECT_EQ(journal.ring(3)[0].a, 7);
+}
+
+// --- Flight recorder: end-to-end machine properties ---
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Fresh machine under the current pool width: loaded relation, one
+/// mid-query node death with failover, then the journal's canonical JSON.
+std::string JournalJsonUnderFaults(const gamma::GammaConfig& config) {
+  gamma::GammaMachine machine(config);
+  GAMMA_CHECK(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("A", wis::GenerateWisconsin(2000, 7)).ok());
+  machine.KillNodeAfterOps(1, 10);
+  gamma::SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 999);
+  query.store_result = true;
+  GAMMA_CHECK(machine.RunSelect(query).ok());
+  return machine.journal().EventsJson();
+}
+
+// The headline determinism contract: the merged journal is byte-identical
+// at any GAMMA_HOST_THREADS, even with packet-drop faults and a mid-query
+// failover in play.
+TEST(JournalPropertyTest, JournalIdenticalAcrossThreadCounts) {
+  gamma::GammaConfig config = SmallConfig();
+  config.chained_declustering = true;
+  config.fault.drop_packet_prob = 0.02;
+  const std::string one =
+      WithThreads(1, [&] { return JournalJsonUnderFaults(config); });
+  const std::string many =
+      WithThreads(kManyThreads, [&] { return JournalJsonUnderFaults(config); });
+  EXPECT_EQ(one, many);
+  // The run actually journaled the interesting events.
+  EXPECT_NE(one.find("fault_node_death"), std::string::npos);
+  EXPECT_NE(one.find("statement_begin"), std::string::npos);
+  EXPECT_NE(one.find("statement_end"), std::string::npos);
+}
+
+// Recording costs host memory only: disabling the journal entirely must not
+// change any simulated second.
+TEST(JournalPropertyTest, JournalChargesZeroSimulatedTime) {
+  auto run = [](const char* ring_env) {
+    ::setenv("GAMMA_JOURNAL_RING", ring_env, 1);
+    gamma::GammaMachine machine(SmallConfig());
+    ::unsetenv("GAMMA_JOURNAL_RING");
+    GAMMA_CHECK(machine
+                    .CreateRelation("A", wis::WisconsinSchema(),
+                                    catalog::PartitionSpec::Hashed(
+                                        wis::kUnique1))
+                    .ok());
+    GAMMA_CHECK(
+        machine.LoadTuples("A", wis::GenerateWisconsin(2000, 7)).ok());
+    gamma::SelectQuery query;
+    query.relation = "A";
+    query.predicate = Predicate::Range(wis::kUnique2, 100, 299);
+    auto result = machine.RunSelect(query);
+    GAMMA_CHECK(result.ok());
+    return std::make_pair(result->seconds(),
+                          machine.journal().events_emitted());
+  };
+  const auto off = run("0");
+  const auto on = run("4096");
+  EXPECT_EQ(off.second, 0u);
+  EXPECT_GT(on.second, 0u);
+  EXPECT_EQ(off.first, on.first);
+}
+
+// Crash -> post-mortem dump -> Recover attaches it; the dump's event counts
+// agree with the registry's counters for the same window.
+TEST(JournalPropertyTest, CrashDumpRoundTripMatchesRegistry) {
+  ::setenv("GAMMA_JOURNAL_RING", "100000", 1);  // nothing may evict
+  gamma::GammaConfig config = SmallConfig();
+  config.fault.drop_packet_prob = 0.05;
+  config.enable_logging = true;  // Recover() replays the WAL
+  gamma::GammaMachine machine(config);
+  ::unsetenv("GAMMA_JOURNAL_RING");
+  auto& registry = obs::MetricsRegistry::Instance();
+  const uint64_t drops_before =
+      registry.CounterValue("fault.packets_dropped");
+  GAMMA_CHECK(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("A", wis::GenerateWisconsin(2000, 7)).ok());
+  gamma::SelectQuery query;
+  query.relation = "A";
+  query.predicate = Predicate::Range(wis::kUnique1, 0, 499);
+  query.store_result = true;
+  ASSERT_TRUE(machine.RunSelect(query).ok());
+  const uint64_t drops =
+      registry.CounterValue("fault.packets_dropped") - drops_before;
+
+  machine.Crash();
+  const auto report = machine.Recover();
+  ASSERT_TRUE(report.ok());
+  const std::string& dump = report->post_mortem_json;
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"reason\": \"crash\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(dump, "\"kind\": \"crash\""), 1u);
+  EXPECT_EQ(CountOccurrences(dump, "\"kind\": \"statement_begin\""), 1u);
+  EXPECT_EQ(CountOccurrences(dump, "\"kind\": \"fault_packet_drop\""),
+            static_cast<size_t>(drops));
+  // The metrics snapshot rode along.
+  EXPECT_NE(dump.find("fault.packets_dropped"), std::string::npos);
+  // A second Recover() has no dump to attach.
+  EXPECT_EQ(machine.journal().events_emitted(),
+            CountOccurrences(machine.journal().EventsJson(), "\"kind\""));
+
+  // DumpJournal exports the same canonical stream to a file.
+  const std::string path = ::testing::TempDir() + "/journal_dump_test.json";
+  ASSERT_TRUE(machine.DumpJournal(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(CountOccurrences(contents, "\"kind\""),
+            machine.journal().events_emitted());
+  EXPECT_NE(contents.find("\"kind\": \"recover_end\""), std::string::npos);
+}
+
+// --- QUEL surface: explain journal ---
+
+TEST(QuelProfileTest, ExplainJournalAppendsTail) {
+  gamma::GammaMachine machine(SmallConfig());
+  GAMMA_CHECK(machine
+                  .CreateRelation("A", wis::WisconsinSchema(),
+                                  catalog::PartitionSpec::Hashed(
+                                      wis::kUnique1))
+                  .ok());
+  GAMMA_CHECK(machine.LoadTuples("A", wis::GenerateWisconsin(1000, 9)).ok());
+  quel::Session session(&machine);
+  ASSERT_TRUE(session.Execute("range of t is A").ok());
+
+  const auto result = session.Execute(
+      "explain journal retrieve (t.all) where t.unique1 >= 0 and "
+      "t.unique1 <= 99");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->explain.find("journal:"), std::string::npos);
+  EXPECT_NE(result->explain.find("statement_end"), std::string::npos);
+  EXPECT_NE(result->explain.find("select"), std::string::npos);
+
+  EXPECT_TRUE(session.Execute("explain journal range of t is A")
                   .status()
                   .IsInvalidArgument());
 }
